@@ -1,0 +1,69 @@
+"""A1 (ablation) — why forbid/allow exists at all (§3.2.1).
+
+    "If A simply returned requests to B in retry messages, it might be
+    subjected to an arbitrary number of retransmissions.  To prevent
+    these retransmissions we must introduce the forbid and allow
+    messages."
+
+The ablated runtime (``no_forbid=True``) answers every unwanted request
+with a bare retry.  In the reverse-direction scenario A keeps a Receive
+posted for the reply it expects, so B's retried request matches it
+*again* immediately — a bounce loop that runs until B's reply finally
+arrives.  The bench scales B's reply delay and watches retransmissions
+grow without bound in the ablated runtime while the real one stays at
+one bounce per round.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.adversarial import run_reverse_scenario
+
+DELAYS = (1.0, 150.0, 400.0)
+ROUNDS = 2
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_retry_only_retransmission_storm(benchmark, save_table):
+    data = {}
+
+    def run():
+        for delay in DELAYS:
+            data[("forbid", delay)] = run_reverse_scenario(
+                "charlotte", rounds=ROUNDS, reply_delay_ms=delay
+            )
+            data[("retry-only", delay)] = run_reverse_scenario(
+                "charlotte", rounds=ROUNDS, reply_delay_ms=delay,
+                no_forbid=True,
+            )
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"A1: forbid/allow vs bare retry ({ROUNDS} reverse-request rounds)",
+        ["variant", "B's reply delay ms", "unwanted received",
+         "retries sent", "resends", "total msgs"],
+    )
+    for variant in ("forbid", "retry-only"):
+        for delay in DELAYS:
+            d = data[(variant, delay)]
+            t.add(variant, delay, d["unwanted"], d["retry"], d["resends"],
+                  d["messages"])
+    save_table("a1_retry_only", t)
+
+    for delay in DELAYS:
+        forbid = data[("forbid", delay)]
+        retry = data[("retry-only", delay)]
+        # the real runtime bounces each unwanted request exactly once,
+        # independent of how long B sits on the reply
+        assert forbid["unwanted"] == ROUNDS
+        assert forbid["resends"] == ROUNDS
+        # the ablation's bounce count grows with the reply delay
+        assert retry["resends"] >= forbid["resends"]
+    slow = data[("retry-only", DELAYS[-1])]
+    fast = data[("retry-only", DELAYS[0])]
+    assert slow["resends"] > fast["resends"], (
+        "retransmissions should grow with the unwanted window"
+    )
+    assert slow["resends"] >= 3 * ROUNDS

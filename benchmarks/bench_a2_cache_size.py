@@ -1,0 +1,134 @@
+"""A2 (ablation) — how big must the §4.2 link cache be?
+
+    "If each process keeps a cache of links it has known about
+    recently, and keeps the names of those links advertised, then A
+    may remember it sent L to B, and can tell C where it went.  If A
+    has forgotten, C can use the discover command..."
+
+A dispatcher moves ``W`` *distinct* dormant links to a holder, filling
+its cache with one entry per moved link (oldest evicted first).  The
+observer then uses each link once with a stale hint pointing at the
+dispatcher.  Links still in the cache repair with one redirect; evicted
+ones cost a kernel-timeout probe plus a discover broadcast.  The sweep
+shrinks the cache across W and counts which path each link took —
+pricing the paper's word "recently".
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.api import INT, LINK, Operation, Proc, make_cluster
+
+ADD = Operation("add", (INT, INT), (INT,))
+GIVE = Operation("give", (LINK,), ())
+
+W = 4
+SIZES = (64, W, 2, 0)
+
+
+class Dispatcher(Proc):
+    """Initially owns the moving end of all W work links; ships each to
+    the holder, then lingers to serve cache redirects."""
+
+    def main(self, ctx):
+        to_holder = ctx.initial_links[0]
+        work = list(ctx.initial_links[1:])
+        yield from ctx.register(GIVE)
+        for end in work:
+            yield from ctx.connect(to_holder, GIVE, (end,))
+        yield from ctx.delay(60000.0)
+
+
+class Holder(Proc):
+    """Adopts the W ends and serves one request on each."""
+
+    def main(self, ctx):
+        (from_dispatcher,) = ctx.initial_links
+        yield from ctx.register(GIVE, ADD)
+        yield from ctx.open(from_dispatcher)
+        adopted = []
+        for _ in range(W):
+            inc = yield from ctx.wait_request([from_dispatcher])
+            adopted.append(inc.args[0])
+            yield from ctx.reply(inc, ())
+        for end in adopted:
+            yield from ctx.open(end)
+        for _ in range(W):
+            inc = yield from ctx.wait_request(adopted)
+            yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+
+
+class Observer(Proc):
+    """Uses each (moved) link once, after the churn settles."""
+
+    def __init__(self):
+        self.latencies = []
+
+    def main(self, ctx):
+        links = ctx.initial_links
+        yield from ctx.delay(1500.0)
+        for i, link in enumerate(links):
+            t0 = yield from ctx.now()
+            r = yield from ctx.connect(link, ADD, (i, 100))
+            assert r == (i + 100,)
+            self.latencies.append((yield from ctx.now()) - t0)
+
+
+def run_case(cache_size: int):
+    cluster = make_cluster("soda", seed=7, cache_size=cache_size)
+    obs_prog = Observer()
+    d = cluster.spawn(Dispatcher(), "dispatcher")
+    h = cluster.spawn(Holder(), "holder")
+    obs = cluster.spawn(obs_prog, "observer")
+    cluster.create_link(d, h)
+    for _ in range(W):
+        cluster.create_link(d, obs)  # dispatcher side will move
+    cluster.run_until_quiet(max_ms=1e7)
+    m = cluster.metrics
+    assert len(obs_prog.latencies) == W, cluster.unfinished()
+    return {
+        "mean_repair_ms": sum(obs_prog.latencies) / W,
+        "max_repair_ms": max(obs_prog.latencies),
+        "redirects": m.get("soda.redirects_served"),
+        "evictions": m.get("soda.cache_evictions"),
+        "discover_repairs": m.get("soda.hints_repaired_by_discover"),
+        "discovers": m.get("soda.discover"),
+    }
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_cache_size_sweep(benchmark, save_table):
+    data = {}
+
+    def run():
+        for size in SIZES:
+            data[size] = run_case(size)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"A2: SODA link-cache size vs repair path ({W} moved links, "
+        "each used once)",
+        ["cache size", "mean repair ms", "max repair ms",
+         "redirects", "evictions", "discover repairs"],
+    )
+    for size in SIZES:
+        d = data[size]
+        t.add(size, d["mean_repair_ms"], d["max_repair_ms"],
+              d["redirects"], d["evictions"], d["discover_repairs"])
+    save_table("a2_cache_size", t)
+
+    # full cache: all repairs are redirects
+    assert data[64]["redirects"] >= W
+    assert data[64]["discover_repairs"] == 0
+    # no cache: all repairs go through discover
+    assert data[0]["discover_repairs"] == W
+    # partial cache: exactly the evicted links needed discover
+    assert data[2]["discover_repairs"] == W - 2
+    # and the cost ordering follows
+    assert (
+        data[64]["mean_repair_ms"]
+        < data[2]["mean_repair_ms"]
+        < data[0]["mean_repair_ms"]
+    )

@@ -1,0 +1,125 @@
+"""A3 (ablation) — the §3.2.2 loss window, measured as a curve.
+
+    "a) Process A sends a request to process B, enclosing the end of a
+    link.  b) B receives the request unintentionally ...  c) The
+    sending coroutine in A feels an exception, aborting the request.
+    d) B crashes before it can send the enclosure back to A in a
+    forbid message.  From the point of view of language semantics, the
+    message to B was never sent, yet the enclosure has been lost."
+
+The deviation only bites inside a *window*: after the kernel has
+matched the request into B (too late to cancel) and before B's forbid
+returns the enclosure.  The sweep slides B's crash time across that
+window on all three kernels and reports the enclosure's fate at each
+instant — Charlotte loses it exactly inside the window; SODA and
+Chrysalis never lose it at any crash time (§6 item 3).
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.api import (
+    BYTES,
+    LINK,
+    LinkDestroyed,
+    Operation,
+    Proc,
+    ThreadAborted,
+    make_cluster,
+)
+from repro.core.registry import EndDisposition
+from repro.sim.failure import CrashMode
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+GIVE = Operation("give", (LINK,), ())
+
+#: crash instants (ms).  B's Receive is pre-posted (that is what makes
+#: it receive the request "unintentionally"), so the kernel matches
+#: A's send almost immediately: the ambiguity window opens at ~1 ms
+#: and closes when B's forbid returns the enclosure (~70 ms here).
+CRASH_TIMES = (5.0, 45.0, 60.0, 75.0, 200.0)
+ABORT_AT = 40.0
+
+
+class _Aborter(Proc):
+    def __init__(self):
+        self.given_ref = None
+        self.aborted = False
+
+    def requester(self, ctx, to_b, enc):
+        try:
+            yield from ctx.connect(to_b, GIVE, (enc,))
+        except (ThreadAborted, LinkDestroyed):
+            self.aborted = True
+
+    def main(self, ctx):
+        (to_b,) = ctx.initial_links
+        mine, theirs = yield from ctx.new_link()
+        self.given_ref = theirs.end_ref
+        t = yield from ctx.fork(self.requester(ctx, to_b, theirs), "req")
+        yield from ctx.delay(ABORT_AT)
+        yield from ctx.abort(t)
+        yield from ctx.delay(1e9)  # outlive the horizon (see E-divergence)
+
+
+class _ReplyWaiter(Proc):
+    def main(self, ctx):
+        (to_a,) = ctx.initial_links
+        try:
+            yield from ctx.connect(to_a, ECHO, (b"never answered",))
+        except LinkDestroyed:
+            pass
+        yield from ctx.delay(1e9)
+
+
+def fate(kind: str, crash_at: float) -> str:
+    cluster = make_cluster(kind, seed=13)
+    a_prog = _Aborter()
+    a = cluster.spawn(a_prog, "A")
+    b = cluster.spawn(_ReplyWaiter(), "B")
+    cluster.create_link(a, b)
+    cluster.engine.schedule(crash_at, cluster.crash_process, "B",
+                            CrashMode.PROCESSOR)
+    cluster.run_until_quiet(max_ms=5e4)
+    ref = a_prog.given_ref
+    disp = cluster.registry.disposition_of(ref)
+    if disp is EndDisposition.OWNED and cluster.registry.owner_of(ref) == "A":
+        return "safe"
+    if disp is EndDisposition.LOST or cluster.registry.is_destroyed(ref.link):
+        return "LOST"
+    return disp.value
+
+
+@pytest.mark.benchmark(group="a3")
+def test_a3_crash_window_sweep(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            for crash_at in CRASH_TIMES:
+                # Chrysalis is ~25x faster: scale its window
+                t = crash_at if kind != "chrysalis" else crash_at / 25.0
+                data[(kind, crash_at)] = fate(kind, t)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"A3: enclosure fate vs crash instant (abort at {ABORT_AT} ms)",
+        ["crash at (ms)", "charlotte", "soda", "chrysalis"],
+    )
+    for crash_at in CRASH_TIMES:
+        t.add(crash_at, data[("charlotte", crash_at)],
+              data[("soda", crash_at)], data[("chrysalis", crash_at)])
+    save_table("a3_crash_window", t)
+
+    # SODA and Chrysalis never lose the enclosure, at any instant
+    for kind in ("soda", "chrysalis"):
+        for crash_at in CRASH_TIMES:
+            assert data[(kind, crash_at)] == "safe", (kind, crash_at)
+    # Charlotte: lost everywhere inside the window, safe once the
+    # forbid has returned the enclosure
+    for crash_at in (5.0, 45.0, 60.0):
+        assert data[("charlotte", crash_at)] == "LOST", (crash_at, data)
+    for crash_at in (75.0, 200.0):
+        assert data[("charlotte", crash_at)] == "safe", (crash_at, data)

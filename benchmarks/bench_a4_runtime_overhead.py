@@ -1,0 +1,73 @@
+"""A4 — the run-time package's overhead on every kernel (§3.3 / §4.3).
+
+§3.3 measures LYNX against "C programs that make the same series of
+kernel calls" and attributes the difference to the runtime's work:
+"gather and scatter parameters, block and unblock coroutines,
+establish default exception handlers, enforce flow control, perform
+type checking, update tables for enclosed links."
+
+§4.3 then *predicts* the SODA runtime's overhead: "run-time routines
+under SODA would need to perform most of the same functions as their
+counterparts for Charlotte ... the lack of special cases might save
+some time in conditional branches and subroutine calls, but relatively
+major differences in run-time package overhead appear to be unlikely."
+
+This bench measures LYNX-minus-raw on all three kernels (the raw
+baselines live in `repro.workloads.raw`) and tests the prediction:
+Charlotte's and SODA's overheads agree within a small factor.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.raw import raw_rpc
+from repro.workloads.rpc import run_rpc_workload
+
+KERNELS = ("charlotte", "soda", "chrysalis")
+
+
+@pytest.mark.benchmark(group="a4")
+def test_a4_runtime_overhead_across_kernels(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in KERNELS:
+            data[(kind, "raw")] = raw_rpc(kind, 0, count=5).mean_ms
+            data[(kind, "lynx")] = run_rpc_workload(kind, 0, count=5).mean_ms
+            data[(kind, "raw1k")] = raw_rpc(kind, 1000, count=5).mean_ms
+            data[(kind, "lynx1k")] = run_rpc_workload(
+                kind, 1000, count=5
+            ).mean_ms
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "A4: LYNX runtime overhead = LYNX minus raw kernel calls (ms)",
+        ["kernel", "raw 0B", "LYNX 0B", "overhead 0B",
+         "raw 1000B", "LYNX 1000B", "overhead 1000B"],
+    )
+    overhead0 = {}
+    for kind in KERNELS:
+        o0 = data[(kind, "lynx")] - data[(kind, "raw")]
+        o1k = data[(kind, "lynx1k")] - data[(kind, "raw1k")]
+        overhead0[kind] = o0
+        t.add(kind, data[(kind, "raw")], data[(kind, "lynx")], o0,
+              data[(kind, "raw1k")], data[(kind, "lynx1k")], o1k)
+    save_table("a4_runtime_overhead", t)
+
+    # overhead is real and positive everywhere (§3.3's 57 > 55)
+    for kind in KERNELS:
+        assert overhead0[kind] > 0.5, (kind, overhead0)
+    # §4.3's prediction: Charlotte's and SODA's runtime overheads are
+    # of the same magnitude (we allow 2x either way)
+    ratio = overhead0["soda"] / overhead0["charlotte"]
+    assert 0.5 < ratio < 2.0, overhead0
+    # Chrysalis's runtime rides much faster primitives: its overhead is
+    # the smallest in absolute terms...
+    assert overhead0["chrysalis"] == min(overhead0.values())
+    # ...but the largest *relative* to its raw kernel cost — simple
+    # primitives shift work INTO the runtime (§6 lesson three's flip
+    # side)
+    rel = {k: overhead0[k] / data[(k, "raw")] for k in KERNELS}
+    assert rel["chrysalis"] == max(rel.values())

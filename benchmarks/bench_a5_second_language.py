@@ -1,0 +1,114 @@
+"""A5 — a second language on the same kernels (§6, lesson three).
+
+    "...by maintaining the flexibility of the kernel interface they
+    permit equally efficient implementations of a wide variety of
+    other distributed languages, with entirely different needs."
+
+Mini-Linda (`repro.linda`) is that other language: an associative
+tuple space with blocking ``in`` — nothing like LYNX links.  The bench
+compares the three kernel adapters on:
+
+* **latency** of an out + take exchange;
+* **cost of blocking**: extra kernel traffic when a take must wait
+  (SODA: zero — the unaccepted request IS the wait; Chrysalis: zero —
+  an event block parks; Charlotte: the server must buffer the pattern
+  and owe a reply);
+* **adapter complexity** (logical LoC / branches), the E2 measure
+  applied to the second language.
+
+The shape that must reproduce: the low-level kernels fit the second
+language as naturally as they fit the first; the high-level kernel is
+again the bulkiest fit.
+"""
+
+import pytest
+
+from repro.analysis.complexity import analyze_module
+from repro.analysis.report import Table
+from repro.linda import ANY, make_linda
+from repro.sim.tasks import sleep
+
+KINDS = ("charlotte", "soda", "chrysalis")
+
+
+def measure(kind: str, block_ms: float):
+    system = make_linda(kind)
+    stamps = {}
+
+    def consumer(c):
+        t0 = system.engine.now
+        tup = yield from c.take(("k", ANY))
+        stamps["latency"] = system.engine.now - t0
+        assert tup == ("k", 1)
+        yield from c.close()
+
+    def producer(c):
+        if block_ms:
+            yield sleep(system.engine, block_ms)
+        yield from c.out(("k", 1))
+        yield from c.close()
+
+    system.spawn(consumer(system.client("c")))
+    system.spawn(producer(system.client("p")))
+    system.run_until_quiet(max_ms=1e7)
+    assert system.all_finished
+    system.check()
+    return {
+        "latency_ms": stamps["latency"],
+        "frames": system.metrics.total("wire.frames.")
+        + system.metrics.total("wire.messages."),
+    }
+
+
+def adapter_complexity(kind: str):
+    import repro.linda.charlotte_adapter
+    import repro.linda.chrysalis_adapter
+    import repro.linda.soda_adapter
+
+    mod = {
+        "charlotte": repro.linda.charlotte_adapter,
+        "soda": repro.linda.soda_adapter,
+        "chrysalis": repro.linda.chrysalis_adapter,
+    }[kind]
+    return analyze_module(mod)
+
+
+@pytest.mark.benchmark(group="a5")
+def test_a5_second_language_comparison(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in KINDS:
+            data[(kind, "quick")] = measure(kind, 0.0)
+            data[(kind, "blocked")] = measure(kind, 1000.0)
+            data[(kind, "stats")] = adapter_complexity(kind)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "A5: mini-Linda (the second language) per kernel",
+        ["kernel", "out+take ms", "frames", "frames when take blocks 1s",
+         "adapter loc", "adapter branches"],
+    )
+    for kind in KINDS:
+        q, b, stats = (data[(kind, "quick")], data[(kind, "blocked")],
+                       data[(kind, "stats")])
+        t.add(kind, q["latency_ms"], q["frames"], b["frames"],
+              stats.logical_loc, stats.branches)
+    save_table("a5_second_language", t)
+
+    # correctness everywhere, at wildly different costs
+    lat = {k: data[(k, "quick")]["latency_ms"] for k in KINDS}
+    assert lat["chrysalis"] < lat["soda"] < lat["charlotte"]
+    # blocking costs NO extra kernel traffic on the low-level kernels
+    for kind in ("soda", "chrysalis"):
+        assert (
+            data[(kind, "blocked")]["frames"]
+            == data[(kind, "quick")]["frames"]
+        ), kind
+    # the high-level kernel needs the biggest adapter for the second
+    # language too — §6 lesson three, generalised beyond LYNX
+    loc = {k: data[(k, "stats")].logical_loc for k in KINDS}
+    assert loc["charlotte"] == max(loc.values())
+    assert loc["chrysalis"] == min(loc.values())

@@ -1,0 +1,102 @@
+"""E10 — §4.2.1: the outstanding-request limit.
+
+    "The implementation described in the previous section would work
+    easily if the limit were large enough to accommodate three
+    requests for every link between the processes ... Too small a
+    limit on outstanding requests would leave the possibility of
+    deadlock when many links connect the same pair of processes.  In
+    practice, a limit of half a dozen or so is unlikely to be
+    exceeded ... but there is no way to reflect the limit to the user
+    in a semantically-meaningful way.  Correctness would start to
+    depend on global characteristics of the process-interconnection
+    graph."
+
+The workload concentrates ``LINKS`` links between one process pair,
+parks a request on each, and opens only the last link's queue.  The
+sweep finds the smallest pair-limit under which the served request can
+still get through — below it, the system deadlocks with no error
+anywhere, exactly the paper's complaint.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.api import INT, Operation, Proc, make_cluster
+
+ADD = Operation("add", (INT, INT), (INT,))
+LINKS = 4
+
+
+class Server(Proc):
+    def __init__(self):
+        self.served = 0
+
+    def main(self, ctx):
+        ends = ctx.initial_links
+        yield from ctx.register(ADD)
+        yield from ctx.open(ends[-1])
+        inc = yield from ctx.wait_request()
+        self.served += 1
+        yield from ctx.reply(inc, (0,))
+
+
+class Client(Proc):
+    def one(self, ctx, end):
+        yield from ctx.connect(end, ADD, (1, 1))
+
+    def main(self, ctx):
+        for end in ctx.initial_links:
+            yield from ctx.fork(self.one(ctx, end), "c")
+        yield from ctx.delay(1.0)
+
+
+def attempt(limit: int):
+    cluster = make_cluster("soda", pair_request_limit=limit)
+    server, client = Server(), Client()
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(client, "client")
+    for _ in range(LINKS):
+        cluster.create_link(c, s)
+    cluster.run_until_quiet(max_ms=3000.0)
+    return {
+        "served": server.served,
+        "queued": cluster.metrics.get("soda.pair_limit_queued"),
+    }
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_pair_limit_deadlock_threshold(benchmark, save_table):
+    data = {}
+
+    def run():
+        for limit in range(1, 2 * LINKS + 2):
+            data[limit] = attempt(limit)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"E10: {LINKS} links between one pair; open queue on the last",
+        ["pair limit", "request served", "requests queued at kernel"],
+    )
+    threshold = None
+    for limit in sorted(data):
+        d = data[limit]
+        t.add(limit, "yes" if d["served"] else "DEADLOCK", d["queued"])
+        if threshold is None and d["served"]:
+            threshold = limit
+    t.add("threshold", threshold, "")
+    save_table("e10_request_limit", t)
+
+    assert threshold is not None
+    # deadlock region exists (the paper's warning is real) ...
+    assert data[1]["served"] == 0
+    assert data[2]["served"] == 0
+    # ... and monotone above the threshold
+    for limit in sorted(data):
+        if limit >= threshold:
+            assert data[limit]["served"] == 1
+    # the workload posts ~2 requests per link (put + status signal)
+    # before the served one can flow: threshold tracks the topology,
+    # which is §4.2.1's point about the interconnection graph
+    assert 2 * (LINKS - 1) <= threshold <= 2 * LINKS

@@ -1,0 +1,59 @@
+"""E11 — §6 lesson one: "Hints can be better than absolutes."
+
+    "The Charlotte kernel admits that a link end has been moved only
+    when all three parties agree.  The protocol for obtaining such
+    agreement was a major source of problems in the kernel ... The
+    implementation of links on top of SODA and Chrysalis was
+    comparatively easy."
+
+The migration churn (2 moves per hop, traffic in flight) runs on all
+three kernels; the bench counts what each kernel spends *per move*:
+Charlotte's agreement messages (and lock retries), SODA's after-the-
+fact redirects, Chrysalis's discarded stale notices.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.migration import run_migration_churn
+
+HOPS = 6
+MEMBERS = 3
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_move_cost_per_kernel(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            data[kind] = run_migration_churn(
+                kind, members=MEMBERS, hops=HOPS, seed=9, linger_ms=4000.0
+            )
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    moves = data["charlotte"]["moves"]
+    t = Table(
+        f"E11: cost of moving a link end ({moves} moves, traffic live)",
+        ["kernel", "agreement msgs", "per move", "lock retries",
+         "hint redirects", "stale notices", "rpcs ok"],
+    )
+    for kind in ("charlotte", "soda", "chrysalis"):
+        d = data[kind]
+        agreement = d["move_msgs"]
+        t.add(kind, agreement, agreement / moves, d["move_retries"],
+              d["redirects_followed"], d["stale_notices"], d["rpcs_served"])
+    save_table("e11_hints_vs_absolutes", t)
+
+    for kind in ("charlotte", "soda", "chrysalis"):
+        assert data[kind]["rpcs_served"] == HOPS, (kind, data[kind])
+    # absolutes: >= 3 kernel messages per move, on the critical path
+    char = data["charlotte"]
+    assert char["move_msgs"] >= 3 * moves
+    # hints: zero agreement messages; repairs happen lazily and only
+    # when a stale hint is actually used
+    assert data["soda"]["move_msgs"] == 0
+    assert data["chrysalis"]["move_msgs"] == 0
+    assert data["soda"]["redirects_followed"] >= 1

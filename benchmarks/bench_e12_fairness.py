@@ -1,0 +1,61 @@
+"""E12 — §2.1's fairness guarantee, measured.
+
+    "For the sake of fairness, an implementation must guarantee that
+    no queue is ignored forever."
+
+One chatty client floods the server's first link; quiet clients arrive
+on other links mid-flood.  The measure is the longest run of chatty
+services a quiet request had to sit through — which must stay bounded
+(round-robin gives ~1) and must not grow with the flood length.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.skew import run_skewed_load
+
+FLOODS = (8, 24)
+QUIET = 3
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_no_queue_ignored_forever(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            for flood in FLOODS:
+                data[(kind, flood)] = run_skewed_load(
+                    kind, quiet_clients=QUIET, chatty_requests=flood, seed=2
+                )
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"E12: fairness under skew ({QUIET} quiet clients vs a flood)",
+        ["kernel", "flood len", "worst chatty run", "quiet mean ms",
+         "quiet max ms"],
+    )
+    for kind in ("charlotte", "soda", "chrysalis"):
+        for flood in FLOODS:
+            d = data[(kind, flood)]
+            lats = d["quiet_latencies_ms"]
+            t.add(kind, flood, d["worst_chatty_run_before_quiet"],
+                  sum(lats) / len(lats), max(lats))
+    save_table("e12_fairness", t)
+
+    for kind in ("charlotte", "soda", "chrysalis"):
+        for flood in FLOODS:
+            d = data[(kind, flood)]
+            # a quiet request never waits behind more than a handful of
+            # chatty services once it is deliverable
+            assert d["worst_chatty_run_before_quiet"] <= 6, (kind, flood, d)
+        # latency does not scale with the flood length
+        small = data[(kind, FLOODS[0])]
+        large = data[(kind, FLOODS[1])]
+        ratio_flood = FLOODS[1] / FLOODS[0]
+        mean_small = sum(small["quiet_latencies_ms"]) / QUIET
+        mean_large = sum(large["quiet_latencies_ms"]) / QUIET
+        assert mean_large < mean_small * ratio_flood, (kind, mean_small,
+                                                       mean_large)

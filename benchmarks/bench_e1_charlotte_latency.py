@@ -1,0 +1,53 @@
+"""E1 — §3.3's measurements table for Charlotte.
+
+    "A simple remote operation (no enclosures) requires approximately
+    57 ms with no data transfer and about 65 ms with 1000 bytes of
+    parameters in both directions.  C programs that make the same
+    series of kernel calls require 55 and 60 ms, respectively."
+
+The bench regenerates all four numbers by running the RPC workload on
+the simulated Crystal/Charlotte stack — once through the LYNX runtime
+package, once as raw kernel calls.
+"""
+
+import pytest
+
+from repro.analysis.costmodel import PAPER
+from repro.analysis.report import paper_vs_measured
+from repro.workloads.rpc import raw_charlotte_rpc, run_rpc_workload
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_charlotte_simple_remote_operation(benchmark, save_table):
+    results = {}
+
+    def run():
+        results["raw0"] = raw_charlotte_rpc(0, count=5).mean_ms
+        results["raw1000"] = raw_charlotte_rpc(1000, count=5).mean_ms
+        results["lynx0"] = run_rpc_workload("charlotte", 0, count=5).mean_ms
+        results["lynx1000"] = run_rpc_workload(
+            "charlotte", 1000, count=5
+        ).mean_ms
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        ("raw kernel calls, 0 B", PAPER["charlotte.raw.rpc0"], results["raw0"]),
+        ("raw kernel calls, 1000 B each way", PAPER["charlotte.raw.rpc1000"],
+         results["raw1000"]),
+        ("LYNX, 0 B", PAPER["charlotte.lynx.rpc0"], results["lynx0"]),
+        ("LYNX, 1000 B each way", PAPER["charlotte.lynx.rpc1000"],
+         results["lynx1000"]),
+    ]
+    save_table("e1_charlotte_latency",
+               paper_vs_measured("E1: Charlotte simple remote operation (ms)",
+                                 rows))
+
+    assert results["raw0"] == pytest.approx(55.0, rel=0.05)
+    assert results["raw1000"] == pytest.approx(60.0, rel=0.05)
+    assert results["lynx0"] == pytest.approx(57.0, rel=0.05)
+    assert results["lynx1000"] == pytest.approx(65.0, rel=0.05)
+    # the runtime package's overhead is visible but modest (§3.3)
+    assert results["lynx0"] > results["raw0"]
+    assert results["lynx1000"] > results["raw1000"]

@@ -1,0 +1,85 @@
+"""E2 — the code-size comparison of §3.3 vs §5.3 (and §4.3's savings
+prediction).
+
+Paper figures (C + assembler, 1986):
+
+* Charlotte runtime: 4000 C + 200 asm, ~21 KB object, ~45 % in
+  kernel-facing communication routines, "perhaps 5K" (≈24 % of object)
+  for unwanted messages and multiple enclosures;
+* Chrysalis runtime: 3600 C + 200 asm, 15–16 KB — "appreciably
+  smaller" on both measures;
+* SODA (predicted): "savings on the order of 4K bytes" from the lack
+  of special cases.
+
+Our analog (DESIGN.md §4): relative logical-LoC and branch counts of
+the three kernel-specific runtime halves of this repository, measured
+by AST analysis of the real source.  What must reproduce is the
+*shape*: Charlotte's package biggest and branchiest, a substantial
+slice of it pure special-casing; Chrysalis smallest; SODA's
+hint-machinery cost concentrated in the (optional) freeze fallback.
+"""
+
+import pytest
+
+from repro.analysis.complexity import (
+    charlotte_special_case_stats,
+    comparison,
+    runtime_package_stats,
+)
+from repro.analysis.report import Table
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_runtime_package_sizes(benchmark, save_table):
+    data = {}
+
+    def run():
+        data["cmp"] = comparison()
+        data["special"] = charlotte_special_case_stats()
+        data["soda_modules"] = runtime_package_stats("soda").modules
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    cmp_ = data["cmp"]
+    special = data["special"]
+
+    t = Table(
+        "E2: LYNX runtime package size (kernel-specific half)",
+        ["kernel", "paper (C loc)", "logical loc", "branches",
+         "special-case loc", "special-case share"],
+    )
+    t.add("charlotte", 4200, cmp_["charlotte"]["kernel_specific_loc"],
+          cmp_["charlotte"]["kernel_specific_branches"],
+          special.logical_loc,
+          cmp_["charlotte"]["special_case_share_of_specific"])
+    soda_rt, soda_freeze = data["soda_modules"]
+    t.add("soda (runtime)", None, soda_rt.logical_loc, soda_rt.branches,
+          0, 0.0)
+    t.add("soda (+freeze fallback)", None,
+          cmp_["soda"]["kernel_specific_loc"],
+          cmp_["soda"]["kernel_specific_branches"], 0, 0.0)
+    t.add("chrysalis", 3800, cmp_["chrysalis"]["kernel_specific_loc"],
+          cmp_["chrysalis"]["kernel_specific_branches"], 0, 0.0)
+    save_table("e2_code_size", t)
+
+    charlotte = cmp_["charlotte"]
+    chrysalis = cmp_["chrysalis"]
+    # §5.3: Chrysalis package "appreciably smaller" than Charlotte's
+    assert chrysalis["kernel_specific_loc"] < charlotte["kernel_specific_loc"]
+    assert (
+        chrysalis["kernel_specific_branches"]
+        < charlotte["kernel_specific_branches"]
+    )
+    # §3.3: a large slice of the Charlotte package is pure special-case
+    # handling (paper: ~5K of 21K object ≈ 24 %)
+    assert 0.15 <= charlotte["special_case_share_of_specific"] <= 0.45
+    # §4.3: without the last-resort freeze module, SODA's runtime is
+    # also smaller than Charlotte's ("lack of special cases")
+    assert soda_rt.logical_loc < charlotte["kernel_specific_loc"] * 1.05
+    # Charlotte is the branchiest per line — the "awkward and slow"
+    # adaptation cost of §6 lesson three
+    density = {
+        k: cmp_[k]["kernel_specific_branches"] / cmp_[k]["kernel_specific_loc"]
+        for k in cmp_
+    }
+    assert density["charlotte"] >= density["chrysalis"]

@@ -1,0 +1,99 @@
+"""E3 — figure 2: the link-enclosure protocol.
+
+    "To move more than one link end with a single LYNX message, a
+    request or reply must be broken into several Charlotte messages.
+    The first packet contains nonlink data, together with the first
+    enclosure.  Additional enclosures are passed in empty enc
+    messages.  For requests, the receiver must return an explicit
+    goahead message after the first packet ... No goahead is needed
+    for requests with zero or one enclosures." (§3.2.2)
+
+So the kernel-message count for one remote operation moving n ends is:
+
+    Charlotte:  2           for n <= 1
+                n + 2       for n >= 2  (request packet + goahead +
+                                         (n-1) enc packets + reply)
+    SODA / Chrysalis: 2 always — names travel inside the message.
+
+The bench executes the operation for n = 0..5 on all three kernels and
+counts actual wire messages.
+"""
+
+import pytest
+
+from repro.core.api import INT, LINK, Operation, Proc, make_cluster
+from repro.analysis.report import Table
+
+
+def give_op(n: int) -> Operation:
+    return Operation(f"give{n}", tuple([LINK] * n), ())
+
+
+class Giver(Proc):
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def main(self, ctx):
+        (to_b,) = ctx.initial_links
+        ends = []
+        for _ in range(self.n):
+            mine, theirs = yield from ctx.new_link()
+            ends.append(theirs)
+        yield from ctx.connect(to_b, give_op(self.n), tuple(ends))
+
+
+class Taker(Proc):
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def main(self, ctx):
+        (from_a,) = ctx.initial_links
+        yield from ctx.register(give_op(self.n))
+        yield from ctx.open(from_a)
+        inc = yield from ctx.wait_request()
+        assert len(inc.args) == self.n
+        yield from ctx.reply(inc, ())
+
+
+def messages_for(kind: str, n: int) -> float:
+    cluster = make_cluster(kind, seed=3)
+    a = cluster.spawn(Giver(n), "giver")
+    b = cluster.spawn(Taker(n), "taker")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet(max_ms=1e7)
+    assert cluster.all_finished, (kind, n, cluster.unfinished())
+    return cluster.metrics.total("wire.messages.")
+
+
+def expected_charlotte(n: int) -> int:
+    if n <= 1:
+        return 2
+    return n + 2
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_enclosure_protocol_message_counts(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            for n in range(6):
+                data[(kind, n)] = messages_for(kind, n)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "E3: kernel messages per remote operation moving n link ends (fig. 2)",
+        ["n enclosures", "charlotte (fig.2 model)", "charlotte measured",
+         "soda measured", "chrysalis measured"],
+    )
+    for n in range(6):
+        t.add(n, expected_charlotte(n), data[("charlotte", n)],
+              data[("soda", n)], data[("chrysalis", n)])
+    save_table("e3_enclosures", t)
+
+    for n in range(6):
+        assert data[("charlotte", n)] == expected_charlotte(n)
+        assert data[("soda", n)] == 2
+        assert data[("chrysalis", n)] == 2

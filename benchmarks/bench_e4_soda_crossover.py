@@ -1,0 +1,71 @@
+"""E4 — §4.3 and its footnote 2: SODA vs Charlotte latency.
+
+    "Experimental figures reveal that for small messages SODA was
+    three times as fast as Charlotte.  The difference is less dramatic
+    for larger messages: SODA's slow network exacted a heavy toll.
+    The figures break even somewhere between 1K and 2K bytes."
+
+The bench sweeps the payload (each way) across 0..4 KB on both stacks
+and locates the crossover.
+"""
+
+import pytest
+
+from repro.analysis.plot import ascii_plot
+from repro.analysis.report import Table
+from repro.workloads.rpc import run_rpc_workload
+
+SWEEP = [0, 256, 512, 1024, 1536, 2048, 3072, 4096]
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_soda_charlotte_crossover(benchmark, save_table):
+    data = {}
+
+    def run():
+        for nbytes in SWEEP:
+            data[("charlotte", nbytes)] = run_rpc_workload(
+                "charlotte", nbytes, count=3
+            ).mean_ms
+            data[("soda", nbytes)] = run_rpc_workload(
+                "soda", nbytes, count=3
+            ).mean_ms
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "E4: simple remote operation latency vs payload (ms; fn.2 sweep)",
+        ["payload B each way", "charlotte", "soda", "winner"],
+    )
+    crossover = None
+    prev_winner = None
+    for nbytes in SWEEP:
+        c, s = data[("charlotte", nbytes)], data[("soda", nbytes)]
+        winner = "soda" if s < c else "charlotte"
+        if prev_winner == "soda" and winner == "charlotte":
+            crossover = nbytes
+        prev_winner = winner
+        t.add(nbytes, c, s, winner)
+    t.add("crossover", "1K-2K", crossover, "")
+    t.add("small-msg speedup", 3.0,
+          data[("charlotte", 0)] / data[("soda", 0)], "")
+    figure = ascii_plot(
+        {
+            "charlotte": [(n, data[("charlotte", n)]) for n in SWEEP],
+            "soda": [(n, data[("soda", n)]) for n in SWEEP],
+        },
+        x_label="payload bytes each way",
+        y_label="round trip ms",
+    )
+    save_table("e4_soda_crossover", t.render() + "\n\n" + figure)
+
+    speedup = data[("charlotte", 0)] / data[("soda", 0)]
+    assert 2.6 < speedup < 3.4, "paper: ~3x for small messages"
+    assert crossover is not None and 1024 < crossover <= 2048, (
+        "paper: break-even between 1K and 2K bytes"
+    )
+    # SODA's slow network: its per-byte slope is much steeper
+    slope_c = (data[("charlotte", 4096)] - data[("charlotte", 0)]) / 4096
+    slope_s = (data[("soda", 4096)] - data[("soda", 0)]) / 4096
+    assert slope_s > 2.5 * slope_c

@@ -1,0 +1,57 @@
+"""E5 — §5.3's Chrysalis measurements.
+
+    "Recent tests indicate that a simple remote operation requires
+    about 2.4 ms with no data transfer and about 4.6 ms with 1000
+    bytes of parameters in both directions.  Code tuning and protocol
+    optimizations now under development are likely to improve both
+    figures by 30 to 40%."
+
+Also §5.3's comparative claim: "Message transmission times are also
+faster on the Butterfly, by more than an order of magnitude" (vs
+Charlotte).  The tuned cost profile is the paper's announced
+optimisation, run as an ablation.
+"""
+
+import pytest
+
+from repro.analysis.costmodel import PAPER
+from repro.analysis.report import paper_vs_measured
+from repro.workloads.rpc import run_rpc_workload
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_chrysalis_latency_and_tuning(benchmark, save_table):
+    data = {}
+
+    def run():
+        data["c0"] = run_rpc_workload("chrysalis", 0, count=5).mean_ms
+        data["c1000"] = run_rpc_workload("chrysalis", 1000, count=5).mean_ms
+        data["t0"] = run_rpc_workload("chrysalis", 0, count=5,
+                                      tuned=True).mean_ms
+        data["t1000"] = run_rpc_workload("chrysalis", 1000, count=5,
+                                         tuned=True).mean_ms
+        data["char0"] = run_rpc_workload("charlotte", 0, count=5).mean_ms
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    impr0 = (data["c0"] - data["t0"]) / data["c0"]
+    impr1000 = (data["c1000"] - data["t1000"]) / data["c1000"]
+    rows = [
+        ("LYNX, 0 B (ms)", PAPER["chrysalis.lynx.rpc0"], data["c0"]),
+        ("LYNX, 1000 B each way (ms)", PAPER["chrysalis.lynx.rpc1000"],
+         data["c1000"]),
+        ("tuned, 0 B (ms)", "30-40% better", data["t0"]),
+        ("tuned improvement, 0 B", "0.30-0.40", impr0),
+        ("tuned improvement, 1000 B", "copy-bound", impr1000),
+        ("Charlotte/Chrysalis ratio, 0 B", ">10", data["char0"] / data["c0"]),
+    ]
+    save_table(
+        "e5_chrysalis_latency",
+        paper_vs_measured("E5: Chrysalis simple remote operation", rows),
+    )
+
+    assert data["c0"] == pytest.approx(2.4, rel=0.08)
+    assert data["c1000"] == pytest.approx(4.6, rel=0.08)
+    assert 0.30 <= impr0 <= 0.40
+    assert data["char0"] / data["c0"] > 10.0

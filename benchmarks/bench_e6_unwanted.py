@@ -1,0 +1,64 @@
+"""E6 — §3.2.1's unwanted-message machinery, measured.
+
+The two scenarios the paper walks through — a reverse-direction request
+while a reply is awaited, and an open-then-close race — are run for
+several rounds on all three kernels.  Charlotte pays bounce traffic
+(retry/forbid/allow) and resends; SODA and Chrysalis, whose kernels
+never hand the runtime an unwanted message, pay nothing (§6: "be sure
+that all received messages are wanted").
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.adversarial import (
+    run_open_close_scenario,
+    run_reverse_scenario,
+)
+
+ROUNDS = 4
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_unwanted_message_traffic(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            data[("rev", kind)] = run_reverse_scenario(kind, rounds=ROUNDS)
+            data[("oc", kind)] = run_open_close_scenario(kind, rounds=ROUNDS)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"E6: unwanted-message traffic over {ROUNDS} adversarial rounds",
+        ["scenario", "kernel", "unwanted", "retry", "forbid", "allow",
+         "resends", "total msgs", "useful msgs"],
+    )
+    for scen, label in (("rev", "reverse-request"), ("oc", "open/close race")):
+        for kind in ("charlotte", "soda", "chrysalis"):
+            d = data[(scen, kind)]
+            t.add(label, kind, d["unwanted"], d.get("retry", 0.0),
+                  d.get("forbid", 0.0), d.get("allow", 0.0),
+                  d.get("resends", 0.0), d["messages"],
+                  d["useful_messages"])
+    save_table("e6_unwanted", t)
+
+    # Charlotte: one bounce round-trip per adversarial round, per §3.2.1
+    rev_c = data[("rev", "charlotte")]
+    assert rev_c["unwanted"] >= ROUNDS
+    assert rev_c["forbid"] >= ROUNDS
+    assert rev_c["allow"] >= ROUNDS
+    oc_c = data[("oc", "charlotte")]
+    assert oc_c["retry"] >= ROUNDS
+    assert oc_c["resends"] >= ROUNDS
+    # SODA and Chrysalis: zero, structurally
+    for scen in ("rev", "oc"):
+        for kind in ("soda", "chrysalis"):
+            assert data[(scen, kind)]["unwanted"] == 0
+            # and no overhead messages at all beyond the useful ones
+            assert (
+                data[(scen, kind)]["messages"]
+                == data[(scen, kind)]["useful_messages"]
+            )

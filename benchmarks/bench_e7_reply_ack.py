@@ -1,0 +1,79 @@
+"""E7 — §3.2's rejected design: top-level reply acknowledgments.
+
+    "Such exceptions are not provided under Charlotte because they
+    would require a final, top-level acknowledgment for reply
+    messages, increasing message traffic by 50%."
+
+The ablated Charlotte runtime (``reply_acks=True``) implements exactly
+that acknowledgment; the bench confirms the 50 % figure and that the
+ablation buys back the server-side `RequestAborted` exception.
+"""
+
+import pytest
+
+from repro.analysis.report import paper_vs_measured
+from repro.core.api import INT, Operation, Proc, make_cluster
+
+ADD = Operation("add", (INT, INT), (INT,))
+N = 12
+
+
+class Server(Proc):
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        yield from ctx.register(ADD)
+        yield from ctx.open(end)
+        for _ in range(N):
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+
+
+class Client(Proc):
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        for i in range(N):
+            yield from ctx.connect(end, ADD, (i, i))
+
+
+def run(reply_acks: bool):
+    cluster = make_cluster("charlotte", reply_acks=reply_acks)
+    s = cluster.spawn(Server(), "server")
+    c = cluster.spawn(Client(), "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e7)
+    assert cluster.all_finished
+    return {
+        "messages": cluster.metrics.total("wire.messages."),
+        "bytes": cluster.metrics.get("wire.bytes"),
+        "sim_ms": cluster.engine.now,
+    }
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_reply_ack_traffic_increase(benchmark, save_table):
+    data = {}
+
+    def go():
+        data["base"] = run(False)
+        data["acked"] = run(True)
+        return data
+
+    benchmark.pedantic(go, rounds=1, iterations=1)
+
+    increase = (
+        data["acked"]["messages"] - data["base"]["messages"]
+    ) / data["base"]["messages"]
+    rows = [
+        ("messages without acks", 2 * N, data["base"]["messages"]),
+        ("messages with reply acks", 3 * N, data["acked"]["messages"]),
+        ("traffic increase", 0.50, increase),
+    ]
+    save_table(
+        "e7_reply_ack",
+        paper_vs_measured(
+            f"E7: reply acknowledgments over {N} remote operations", rows
+        ),
+    )
+    assert data["base"]["messages"] == 2 * N
+    assert data["acked"]["messages"] == 3 * N
+    assert increase == pytest.approx(0.5)

@@ -1,0 +1,140 @@
+"""E8 — figure 1: both ends of one link moved simultaneously.
+
+    "processes A and D are moving their ends of link 3, independently,
+    in such a way that what used to connect A to D will now connect B
+    to C.  ... The process at the far end of each moved link must be
+    oblivious to the move, even if it is currently relocating its end
+    as well."
+
+The bench stages exactly that on all three kernels and measures what
+the move costs each one: Charlotte runs its three-party agreement per
+end (per-link lock, so the simultaneous moves serialise — §6 lesson
+one: "a major source of problems in the kernel"); SODA and Chrysalis
+just ship names/objects and repair hints afterwards.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.api import INT, LINK, Operation, Proc, make_cluster
+
+ADD = Operation("add", (INT, INT), (INT,))
+GIVE = Operation("give", (LINK,), ())
+
+
+class Starter(Proc):
+    """Owns link3 initially; gives one end to A and one to D."""
+
+    def main(self, ctx):
+        to_a, to_d = ctx.initial_links
+        yield from ctx.register(GIVE)
+        e_a, e_d = yield from ctx.new_link()
+        yield from ctx.connect(to_a, GIVE, (e_a,))
+        yield from ctx.connect(to_d, GIVE, (e_d,))
+        yield from ctx.delay(8000.0)  # serve stale-hint redirects
+
+
+class Mover(Proc):
+    """A or D: receives an end of link3 and immediately moves it on."""
+
+    def main(self, ctx):
+        from_starter, to_target = ctx.initial_links
+        yield from ctx.register(GIVE)
+        yield from ctx.open(from_starter)
+        inc = yield from ctx.wait_request()
+        l3 = inc.args[0]
+        yield from ctx.reply(inc, ())
+        yield from ctx.connect(to_target, GIVE, (l3,))
+        yield from ctx.delay(8000.0)
+
+
+class FinalClient(Proc):
+    """B: ends up with one end of link3; uses it as a client."""
+
+    def __init__(self):
+        self.reply = None
+
+    def main(self, ctx):
+        (from_mover,) = ctx.initial_links
+        yield from ctx.register(GIVE, ADD)
+        yield from ctx.open(from_mover)
+        inc = yield from ctx.wait_request()
+        l3 = inc.args[0]
+        yield from ctx.reply(inc, ())
+        yield from ctx.delay(500.0)
+        self.reply = yield from ctx.connect(l3, ADD, (40, 2))
+
+
+class FinalServer(Proc):
+    """C: ends up with the other end; serves on it."""
+
+    def main(self, ctx):
+        (from_mover,) = ctx.initial_links
+        yield from ctx.register(GIVE, ADD)
+        yield from ctx.open(from_mover)
+        inc = yield from ctx.wait_request()
+        l3 = inc.args[0]
+        yield from ctx.reply(inc, ())
+        yield from ctx.open(l3)
+        inc2 = yield from ctx.wait_request()
+        yield from ctx.reply(inc2, (inc2.args[0] + inc2.args[1],))
+
+
+def run_double_move(kind: str):
+    cluster = make_cluster(kind, seed=11)
+    starter = cluster.spawn(Starter(), "starter")
+    a = cluster.spawn(Mover(), "a")
+    d = cluster.spawn(Mover(), "d")
+    b_prog, c_prog = FinalClient(), FinalServer()
+    b = cluster.spawn(b_prog, "b")
+    c = cluster.spawn(c_prog, "c")
+    cluster.create_link(starter, a)
+    cluster.create_link(starter, d)
+    cluster.create_link(a, b)
+    cluster.create_link(d, c)
+    cluster.run_until_quiet(max_ms=1e7)
+    m = cluster.metrics
+    assert b_prog.reply == (42,), (kind, cluster.unfinished())
+    return {
+        "ok": cluster.all_finished,
+        "sim_ms": cluster.engine.now,
+        "move_msgs": m.get("charlotte.move_msgs"),
+        "move_retries": m.get("charlotte.move_retries"),
+        "moves_committed": m.get("charlotte.moves_committed"),
+        "redirects": m.get("soda.redirects_served"),
+        "stale_notices": m.get("chrysalis.stale_notices"),
+        "wire_messages": m.total("wire.messages."),
+    }
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_simultaneous_double_move(benchmark, save_table):
+    data = {}
+
+    def run():
+        for kind in ("charlotte", "soda", "chrysalis"):
+            data[kind] = run_double_move(kind)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "E8: figure 1 — both ends of link 3 moved simultaneously",
+        ["kernel", "completed", "move-protocol msgs", "lock retries",
+         "hint redirects", "stale notices", "total msgs"],
+    )
+    for kind in ("charlotte", "soda", "chrysalis"):
+        d = data[kind]
+        t.add(kind, str(d["ok"]), d["move_msgs"], d["move_retries"],
+              d["redirects"], d["stale_notices"], d["wire_messages"])
+    save_table("e8_double_move", t)
+
+    # all three deliver figure 1's outcome (B talks to C over link 3)
+    assert all(data[k]["ok"] for k in data)
+    # Charlotte paid >= 3 kernel messages per committed move
+    char = data["charlotte"]
+    assert char["moves_committed"] >= 4  # 2 initial gives + 2 moves of l3
+    assert char["move_msgs"] >= 3 * char["moves_committed"]
+    # the other kernels ran no move agreement at all
+    assert data["soda"]["move_msgs"] == 0
+    assert data["chrysalis"]["move_msgs"] == 0

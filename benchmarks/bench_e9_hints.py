@@ -1,0 +1,92 @@
+"""E9 — §4.2's hint machinery under stress.
+
+    "If the fixed end of a moving link is not in active use, there is
+    no expense involved at all. ... The only real problems occur when
+    an end of a dormant link is moved. ... If each process keeps a
+    cache of links it has known about recently ... A may remember it
+    sent L to B, and can tell C where it went.  If A has forgotten, C
+    can use the discover command ... If the heuristics failed too
+    often, a fall-back mechanism would be needed. [the freeze search]
+    ... Without an actual implementation to measure, and without
+    reasonable assumptions about the reliability of SODA broadcasts,
+    it is impossible to predict the success rate of the heuristics."
+
+We are the actual implementation, and broadcast reliability is a
+parameter.  Part 1 (active link): every move redirects in-flight
+requests — zero extra repair cost, as §4.2 promises.  Part 2 (dormant
+link): the end moves several times unused, then the far end uses it
+once; the sweep degrades the repair ladder rung by rung and prices
+each rung, including the freeze search's "considerable disadvantage"
+in frozen process-milliseconds.
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.workloads.migration import (
+    run_dormant_migration,
+    run_migration_churn,
+)
+
+LADDER = [
+    ("cache", dict(cache_size=64, broadcast_loss=0.0)),
+    ("discover", dict(cache_size=0, broadcast_loss=0.0)),
+    ("discover-lossy", dict(cache_size=0, broadcast_loss=0.6)),
+    ("freeze", dict(cache_size=0, broadcast_loss=1.0)),
+]
+
+
+@pytest.mark.benchmark(group="e9")
+def test_e9_soda_hint_repair_ladder(benchmark, save_table):
+    data = {}
+
+    def run():
+        data["active"] = run_migration_churn(
+            "soda", members=3, hops=6, seed=5, linger_ms=4000.0
+        )
+        for label, kw in LADDER:
+            data[label] = run_dormant_migration("soda", seed=5, **kw)
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        "E9: SODA hint repair — active link, then a dormant link's "
+        "first use after 6 moves",
+        ["scenario", "rpc ok", "repair ms", "redirects", "probes",
+         "discovers", "discover repairs", "freeze searches",
+         "frozen proc-ms"],
+    )
+    act = data["active"]
+    t.add("active link (per-RPC mean)", act["rpcs_served"],
+          act["mean_rpc_ms"], act["redirects_followed"], 0,
+          act["discovers"], act["discover_repairs"],
+          act["freeze_searches"], act["frozen_ms"])
+    for label, _ in LADDER:
+        d = data[label]
+        t.add(f"dormant / {label}", 1 if d["served_by"] is not None else 0,
+              d["repair_latency_ms"], d["redirects_served"],
+              d["hint_probes"], d["discovers"], d["discover_repairs"],
+              d["freeze_searches"], d["frozen_ms"])
+    save_table("e9_hints", t)
+
+    # the active link never needs the heavy machinery: redirects only
+    assert act["rpcs_served"] == 6
+    assert act["discovers"] == 0 and act["freeze_searches"] == 0
+    assert act["redirects_followed"] >= 6
+    # the dormant ladder: every rung still finds the link...
+    for label, _ in LADDER:
+        assert data[label]["served_by"] is not None, label
+    # ...at strictly escalating cost
+    assert data["cache"]["freeze_searches"] == 0
+    assert data["cache"]["discovers"] == 0
+    assert data["discover"]["discover_repairs"] >= 1
+    assert data["discover"]["freeze_searches"] == 0
+    assert data["freeze"]["freeze_searches"] >= 1
+    assert data["freeze"]["frozen_ms"] > 0
+    assert (
+        data["cache"]["repair_latency_ms"]
+        < data["discover"]["repair_latency_ms"]
+        <= data["discover-lossy"]["repair_latency_ms"]
+        < data["freeze"]["repair_latency_ms"]
+    )

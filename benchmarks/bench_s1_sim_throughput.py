@@ -1,0 +1,66 @@
+"""S1 — simulator throughput (infrastructure, not a paper table).
+
+Wall-clock benchmarks of the substrate itself, so performance
+regressions in the engine or runtimes are visible in CI.  These are the
+only benches where pytest-benchmark's timing is the measurement rather
+than a driver; everything else reports *simulated* time.
+"""
+
+import pytest
+
+from repro.core.api import BYTES, Operation, Proc, make_cluster
+from repro.sim.engine import Engine
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+
+
+@pytest.mark.benchmark(group="s1")
+def test_s1_engine_event_throughput(benchmark):
+    def run():
+        eng = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                eng.schedule(0.5, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.benchmark(group="s1")
+@pytest.mark.parametrize("kind", ("charlotte", "soda", "chrysalis"))
+def test_s1_rpc_simulation_throughput(benchmark, kind):
+    """Wall time to simulate a 50-operation RPC conversation."""
+    N = 50
+
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            for _ in range(N):
+                inc = yield from ctx.wait_request()
+                yield from ctx.reply(inc, (inc.args[0],))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for _ in range(N):
+                yield from ctx.connect(end, ECHO, (b"x" * 64,))
+
+    def run():
+        cluster = make_cluster(kind)
+        s = cluster.spawn(Server(), "server")
+        c = cluster.spawn(Client(), "client")
+        cluster.create_link(s, c)
+        cluster.run_until_quiet(max_ms=1e7)
+        assert cluster.all_finished
+        return cluster.metrics.total("wire.messages.")
+
+    assert benchmark(run) == 2 * N

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one of the paper's tables/figures (see
+DESIGN.md §3).  Benches print a paper-vs-measured table and save it
+under ``benchmarks/out/`` so EXPERIMENTS.md can reference exact runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture
+def save_table():
+    """Print a rendered table and persist it for EXPERIMENTS.md."""
+
+    def _save(name: str, table) -> None:
+        text = table.render() if hasattr(table, "render") else str(table)
+        print()
+        print(text)
+        os.makedirs(OUT_DIR, exist_ok=True)
+        with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _save

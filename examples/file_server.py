@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""A long-lived file server and independently-written client apps.
+
+This is the situation LYNX was designed for (§2): "interaction not
+only between the pieces of a multi-process application, but also
+between separate applications and between user programs and long-lived
+system servers."  The server here outlives its clients, hands out
+per-file *capability links* (link ends enclosed in replies — moving
+them to the client), and keeps serving as applications come and go.
+
+Run:
+    python examples/file_server.py [kernel]
+"""
+
+import sys
+
+from repro.core.api import (
+    BYTES,
+    INT,
+    LINK,
+    LinkDestroyed,
+    Operation,
+    Proc,
+    STR,
+    make_cluster,
+)
+
+# directory-level operations, served on the server's public link
+OPEN = Operation("open", request=(STR,), reply=(LINK,))
+SHUTDOWN = Operation("shutdown", request=(), reply=())
+# per-file operations, served on the capability link OPEN returns
+READ = Operation("read", request=(INT, INT), reply=(BYTES,))
+WRITE = Operation("write", request=(INT, BYTES), reply=(INT,))
+
+
+class FileServer(Proc):
+    """Owns a toy in-memory filesystem; every OPEN mints a fresh link
+    whose far end goes to the client — a transferable capability."""
+
+    def __init__(self) -> None:
+        self.files = {}
+        self.opens = 0
+
+    def file_worker(self, ctx, handle_end, name):
+        """One coroutine per open file (the §2 coroutine structure)."""
+        data = self.files.setdefault(name, bytearray())
+        yield from ctx.open(handle_end)
+        while True:
+            try:
+                inc = yield from ctx.wait_request([handle_end])
+            except LinkDestroyed:
+                return  # client closed (or died): capability revoked
+            if inc.op.name == "read":
+                off, length = inc.args
+                yield from ctx.reply(inc, (bytes(data[off:off + length]),))
+            else:
+                off, chunk = inc.args
+                data[off:off + len(chunk)] = chunk
+                yield from ctx.reply(inc, (len(chunk),))
+
+    def main(self, ctx):
+        publics = ctx.initial_links  # one public link per client app
+        yield from ctx.register(OPEN, SHUTDOWN, READ, WRITE)
+        for public in publics:
+            yield from ctx.open(public)
+        while True:
+            inc = yield from ctx.wait_request(publics)
+            if inc.op.name == "shutdown":
+                yield from ctx.reply(inc, ())
+                return
+            (name,) = inc.args
+            mine, theirs = yield from ctx.new_link()
+            yield from ctx.fork(
+                self.file_worker(ctx, mine, name), f"file:{name}"
+            )
+            self.opens += 1
+            yield from ctx.reply(inc, (theirs,))
+
+
+class WriterApp(Proc):
+    """First application: writes a file, then exits (its capability
+    link is destroyed by its termination — §2.2)."""
+
+    def __init__(self, name: str, content: bytes) -> None:
+        self.name = name
+        self.content = content
+
+    def main(self, ctx):
+        (server,) = ctx.initial_links
+        (cap,) = yield from ctx.connect(server, OPEN, (self.name,))
+        (n,) = yield from ctx.connect(cap, WRITE, (0, self.content))
+        assert n == len(self.content)
+
+
+class ReaderApp(Proc):
+    """Second application, loaded at a disparate time: reads the file
+    back and shuts the server down."""
+
+    def __init__(self, name: str, wait_ms: float) -> None:
+        self.name = name
+        self.wait_ms = wait_ms
+        self.got = None
+
+    def main(self, ctx):
+        (server,) = ctx.initial_links
+        yield from ctx.delay(self.wait_ms)  # "compiled and loaded at
+        #                                      disparate times" (§2)
+        (cap,) = yield from ctx.connect(server, OPEN, (self.name,))
+        (data,) = yield from ctx.connect(cap, READ, (0, 1 << 16))
+        self.got = data
+        yield from ctx.connect(server, SHUTDOWN, ())
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "chrysalis"
+    cluster = make_cluster(kind)
+
+    server = FileServer()
+    writer = WriterApp("motd", b"lessons: hints, screening, simplicity")
+    reader = ReaderApp("motd", wait_ms=500.0)
+
+    s = cluster.spawn(server, "file-server")
+    w = cluster.spawn(writer, "writer-app")
+    r = cluster.spawn(reader, "reader-app")
+    cluster.create_link(s, w)
+    cluster.create_link(s, r)
+
+    cluster.run_until_quiet()
+    assert cluster.all_finished, cluster.unfinished()
+    assert reader.got == writer.content
+
+    print(f"kernel: {kind}")
+    print(f"  server handled {server.opens} opens across two applications")
+    print(f"  reader got back: {reader.got!r}")
+    print(f"  simulated time: {cluster.engine.now:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

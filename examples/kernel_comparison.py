@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper in one screen: the same LYNX program on all three kernels.
+
+Runs the simple-remote-operation workload (§3.3) and the adversarial
+reverse-request scenario (§3.2.1) on Charlotte, SODA and Chrysalis and
+prints the comparative table the paper's sections 3–5 add up to:
+latency, protocol overhead messages, and the per-kernel machinery each
+runtime had to bring.
+
+Run:
+    python examples/kernel_comparison.py
+"""
+
+from repro.analysis.complexity import runtime_package_stats
+from repro.analysis.report import Table
+from repro.workloads.adversarial import run_reverse_scenario
+from repro.workloads.rpc import run_rpc_workload
+
+KERNELS = ("charlotte", "soda", "chrysalis")
+PAPER_LATENCY = {"charlotte": 57.0, "soda": None, "chrysalis": 2.4}
+
+
+def main() -> None:
+    t = Table(
+        "One LYNX program, three kernels (paper §§3-5)",
+        ["kernel", "rpc 0B ms (paper)", "rpc 0B ms", "rpc 1000B ms",
+         "bounce msgs*", "runtime loc", "runtime branches"],
+    )
+    for kind in KERNELS:
+        r0 = run_rpc_workload(kind, 0, count=5)
+        r1k = run_rpc_workload(kind, 1000, count=5)
+        adv = run_reverse_scenario(kind, rounds=3)
+        overhead = adv["messages"] - adv["useful_messages"]
+        stats = runtime_package_stats(kind)
+        t.add(
+            kind,
+            PAPER_LATENCY[kind],
+            r0.mean_ms,
+            r1k.mean_ms,
+            overhead,
+            stats.kernel_specific_loc,
+            stats.kernel_specific_branches,
+        )
+    print(t.render())
+    print("\n* extra messages in 3 rounds of the §3.2.1 reverse-request "
+          "scenario\n")
+    print("The paper's three lessons, visible above:")
+    print(" 1. hints beat absolutes  — Charlotte's moves need kernel "
+          "agreement messages; the others repair hints lazily")
+    print(" 2. screening belongs up  — only Charlotte bounces unwanted "
+          "messages (retry/forbid/allow)")
+    print(" 3. simple primitives win — the high-level kernel has the "
+          "largest, branchiest runtime package AND the slowest RPC")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""A *different* language on the same kernels: Linda's bag of tasks.
+
+The paper's conclusion is about kernels, not about LYNX: a primitive
+kernel interface should host "a wide variety of other distributed
+languages, with entirely different needs" (§6).  `repro.linda` is that
+other language — an associative tuple space — built directly on each
+kernel's raw interface, no LYNX anywhere.
+
+This runs Linda's canonical program: a master fills a bag with tasks,
+workers `take` jobs and `out` results, the master collects.  Note what
+a blocking `take` costs on each kernel (run all three and compare the
+wire counts).
+
+Run:
+    python examples/linda_bag_of_tasks.py [kernel]
+"""
+
+import sys
+
+from repro.linda import ANY, make_linda
+
+N_TASKS = 8
+N_WORKERS = 3
+
+
+def master(system, client, results):
+    for i in range(N_TASKS):
+        yield from client.out(("task", i))
+    for _ in range(N_TASKS):
+        tup = yield from client.take(("result", ANY, ANY))
+        results.append(tup)
+    # poison pills send the workers home
+    for _ in range(N_WORKERS):
+        yield from client.out(("task", -1))
+    yield from client.close()
+
+
+def worker(system, client, ident, counts):
+    while True:
+        tag, n = yield from client.take(("task", ANY))
+        if n < 0:
+            break
+        yield from client.out(("result", n, n * n))
+        counts[ident] = counts.get(ident, 0) + 1
+    yield from client.close()
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "soda"
+    system = make_linda(kind)
+    results, counts = [], {}
+    system.spawn(master(system, system.client("master"), results), "master")
+    for i in range(N_WORKERS):
+        system.spawn(
+            worker(system, system.client(f"w{i}"), i, counts), f"w{i}"
+        )
+    system.run_until_quiet()
+    assert system.all_finished
+    system.check()
+
+    print(f"kernel: {kind}")
+    for tag, n, sq in sorted(results, key=lambda t: t[1]):
+        print(f"  {n}^2 = {sq}")
+    share = ", ".join(f"w{i}:{c}" for i, c in sorted(counts.items()))
+    print(f"  work share: {share}")
+    print(f"  simulated time: {system.engine.now:.2f} ms")
+    blocked = system.metrics.get("linda.blocked_waiters")
+    print(f"  takes that had to block: {blocked:.0f} "
+          f"(cost on this kernel: see benchmarks/out/a5_second_language.txt)")
+
+
+if __name__ == "__main__":
+    main()

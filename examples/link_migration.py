@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Worker migration by moving link ends — the paper's figure 1, live.
+
+A coordinator farms work out over a link whose server end *migrates*
+between worker processes mid-stream (enclosed in messages, §2.1).  The
+coordinator is oblivious: its end never moves, and requests keep
+flowing to whoever currently holds the other end — "it is best to
+think of a link as a flexible hose."
+
+Run on SODA to watch the hint machinery work (stale hints repaired by
+redirects); on Charlotte to see the kernel's three-party move
+agreements; on Chrysalis to see none of that (shared-memory flags).
+
+Run:
+    python examples/link_migration.py [kernel]
+"""
+
+import sys
+
+from repro.core.api import INT, LINK, Operation, Proc, make_cluster
+
+SQUARE = Operation("square", request=(INT,), reply=(INT, INT))
+TAKE = Operation("take", request=(LINK, INT), reply=())
+
+
+class Coordinator(Proc):
+    """Sends work down the (stationary end of the) work link."""
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+        self.results = []
+
+    def main(self, ctx):
+        (work,) = ctx.initial_links
+        for x in range(self.jobs):
+            value, worker = yield from ctx.connect(work, SQUARE, (x,))
+            self.results.append((x, value, worker))
+
+
+class Worker(Proc):
+    """Serves a share of jobs, then migrates the link end onward."""
+
+    def __init__(self, index: int, quota: int) -> None:
+        self.index = index
+        self.quota = quota
+        self.served = 0
+
+    def main(self, ctx):
+        inbound, outbound = ctx.initial_links
+        yield from ctx.register(TAKE, SQUARE)
+        yield from ctx.open(inbound)
+        inc = yield from ctx.wait_request([inbound])
+        work_end, remaining = inc.args
+        yield from ctx.reply(inc, ())
+        yield from ctx.open(work_end)
+        quota = min(self.quota, remaining)
+        for _ in range(quota):
+            job = yield from ctx.wait_request([work_end])
+            (x,) = job.args
+            yield from ctx.reply(job, (x * x, self.index))
+            self.served += 1
+        yield from ctx.close(work_end)
+        remaining -= quota
+        if remaining > 0:
+            yield from ctx.connect(outbound, TAKE, (work_end, remaining))
+        else:
+            yield from ctx.destroy(work_end)
+        # linger so late hint-repair traffic still finds us, then exit
+        yield from ctx.delay(2000.0)
+
+
+class Bootstrap(Proc):
+    """Owns the moving end at t=0; injects it into the worker chain."""
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+
+    def main(self, ctx):
+        work_end, to_first_worker = ctx.initial_links
+        yield from ctx.register(TAKE)
+        yield from ctx.connect(to_first_worker, TAKE, (work_end, self.jobs))
+        yield from ctx.delay(2000.0)
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "soda"
+    jobs, workers, quota = 9, 3, 3
+
+    cluster = make_cluster(kind)
+    coord = Coordinator(jobs)
+    boot = Bootstrap(jobs)
+    worker_progs = [Worker(i, quota) for i in range(workers)]
+
+    c = cluster.spawn(coord, "coordinator")
+    b = cluster.spawn(boot, "bootstrap")
+    handles = [cluster.spawn(w, f"worker{i}") for i, w in enumerate(worker_progs)]
+
+    cluster.create_link(b, c)            # the work link
+    cluster.create_link(b, handles[0])   # bootstrap -> worker0
+    for i in range(workers - 1):         # worker chain
+        cluster.create_link(handles[i], handles[i + 1])
+    # the last worker's "outbound" is never used; give it a stub link
+    sink = cluster.spawn(_Sink(), "sink")
+    cluster.create_link(handles[-1], sink)
+
+    cluster.run_until_quiet()
+    assert cluster.all_finished, cluster.unfinished()
+
+    print(f"kernel: {kind}")
+    for x, value, worker in coord.results:
+        print(f"  {x}^2 = {value:2d}   served by worker{worker}")
+    m = cluster.metrics
+    interesting = {
+        "charlotte.move_msgs": "kernel move-agreement messages",
+        "soda.redirects_followed": "stale-hint redirects followed",
+        "soda.move_redirect_accepts": "move-time redirect accepts",
+        "chrysalis.ops.map": "memory-object maps",
+    }
+    for key, label in interesting.items():
+        v = m.get(key)
+        if v:
+            print(f"  {label}: {v:.0f}")
+    print(f"  simulated time: {cluster.engine.now:.1f} ms")
+
+
+class _Sink(Proc):
+    """Terminates the worker chain (never receives anything)."""
+
+    def main(self, ctx):
+        yield from ctx.delay(1.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""A multi-stage processing pipeline built from entry-style servers.
+
+Demonstrates `repro.core.entries` — the LYNX server idiom: each stage
+declares typed entries and its dispatch loop forks a coroutine per
+request, so slow items do not block the stage (§2's coroutines).  The
+source pushes items through tokenise → enrich → sink; every stage is an
+independent LYNX process, and the whole thing runs unchanged on any of
+the three kernels.
+
+Run:
+    python examples/pipeline.py [kernel]
+"""
+
+import sys
+
+from repro.core.api import BYTES, INT, Operation, Proc, STR, make_cluster
+from repro.core.entries import call, serve
+
+TOKENISE = Operation("tokenise", (STR,), (INT,))
+ENRICH = Operation("enrich", (STR, INT), (STR,))
+STORE = Operation("store", (STR,), ())
+
+SENTENCES = [
+    "hints can be better than absolutes",
+    "screening belongs in the application layer",
+    "simple primitives are best",
+]
+
+
+class Tokeniser(Proc):
+    """Stage 1: counts tokens; a plain-callable entry (auto-reply)."""
+
+    def main(self, ctx):
+        yield from serve(
+            ctx,
+            ctx.initial_links,
+            {TOKENISE: lambda text: (len(text.split()),)},
+            count=len(SENTENCES),
+        )
+
+
+class Enricher(Proc):
+    """Stage 2: a coroutine entry that does slow per-item work; forked
+    per request so items overlap."""
+
+    def enrich_entry(self, ctx, inc):
+        text, tokens = inc.args
+        yield from ctx.delay(float(tokens))  # pretend heavy analysis
+        yield from ctx.reply(inc, (f"{text!r} [{tokens} tokens]",))
+
+    def main(self, ctx):
+        yield from serve(
+            ctx, ctx.initial_links, {ENRICH: self.enrich_entry},
+            count=len(SENTENCES),
+        )
+
+
+class Sink(Proc):
+    """Stage 3: collects the finished records."""
+
+    def __init__(self):
+        self.records = []
+
+    def main(self, ctx):
+        yield from serve(
+            ctx,
+            ctx.initial_links,
+            {STORE: lambda record: self.records.append(record)},
+            count=len(SENTENCES),
+        )
+
+
+class Source(Proc):
+    """Drives items through the stages."""
+
+    def __init__(self):
+        self.pushed = 0
+
+    def item(self, ctx, links, text):
+        to_tok, to_enrich, to_sink = links
+        tokens = yield from call(ctx, to_tok, TOKENISE, text)
+        record = yield from call(ctx, to_enrich, ENRICH, text, tokens)
+        yield from call(ctx, to_sink, STORE, record)
+        self.pushed += 1
+
+    def main(self, ctx):
+        links = ctx.initial_links
+        for text in SENTENCES:
+            yield from ctx.fork(self.item(ctx, links, text), "item")
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "chrysalis"
+    cluster = make_cluster(kind)
+    source = Source()
+    sink = Sink()
+    src = cluster.spawn(source, "source")
+    tok = cluster.spawn(Tokeniser(), "tokeniser")
+    enr = cluster.spawn(Enricher(), "enricher")
+    snk = cluster.spawn(sink, "sink")
+    # the source's initial links, in order: tokeniser, enricher, sink
+    cluster.create_link(src, tok)
+    cluster.create_link(src, enr)
+    cluster.create_link(src, snk)
+
+    cluster.run_until_quiet()
+    assert cluster.all_finished, cluster.unfinished()
+    assert source.pushed == len(SENTENCES)
+
+    print(f"kernel: {kind}")
+    for rec in sink.records:
+        print(f"  stored: {rec}")
+    print(f"  simulated time: {cluster.engine.now:.2f} ms, "
+          f"wire messages: {cluster.metrics.total('wire.messages.'):.0f}")
+
+
+if __name__ == "__main__":
+    main()

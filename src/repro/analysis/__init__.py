@@ -1,0 +1,17 @@
+"""Measurement: cost models, code-complexity accounting, report tables."""
+
+from repro.analysis.costmodel import (
+    CostModel,
+    RuntimeCosts,
+    CharlotteCosts,
+    SodaCosts,
+    ChrysalisCosts,
+)
+
+__all__ = [
+    "CostModel",
+    "RuntimeCosts",
+    "CharlotteCosts",
+    "SodaCosts",
+    "ChrysalisCosts",
+]

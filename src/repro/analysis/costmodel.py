@@ -1,0 +1,231 @@
+"""Hardware/kernel cost models calibrated to the paper's measurements.
+
+This module is the reproduction's *substitution* for the 1986 testbeds
+(see DESIGN.md §4).  Each kernel charges simulated CPU and delivery
+time using the constants here; the constants are **fitted to the
+paper's end-to-end numbers**, and everything else — message counts,
+protocol overheads, crossovers, ratios — *emerges* from executing the
+protocols against them.
+
+Calibration targets
+-------------------
+Charlotte (§3.3):
+    raw kernel-call RPC: 55 ms (no data), 60 ms (1000 B each way)
+    LYNX RPC:            57 ms (no data), 65 ms (1000 B each way)
+SODA (§4.3 + footnote 2):
+    ~3x faster than Charlotte for small messages; break-even between
+    1 KB and 2 KB (SODA's 1 Mbit/s CSMA bus vs Crystal's 10 Mbit ring)
+Chrysalis (§5.3):
+    LYNX RPC: 2.4 ms (no data), 4.6 ms (1000 B each way); planned
+    tuning "likely to improve both figures by 30 to 40%"
+
+Derivations (kept here so the numbers are auditable):
+
+* Charlotte: round trip = 2 kernel messages.  With syscall cost c and
+  per-message kernel fixed cost F, the raw critical path is
+  ``(2c + F + w) + (2c + F + w) + c`` where w is ring transit
+  (access 0.05 ms); solving 2F + 5c + 2w = 55 with c = 0.5 gives
+  F ≈ 26.2.  Slope: 2*(ring 0.0008 + kernel k_b) = 0.005 ms/B
+  -> k_b = 0.0017 ms/B.
+* SODA: per message ≈ request syscall + bus + interrupt + accept
+  syscall + transfer + completion interrupt ≈ 1.8 + T; two messages
+  at ~57/3 total give T ≈ 6.35 (fitted).  Slope: bus 0.008 + transfer
+  0.0067 = 0.0147 ms/B per message, which puts the break-even with
+  Charlotte near 1.55 KB — inside the paper's 1–2 KB window.
+* Chrysalis: per direction = gather + flag + enqueue(+post) +
+  dequeue + scatter + dispatch ≈ 1.2 ms (constants fitted against the
+  executed protocol); copies through the switch at 0.61 us/B each way
+  give the 2.2 ms slope for 1000 B both directions.
+
+The exact end-to-end figures are asserted (with tolerance) by
+``tests/analysis/test_calibration.py`` and printed alongside the paper
+values by benches E1/E4/E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Costs of the language run-time package itself: the "efforts on
+    the part of the run-time package to gather and scatter parameters,
+    block and unblock coroutines, establish default exception handlers,
+    enforce flow control, perform type checking, update tables for
+    enclosed links" (§3.3)."""
+
+    #: fixed cost to gather (marshal) one message
+    gather_fixed_ms: float
+    #: fixed cost to scatter (unmarshal) one message
+    scatter_fixed_ms: float
+    #: per payload byte, each of gather and scatter
+    per_byte_ms: float
+    #: per block-point dispatch (choose queue, switch coroutine)
+    dispatch_ms: float
+    #: per enclosed link end (validity check + table update, §3.3)
+    per_enclosure_ms: float
+
+
+@dataclass(frozen=True)
+class CharlotteCosts:
+    """Charlotte kernel (§3.1) on Crystal hardware."""
+
+    #: CPU cost of MakeLink/Destroy/Send/Receive/Cancel (bounded calls)
+    syscall_ms: float = 0.5
+    #: CPU cost of a Wait call returning a completion
+    wait_syscall_ms: float = 0.5
+    #: kernel processing per message (matching, buffering, protection
+    #: checks — "Charlotte wastes time by checking these things itself")
+    kernel_msg_fixed_ms: float = 26.2
+    #: kernel copy cost per byte (both nodes combined)
+    kernel_per_byte_ms: float = 0.0017
+    #: each inter-kernel message of the 3-party link-move agreement
+    move_protocol_msg_ms: float = 1.5
+    makelink_ms: float = 1.0
+    destroy_ms: float = 1.0
+    #: token ring parameters (10 Mbit/s Proteon, §3.1)
+    ring_rate_mbit: float = 10.0
+    ring_access_ms: float = 0.05
+    runtime: RuntimeCosts = field(
+        default_factory=lambda: RuntimeCosts(
+            gather_fixed_ms=0.5,
+            scatter_fixed_ms=0.35,
+            per_byte_ms=0.00075,
+            dispatch_ms=0.15,
+            per_enclosure_ms=0.2,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SodaCosts:
+    """SODA kernel (§4.1) on PDP-11/23s with a 1 Mbit/s CSMA bus."""
+
+    #: CPU cost of posting a request (put/get/signal/exchange)
+    request_syscall_ms: float = 0.3
+    #: CPU cost of an accept call
+    accept_syscall_ms: float = 0.3
+    #: kernel-processor work to complete an accepted transfer
+    transfer_fixed_ms: float = 6.35
+    #: per byte moved in a completed transfer (kernel copies; the bus
+    #: serialisation is charged separately by the CSMABus model)
+    transfer_per_byte_ms: float = 0.0067
+    #: delivering a software interrupt to the client processor
+    interrupt_ms: float = 0.2
+    advertise_ms: float = 0.2
+    new_name_ms: float = 0.1
+    #: kernel retry period for requests whose target is not accepting
+    retry_period_ms: float = 20.0
+    #: how long a requester waits before concluding its hint is bad
+    hint_timeout_ms: float = 120.0
+    #: per discover broadcast attempt
+    discover_cost_ms: float = 1.0
+    #: wait before concluding a discover got no answer
+    discover_timeout_ms: float = 50.0
+    #: broadcast attempts before falling back to freeze (§4.2)
+    discover_attempts: int = 3
+    #: outstanding-request limit per ordered process pair (§4.2.1:
+    #: "a limit of half a dozen or so is unlikely to be exceeded")
+    pair_request_limit: int = 6
+    #: CSMA bus parameters (1 Mbit/s, §4.3)
+    bus_rate_mbit: float = 1.0
+    bus_access_ms: float = 0.2
+    bus_backoff_ms: float = 0.4
+    runtime: RuntimeCosts = field(
+        default_factory=lambda: RuntimeCosts(
+            gather_fixed_ms=0.5,
+            scatter_fixed_ms=0.35,
+            per_byte_ms=0.00075,
+            dispatch_ms=0.15,
+            per_enclosure_ms=0.2,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class ChrysalisCosts:
+    """Chrysalis primitives (§5.1), many microcoded, on the Butterfly."""
+
+    dq_enqueue_ms: float = 0.214
+    dq_dequeue_ms: float = 0.286
+    event_post_ms: float = 0.143
+    event_wait_ms: float = 0.071
+    #: atomic 16-bit flag op: "extremely inexpensive" (§5.2)
+    flag_op_ms: float = 0.01
+    #: non-atomic write of a >16-bit quantity (dual queue name, §5.2)
+    wide_write_ms: float = 0.02
+    make_object_ms: float = 0.5
+    map_ms: float = 0.3
+    unmap_ms: float = 0.2
+    make_event_ms: float = 0.2
+    make_queue_ms: float = 0.3
+    #: Butterfly switch (shared-memory interconnect)
+    switch_per_byte_us: float = 0.61
+    switch_hop_us: float = 4.0
+    #: "code tuning and protocol optimizations now under development are
+    #: likely to improve both figures by 30 to 40%" — the tuned profile
+    #: scales fixed CPU costs by this factor (E5 ablation)
+    tuned_factor: float = 0.65
+    runtime: RuntimeCosts = field(
+        default_factory=lambda: RuntimeCosts(
+            gather_fixed_ms=0.4,
+            scatter_fixed_ms=0.343,
+            per_byte_ms=0.0,  # copies are charged by the switch model
+            dispatch_ms=0.257,
+            per_enclosure_ms=0.08,
+        )
+    )
+
+    def tuned(self) -> "ChrysalisCosts":
+        """The §5.3 "30 to 40%" tuned variant: fixed CPU costs scaled."""
+        f = self.tuned_factor
+        rt = self.runtime
+        return replace(
+            self,
+            dq_enqueue_ms=self.dq_enqueue_ms * f,
+            dq_dequeue_ms=self.dq_dequeue_ms * f,
+            event_post_ms=self.event_post_ms * f,
+            event_wait_ms=self.event_wait_ms * f,
+            runtime=RuntimeCosts(
+                gather_fixed_ms=rt.gather_fixed_ms * f,
+                scatter_fixed_ms=rt.scatter_fixed_ms * f,
+                per_byte_ms=rt.per_byte_ms,
+                dispatch_ms=rt.dispatch_ms * f,
+                per_enclosure_ms=rt.per_enclosure_ms * f,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Bundle of the three calibrated profiles; clusters pick their own."""
+
+    charlotte: CharlotteCosts = field(default_factory=CharlotteCosts)
+    soda: SodaCosts = field(default_factory=SodaCosts)
+    chrysalis: ChrysalisCosts = field(default_factory=ChrysalisCosts)
+
+    @staticmethod
+    def default() -> "CostModel":
+        return CostModel()
+
+
+#: Paper-reported figures, for calibration tests and bench tables.
+PAPER = {
+    "charlotte.raw.rpc0": 55.0,
+    "charlotte.raw.rpc1000": 60.0,
+    "charlotte.lynx.rpc0": 57.0,
+    "charlotte.lynx.rpc1000": 65.0,
+    "chrysalis.lynx.rpc0": 2.4,
+    "chrysalis.lynx.rpc1000": 4.6,
+    "soda.small_msg_speedup_vs_charlotte": 3.0,
+    "soda.breakeven_bytes.low": 1024.0,
+    "soda.breakeven_bytes.high": 2048.0,
+    "charlotte.runtime.loc": 4200.0,  # 4000 C + 200 asm
+    "charlotte.runtime.comm_share": 0.45,
+    "chrysalis.runtime.loc": 3800.0,  # 3600 C + 200 asm
+    "reply_ack_traffic_increase": 0.5,
+    "chrysalis.tuning_improvement.low": 0.30,
+    "chrysalis.tuning_improvement.high": 0.40,
+}

@@ -1,0 +1,89 @@
+"""ASCII line plots for benchmark output.
+
+The paper's footnote-2 comparison is really a figure (two latency
+curves crossing); `ascii_plot` renders such series in plain text so the
+benches' saved artifacts show the *shape* at a glance, terminal-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: glyphs assigned to series, in order
+MARKS = "ox+*#@"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one axis grid.
+
+    Points are nearest-cell plotted; collisions show the later series'
+    mark.  Returns a multi-line string with axes, tick labels and a
+    legend.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        cx = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return cx, height - 1 - cy
+
+    for (name, pts), mark in zip(series.items(), MARKS):
+        # connect consecutive points with linear interpolation so the
+        # curve shape reads even with few samples
+        pts = sorted(pts)
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(
+                abs(cell(x1, y1)[0] - cell(x0, y0)[0]),
+                abs(cell(x1, y1)[1] - cell(x0, y0)[1]),
+                1,
+            )
+            for s in range(steps + 1):
+                f = s / steps
+                cx, cy = cell(x0 + (x1 - x0) * f, y0 + (y1 - y0) * f)
+                grid[cy][cx] = mark
+        for x, y in pts:  # points overwrite interpolation
+            cx, cy = cell(x, y)
+            grid[cy][cx] = mark
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    y_hi_s, y_lo_s = f"{y_hi:.4g}", f"{y_lo:.4g}"
+    margin = max(len(y_hi_s), len(y_lo_s)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_s
+        elif i == height - 1:
+            label = y_lo_s
+        else:
+            label = ""
+        lines.append(label.rjust(margin) + " |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    x_lo_s, x_hi_s = f"{x_lo:.4g}", f"{x_hi:.4g}"
+    axis = x_lo_s + x_hi_s.rjust(width - len(x_lo_s))
+    lines.append(" " * (margin + 2) + axis)
+    if x_label:
+        lines.append(" " * (margin + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{mark} {name}" for (name, _), mark in zip(series.items(), MARKS)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)

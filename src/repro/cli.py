@@ -1,0 +1,253 @@
+"""Command-line interface: run the paper's workloads without pytest.
+
+    python -m repro compare                 # the three-kernel summary
+    python -m repro rpc --kernel soda --payload 1024 --count 10
+    python -m repro sweep                   # the E4 crossover sweep
+    python -m repro figure2                 # live figure-2 chart
+    python -m repro migrate --kernel soda --hops 8 --loss 0.5
+    python -m repro sizes                   # the E2 code-size table
+
+Intended for exploration; the authoritative experiment harness (with
+assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.complexity import (
+    charlotte_special_case_stats,
+    runtime_package_stats,
+)
+from repro.analysis.report import Table
+from repro.core.api import KERNEL_KINDS
+
+
+def _cmd_rpc(args) -> int:
+    from repro.workloads.rpc import run_rpc_workload
+
+    r = run_rpc_workload(
+        args.kernel, payload_bytes=args.payload, count=args.count,
+        seed=args.seed,
+    )
+    t = Table(
+        f"simple remote operation on {args.kernel}",
+        ["payload B each way", "ops", "mean ms", "min ms", "max ms",
+         "wire msgs"],
+    )
+    t.add(args.payload, len(r.rtts), r.mean_ms, min(r.rtts), max(r.rtts),
+          r.messages)
+    t.show()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.workloads.rpc import run_rpc_workload
+
+    t = Table(
+        "one LYNX program, three kernels",
+        ["kernel", "rpc 0B ms", "rpc 1000B ms", "runtime loc",
+         "runtime branches"],
+    )
+    for kind in KERNEL_KINDS:
+        r0 = run_rpc_workload(kind, 0, count=args.count, seed=args.seed)
+        r1 = run_rpc_workload(kind, 1000, count=args.count, seed=args.seed)
+        stats = runtime_package_stats(kind)
+        t.add(kind, r0.mean_ms, r1.mean_ms, stats.kernel_specific_loc,
+              stats.kernel_specific_branches)
+    t.show()
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.workloads.rpc import run_rpc_workload
+
+    t = Table(
+        "Charlotte vs SODA latency sweep (§4.3 fn. 2)",
+        ["payload B each way", "charlotte ms", "soda ms", "winner"],
+    )
+    for nbytes in (0, 256, 512, 1024, 1536, 2048, 3072, 4096):
+        c = run_rpc_workload("charlotte", nbytes, count=3, seed=args.seed)
+        s = run_rpc_workload("soda", nbytes, count=3, seed=args.seed)
+        t.add(nbytes, c.mean_ms, s.mean_ms,
+              "soda" if s.mean_ms < c.mean_ms else "charlotte")
+    t.show()
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.core.api import LINK, Operation, Proc, make_cluster
+
+    n = args.enclosures
+    GIVE = Operation(f"give{n}", tuple([LINK] * n), ())
+
+    class Giver(Proc):
+        def main(self, ctx):
+            (to_taker,) = ctx.initial_links
+            ends = []
+            for _ in range(n):
+                mine, theirs = yield from ctx.new_link()
+                ends.append(theirs)
+            yield from ctx.connect(to_taker, GIVE, tuple(ends))
+
+    class Taker(Proc):
+        def main(self, ctx):
+            (from_giver,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(from_giver)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, ())
+
+    cluster = make_cluster(args.kernel, seed=args.seed)
+    a = cluster.spawn(Giver(), "connector")
+    b = cluster.spawn(Taker(), "accepter")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    events = {"packet"} if args.kernel == "charlotte" else {"send"}
+    print(cluster.trace.sequence_chart(
+        ["connector", "accepter"], events=events, link=1, width=34
+    ))
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    from repro.workloads.migration import run_dormant_migration
+
+    d = run_dormant_migration(
+        args.kernel, members=args.members, hops=args.hops, seed=args.seed,
+        **({"broadcast_loss": args.loss, "cache_size": args.cache}
+           if args.kernel == "soda" else {}),
+    )
+    t = Table(
+        f"dormant-link migration on {args.kernel} "
+        f"({args.hops} hops, then one use)",
+        ["quantity", "value"],
+    )
+    for key in ("served_by", "repair_latency_ms", "redirects_served",
+                "discovers", "discover_repairs", "freeze_searches",
+                "frozen_ms", "move_msgs", "wire_messages"):
+        t.add(key, d[key])
+    t.show()
+    return 0
+
+
+def _cmd_linda(args) -> int:
+    from repro.linda import ANY, make_linda
+
+    system = make_linda(args.kernel, seed=args.seed)
+    results = []
+
+    def master(c):
+        for i in range(args.tasks):
+            yield from c.out(("task", i))
+        for _ in range(args.tasks):
+            results.append((yield from c.take(("result", ANY, ANY))))
+        for _ in range(args.workers):
+            yield from c.out(("task", -1))
+        yield from c.close()
+
+    def worker(c):
+        while True:
+            _, n = yield from c.take(("task", ANY))
+            if n < 0:
+                break
+            yield from c.out(("result", n, n * n))
+        yield from c.close()
+
+    system.spawn(master(system.client("master")), "master")
+    for i in range(args.workers):
+        system.spawn(worker(system.client(f"w{i}")), f"w{i}")
+    system.run_until_quiet()
+    t = Table(
+        f"mini-Linda bag of tasks on {args.kernel} "
+        f"({args.tasks} tasks, {args.workers} workers)",
+        ["quantity", "value"],
+    )
+    t.add("results collected", len(results))
+    t.add("takes that blocked",
+          system.metrics.get("linda.blocked_waiters"))
+    t.add("simulated ms", system.engine.now)
+    t.show()
+    return 0
+
+
+def _cmd_sizes(args) -> int:
+    t = Table(
+        "LYNX runtime package sizes (kernel-specific half)",
+        ["kernel", "logical loc", "branches"],
+    )
+    for kind in KERNEL_KINDS:
+        stats = runtime_package_stats(kind)
+        t.add(kind, stats.kernel_specific_loc,
+              stats.kernel_specific_branches)
+    special = charlotte_special_case_stats()
+    t.add("charlotte special cases", special.logical_loc, special.branches)
+    t.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LYNX / Charlotte / SODA / Chrysalis reproduction "
+        "(Scott, ICPP 1986)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("rpc", help="run the simple-remote-operation workload")
+    p.add_argument("--kernel", choices=KERNEL_KINDS, default="chrysalis")
+    p.add_argument("--payload", type=int, default=0,
+                   help="bytes each way (paper used 0 and 1000)")
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_rpc)
+
+    p = sub.add_parser("compare", help="three-kernel summary table")
+    p.add_argument("--count", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("sweep", help="Charlotte-vs-SODA payload sweep (E4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("figure2", help="live message-sequence chart")
+    p.add_argument("--kernel", choices=KERNEL_KINDS, default="charlotte")
+    p.add_argument("--enclosures", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_figure2)
+
+    p = sub.add_parser("migrate", help="dormant-link migration + repair")
+    p.add_argument("--kernel", choices=KERNEL_KINDS, default="soda")
+    p.add_argument("--members", type=int, default=3)
+    p.add_argument("--hops", type=int, default=5)
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="SODA broadcast loss probability")
+    p.add_argument("--cache", type=int, default=64,
+                   help="SODA moved-link cache size")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_migrate)
+
+    p = sub.add_parser("linda", help="the second language: bag of tasks")
+    p.add_argument("--kernel", choices=KERNEL_KINDS, default="soda")
+    p.add_argument("--tasks", type=int, default=8)
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_linda)
+
+    p = sub.add_parser("sizes", help="runtime package complexity (E2)")
+    p.set_defaults(fn=_cmd_sizes)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

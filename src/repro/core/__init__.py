@@ -1,0 +1,69 @@
+"""Kernel-independent LYNX semantics.
+
+This package is the part of the reproduction that corresponds to the
+LYNX *language definition* (paper §2): typed remote operations on
+movable duplex links, coroutine threads executing in mutual exclusion
+inside each process, per-link request/reply queues drained at block
+points, and the exception model.
+
+It contains no kernel-specific code; the three run-time packages
+(`repro.charlotte.runtime`, `repro.soda.runtime`,
+`repro.chrysalis.runtime`) subclass `repro.core.runtime.LynxRuntimeBase`
+and implement its transport hooks against their kernels.  User programs
+written against `repro.core.api` run unmodified on all three — that is
+the paper's central experimental setup.
+"""
+
+from repro.core.exceptions import (
+    LynxError,
+    LinkDestroyed,
+    RemoteCrash,
+    TypeClash,
+    RequestAborted,
+    MoveRestricted,
+    LinkMoved,
+    ThreadAborted,
+    ProtocolViolation,
+)
+from repro.core.types import (
+    LynxType,
+    INT,
+    REAL,
+    BOOL,
+    STR,
+    BYTES,
+    LINK,
+    ArrayType,
+    RecordType,
+    Operation,
+)
+from repro.core.program import Proc, Incoming
+from repro.core.cluster import ClusterBase, ProcessHandle
+from repro.core.registry import LinkRegistry
+
+__all__ = [
+    "LynxError",
+    "LinkDestroyed",
+    "RemoteCrash",
+    "TypeClash",
+    "RequestAborted",
+    "MoveRestricted",
+    "LinkMoved",
+    "ThreadAborted",
+    "ProtocolViolation",
+    "LynxType",
+    "INT",
+    "REAL",
+    "BOOL",
+    "STR",
+    "BYTES",
+    "LINK",
+    "ArrayType",
+    "RecordType",
+    "Operation",
+    "Proc",
+    "Incoming",
+    "ClusterBase",
+    "ProcessHandle",
+    "LinkRegistry",
+]

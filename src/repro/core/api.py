@@ -1,0 +1,126 @@
+"""The public API of the reproduction.
+
+Most users need exactly this module::
+
+    from repro.core.api import (
+        Proc, Operation, INT, STR, BYTES, LINK, make_cluster,
+    )
+
+    PING = Operation("ping", request=(BYTES,), reply=(BYTES,))
+
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(PING)
+            yield from ctx.open(end)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, (inc.args[0],))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            (echo,) = yield from ctx.connect(end, PING, (b"hi",))
+
+    cluster = make_cluster("chrysalis")
+    s = cluster.spawn(Server())
+    c = cluster.spawn(Client())
+    cluster.create_link(s, c)
+    cluster.run_until_quiet()
+
+The ``kind`` argument of `make_cluster` selects the kernel substrate:
+``"charlotte"``, ``"soda"`` or ``"chrysalis"`` — the same program runs
+on any of them, which is the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.costmodel import CostModel
+from repro.core.cluster import ClusterBase, ProcessHandle
+from repro.core.context import LynxContext
+from repro.core.exceptions import (
+    LinkDestroyed,
+    LinkMoved,
+    LynxError,
+    MoveRestricted,
+    RemoteCrash,
+    RequestAborted,
+    ThreadAborted,
+    TypeClash,
+)
+from repro.core.links import LinkEnd
+from repro.core.program import Incoming, Proc
+from repro.core.types import (
+    BOOL,
+    BYTES,
+    INT,
+    LINK,
+    REAL,
+    STR,
+    ArrayType,
+    Operation,
+    RecordType,
+)
+from repro.sim.failure import CrashMode
+
+#: kernel substrates accepted by `make_cluster`
+KERNEL_KINDS = ("charlotte", "soda", "chrysalis")
+
+
+def make_cluster(
+    kind: str,
+    seed: int = 0,
+    costmodel: Optional[CostModel] = None,
+    **kwargs,
+) -> ClusterBase:
+    """Build a cluster of the requested kernel family.
+
+    Extra keyword arguments are forwarded to the cluster constructor
+    (e.g. ``broadcast_loss=`` for SODA, ``tuned=True`` for Chrysalis,
+    ``reply_acks=True`` for Charlotte's E7 ablation).
+    """
+    if kind == "charlotte":
+        from repro.charlotte.cluster import CharlotteCluster
+
+        return CharlotteCluster(seed=seed, costmodel=costmodel, **kwargs)
+    if kind == "soda":
+        from repro.soda.cluster import SodaCluster
+
+        return SodaCluster(seed=seed, costmodel=costmodel, **kwargs)
+    if kind == "chrysalis":
+        from repro.chrysalis.cluster import ChrysalisCluster
+
+        return ChrysalisCluster(seed=seed, costmodel=costmodel, **kwargs)
+    raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
+
+
+__all__ = [
+    "make_cluster",
+    "KERNEL_KINDS",
+    "CostModel",
+    "ClusterBase",
+    "ProcessHandle",
+    "LynxContext",
+    "Proc",
+    "Incoming",
+    "LinkEnd",
+    "Operation",
+    "INT",
+    "REAL",
+    "BOOL",
+    "STR",
+    "BYTES",
+    "LINK",
+    "ArrayType",
+    "RecordType",
+    "CrashMode",
+    "LynxError",
+    "LinkDestroyed",
+    "RemoteCrash",
+    "TypeClash",
+    "RequestAborted",
+    "MoveRestricted",
+    "LinkMoved",
+    "ThreadAborted",
+]

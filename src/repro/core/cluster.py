@@ -1,0 +1,195 @@
+"""Clusters: a kernel, its hardware, and the processes running on it.
+
+A `ClusterBase` subclass exists per kernel family
+(`repro.charlotte.cluster.CharlotteCluster`, etc.).  It owns the
+simulation engine, the interconnect model, the metrics, the logical
+link registry, and the process table, and it provides the experiment
+surface the tests and benches drive:
+
+* ``spawn(program)`` — create a process running a `Proc`;
+* ``create_link(p, q)`` — hand two processes the ends of a fresh link
+  (the role the paper's "long-lived system servers" play for
+  processes "designed in isolation");
+* ``run`` / ``run_until_quiet`` — advance simulated time;
+* ``crash_process`` — failure injection (see `repro.sim.failure`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.analysis.costmodel import CostModel
+from repro.core.program import Proc
+from repro.core.registry import LinkRegistry
+from repro.sim.engine import Engine
+from repro.sim.failure import CrashMode
+from repro.sim.futures import FutureState
+from repro.sim.metrics import MetricSet
+from repro.sim.rng import SimRandom
+from repro.sim.tasks import Task, TaskKilled
+from repro.sim.trace import TraceLog
+
+
+class ProcessHandle:
+    """A spawned process: program + runtime + driving task."""
+
+    def __init__(self, name: str, program: Proc, node: int) -> None:
+        self.name = name
+        self.program = program
+        self.node = node
+        self.runtime = None  # set by the cluster
+        self.task: Optional[Task] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.task is not None and self.task.finished
+
+    @property
+    def crashed(self) -> bool:
+        return (
+            self.finished
+            and self.task.done.state is FutureState.FAILED
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} node={self.node} {state}>"
+
+
+class ClusterBase:
+    """Common machinery for the three kernel clusters."""
+
+    KIND = "abstract"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        costmodel: Optional[CostModel] = None,
+        nodes: int = 16,
+    ) -> None:
+        self.engine = Engine()
+        self.metrics = MetricSet()
+        self.registry = LinkRegistry()
+        self.trace = TraceLog(self.engine)
+        self.rng = SimRandom(seed, f"cluster/{self.KIND}")
+        self.costmodel = costmodel if costmodel is not None else CostModel.default()
+        self.nodes = nodes
+        self.processes: Dict[str, ProcessHandle] = {}
+        self._auto_name = 0
+        self._next_node = 0
+        self._setup_hardware()
+
+    # ------------------------------------------------------------------
+    # kernel-specific hooks
+    # ------------------------------------------------------------------
+    def _setup_hardware(self) -> None:
+        """Instantiate the interconnect and kernel objects."""
+        raise NotImplementedError
+
+    def make_runtime(self, handle: ProcessHandle):
+        """Instantiate this kernel family's LYNX runtime for a process."""
+        raise NotImplementedError
+
+    def _install_process(self, handle: ProcessHandle) -> None:
+        """Register the new process with the kernel(s)."""
+
+    def create_link(self, a: ProcessHandle, b: ProcessHandle) -> None:
+        """Give ``a`` and ``b`` each one end of a fresh link, visible to
+        their programs as ``ctx.initial_links``.  Must be called before
+        ``run`` starts the processes."""
+        raise NotImplementedError
+
+    def on_crash(self, handle: ProcessHandle, mode: CrashMode) -> None:
+        """Kernel-side consequences of a process/node death."""
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        program: Proc,
+        name: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> ProcessHandle:
+        if name is None:
+            self._auto_name += 1
+            name = f"p{self._auto_name}"
+        if name in self.processes:
+            raise ValueError(f"duplicate process name {name!r}")
+        if node is None:
+            node = self._next_node % self.nodes
+            self._next_node += 1
+        handle = ProcessHandle(name, program, node)
+        handle.runtime = self.make_runtime(handle)
+        self._install_process(handle)
+        handle.task = Task(
+            self.engine, handle.runtime.main_generator(), f"proc:{name}"
+        )
+        self.processes[name] = handle
+        return handle
+
+    def trace_msg(self, actor: str, event: str, ref, msg=None, **extra) -> None:
+        """Record a message event for sequence charts.  The peer lookup
+        goes through the registry — observability only; no protocol
+        decision ever depends on it."""
+        detail = dict(link=ref.link, **extra)
+        peer = self.registry.owner_of(ref.peer)
+        if peer is not None:
+            detail["peer"] = peer
+        if msg is not None:
+            detail.setdefault("kind", msg.kind.value)
+            detail["seq"] = msg.seq
+            detail["bytes"] = msg.wire_size
+        self.trace.emit(actor, event, **detail)
+
+    def crash_process(
+        self, name: str, mode: CrashMode = CrashMode.TERMINATE
+    ) -> None:
+        """Kill a process.  TERMINATE/FAULT let the runtime clean up;
+        PROCESSOR is a hard node failure (see `repro.sim.failure`)."""
+        handle = self.processes[name]
+        if handle.finished:
+            return
+        handle.runtime._crash_mode = mode
+        self.on_crash(handle, mode)
+        handle.task.kill(f"{mode.value} crash of {name}")
+        self.metrics.count(f"cluster.crashes.{mode.value}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_until_quiet(self, max_ms: float = 1e7, max_events: int = 5_000_000):
+        """Run until the event heap empties (global quiescence) or a
+        budget is exhausted.  Returns the simulated end time."""
+        self.engine.run(until=max_ms, max_events=max_events)
+        return self.engine.now
+
+    @property
+    def all_finished(self) -> bool:
+        return all(p.finished for p in self.processes.values())
+
+    def unfinished(self):
+        return [p.name for p in self.processes.values() if not p.finished]
+
+    def result_of(self, name: str) -> Any:
+        """The return value of a process's main generator (raises the
+        process's failure if it crashed)."""
+        return self.processes[name].task.done.result()
+
+    def check(self) -> None:
+        """Raise if any process died of a *programming* error (not a
+        simulated crash) or registry invariants broke.  Tests call this
+        at the end of every scenario."""
+        for p in self.processes.values():
+            if p.finished and p.task.done.state is FutureState.FAILED:
+                err = p.task.done.error
+                if not isinstance(err, TaskKilled):
+                    raise AssertionError(
+                        f"process {p.name} failed unexpectedly: {err!r}"
+                    ) from err
+        problems = self.registry.check_invariants()
+        if problems:
+            raise AssertionError(f"registry invariants violated: {problems}")

@@ -1,0 +1,164 @@
+"""Marshalling: typed values <-> payload bytes + extracted enclosures.
+
+The run-time packages "gather and scatter parameters" (§3.3); this
+module is that gather/scatter.  Marshalling walks the value tuple
+against the operation signature, producing:
+
+* a byte string (the network is charged for its real length), and
+* the ordered list of `EndRef` enclosures found at LINK positions —
+  "Any message, request or reply, can contain references to an
+  arbitrary number of link ends" (§2.1).
+
+Unmarshalling reverses the walk, substituting fresh user handles (made
+by a runtime-supplied factory) at LINK positions.
+
+Encoding is deliberately simple and fixed (struct-packed, no per-value
+tags): both sides already agreed on the signature via the header's
+sighash, so a mismatch surfaces as `TypeClash` before decode is
+attempted.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.core.exceptions import ProtocolViolation
+from repro.core.links import EndRef
+from repro.core.types import (
+    ArrayType,
+    LynxType,
+    Operation,
+    RecordType,
+    _BoolType,
+    _BytesType,
+    _IntType,
+    _LinkType,
+    _RealType,
+    _StrType,
+)
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+def _encode_value(t: LynxType, v: Any, out: List[bytes], encs: List[EndRef]) -> None:
+    if isinstance(t, _IntType):
+        out.append(_I64.pack(v))
+    elif isinstance(t, _RealType):
+        out.append(_F64.pack(v))
+    elif isinstance(t, _BoolType):
+        out.append(b"\x01" if v else b"\x00")
+    elif isinstance(t, _StrType):
+        b = v.encode("utf-8")
+        out.append(_U32.pack(len(b)))
+        out.append(b)
+    elif isinstance(t, _BytesType):
+        b = bytes(v)
+        out.append(_U32.pack(len(b)))
+        out.append(b)
+    elif isinstance(t, _LinkType):
+        # 4-byte placeholder index into the enclosure list
+        out.append(_U32.pack(len(encs)))
+        encs.append(v.end_ref)
+    elif isinstance(t, ArrayType):
+        out.append(_U32.pack(len(v)))
+        for item in v:
+            _encode_value(t.elem, item, out, encs)
+    elif isinstance(t, RecordType):
+        for name, ft in t.fields:
+            _encode_value(ft, v[name], out, encs)
+    else:  # pragma: no cover - the type system is closed
+        raise ProtocolViolation(f"unknown type {t!r}")
+
+
+def _decode_value(
+    t: LynxType,
+    buf: bytes,
+    pos: int,
+    encs: Sequence[Any],
+) -> Tuple[Any, int]:
+    if isinstance(t, _IntType):
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if isinstance(t, _RealType):
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if isinstance(t, _BoolType):
+        return buf[pos] != 0, pos + 1
+    if isinstance(t, _StrType):
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return buf[pos : pos + n].decode("utf-8"), pos + n
+    if isinstance(t, _BytesType):
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return bytes(buf[pos : pos + n]), pos + n
+    if isinstance(t, _LinkType):
+        (idx,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        if idx >= len(encs):
+            raise ProtocolViolation(
+                f"enclosure index {idx} out of range ({len(encs)} present)"
+            )
+        return encs[idx], pos
+    if isinstance(t, ArrayType):
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value(t.elem, buf, pos, encs)
+            items.append(item)
+        return items, pos
+    if isinstance(t, RecordType):
+        rec = {}
+        for name, ft in t.fields:
+            rec[name], pos = _decode_value(ft, buf, pos, encs)
+        return rec, pos
+    raise ProtocolViolation(f"unknown type {t!r}")  # pragma: no cover
+
+
+def marshal(
+    types: Sequence[LynxType], values: Sequence[Any]
+) -> Tuple[bytes, List[EndRef]]:
+    """Encode ``values`` (already type-checked) against ``types``.
+
+    Returns (payload bytes, enclosure refs in payload order).
+    """
+    out: List[bytes] = []
+    encs: List[EndRef] = []
+    for t, v in zip(types, values):
+        _encode_value(t, v, out, encs)
+    return b"".join(out), encs
+
+
+def unmarshal(
+    types: Sequence[LynxType],
+    payload: bytes,
+    enclosures: Sequence[EndRef],
+    link_factory: Callable[[EndRef], Any],
+) -> Tuple[Any, ...]:
+    """Decode a payload.  ``link_factory`` turns each received `EndRef`
+    into a user handle owned by the receiving process."""
+    handles = [link_factory(ref) for ref in enclosures]
+    values = []
+    pos = 0
+    for t in types:
+        v, pos = _decode_value(t, payload, pos, handles)
+        values.append(v)
+    if pos != len(payload):
+        raise ProtocolViolation(
+            f"trailing garbage: decoded {pos} of {len(payload)} bytes"
+        )
+    return tuple(values)
+
+
+def request_payload(op: Operation, args: Sequence[Any]) -> Tuple[bytes, List[EndRef]]:
+    """Type-check and marshal a request argument tuple."""
+    op.check_request(args)
+    return marshal(op.request, args)
+
+
+def reply_payload(op: Operation, results: Sequence[Any]) -> Tuple[bytes, List[EndRef]]:
+    """Type-check and marshal a reply result tuple."""
+    op.check_reply(results)
+    return marshal(op.reply, results)

@@ -1,0 +1,122 @@
+"""The user-facing API facade.
+
+A `LynxContext` is handed to every `Proc.main`; its methods are
+generator helpers used with ``yield from``::
+
+    class Client(Proc):
+        def main(self, ctx):
+            (reply,) = yield from ctx.connect(self.server_end, GET, ("key",))
+            ...
+
+Each helper yields exactly one `repro.core.ops` dataclass; programs may
+also yield the op objects directly — the helpers exist for readability
+and docstrings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core import ops as _ops
+from repro.core.links import LinkEnd
+from repro.core.program import Incoming
+from repro.core.threads import LynxThread
+from repro.core.types import Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.runtime import LynxRuntimeBase
+
+
+class LynxContext:
+    """Bound to one process's runtime; produced by the cluster at spawn."""
+
+    def __init__(self, runtime: "LynxRuntimeBase") -> None:
+        self._runtime = runtime
+
+    # ------------------------------------------------------------------
+    # introspection that costs nothing
+    # ------------------------------------------------------------------
+    @property
+    def initial_links(self) -> Tuple[LinkEnd, ...]:
+        """Link ends this process was given at spawn time (the paper's
+        processes obtain initial links from their creator or from
+        long-lived servers; the cluster plays that role here)."""
+        return tuple(self._runtime.initial_links)
+
+    @property
+    def name(self) -> str:
+        return self._runtime.name
+
+    # ------------------------------------------------------------------
+    # generator helpers (use with ``yield from``)
+    # ------------------------------------------------------------------
+    def new_link(self) -> Generator:
+        """Create a link; returns (end_a, end_b), both owned here."""
+        result = yield _ops.NewLinkOp()
+        return result
+
+    def connect(
+        self, end: LinkEnd, op: Operation, args: Sequence[Any] = ()
+    ) -> Generator:
+        """Remote operation: sends a request on ``end``, blocks this
+        coroutine, returns the reply result tuple."""
+        result = yield _ops.ConnectOp(end, op, tuple(args))
+        return result
+
+    def register(self, *operations: Operation) -> Generator:
+        """Declare operations this process serves (needed before
+        requests for them can be matched and unmarshalled)."""
+        for op in operations:
+            yield _ops.RegisterOp(op)
+
+    def open(self, end: LinkEnd) -> Generator:
+        """Open the request queue on ``end``."""
+        yield _ops.OpenOp(end)
+
+    def close(self, end: LinkEnd) -> Generator:
+        """Close the request queue on ``end``."""
+        yield _ops.CloseOp(end)
+
+    def wait_request(
+        self, ends: Optional[Sequence[LinkEnd]] = None
+    ) -> Generator:
+        """Block until a request arrives on an open queue; returns an
+        `Incoming`.  Fair among non-empty open queues (§2.1)."""
+        result = yield _ops.WaitRequestOp(tuple(ends) if ends else None)
+        return result
+
+    def reply(self, incoming: Incoming, results: Sequence[Any] = ()) -> Generator:
+        """Answer ``incoming``; blocks until the reply is received."""
+        yield _ops.ReplyOp(incoming, tuple(results))
+
+    def destroy(self, end: LinkEnd) -> Generator:
+        """Destroy the link of which ``end`` is one end."""
+        yield _ops.DestroyOp(end)
+
+    def fork(self, gen: Generator, name: str = "") -> Generator:
+        """Start a new coroutine; returns its `LynxThread` handle."""
+        result = yield _ops.ForkOp(gen, name)
+        return result
+
+    def abort(self, thread: LynxThread) -> Generator:
+        """Abort a blocked coroutine (it feels `ThreadAborted`)."""
+        yield _ops.AbortThreadOp(thread)
+
+    def delay(self, ms: float) -> Generator:
+        """Block this coroutine for ``ms`` (a timed block point; other
+        coroutines of the process may run meanwhile)."""
+        yield _ops.DelayOp(ms)
+
+    def compute(self, ms: float) -> Generator:
+        """Busy CPU for ``ms`` — holds the mutual exclusion; no sibling
+        coroutine runs (paper §2)."""
+        yield _ops.ComputeOp(ms)
+
+    def now(self) -> Generator:
+        """Current simulated time (ms)."""
+        result = yield _ops.NowOp()
+        return result
+
+    def whoami(self) -> Generator:
+        result = yield _ops.SelfOp()
+        return result

@@ -1,0 +1,147 @@
+"""Link ends: identities, user handles and per-end runtime state.
+
+Terminology (paper §2):
+
+* A **link** is a duplex virtual circuit with exactly two ends.
+* Each **end** is owned by at most one process at a time; ends *move*
+  between processes when enclosed in messages.
+* Each end has a **request queue** (opened/closed under explicit
+  process control) and a **reply queue** (open whenever a request has
+  been sent and a reply is expected).
+
+Three layers represent an end:
+
+`EndRef`
+    the global, immutable identity ``(link id, side)`` — what travels
+    in messages and indexes kernels' tables;
+`LinkEnd`
+    the *user handle* a LYNX program holds; it is invalidated when the
+    end moves away (using it then raises `LinkMoved`);
+`EndState`
+    the owning runtime's bookkeeping: queue state, outstanding
+    connects, owed replies, stop-and-wait counters.  This is the state
+    the paper says "can be implemented by lists of blocked coroutines
+    in the run-time package" (§2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Optional, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.threads import LynxThread
+    from repro.core.wire import WireMessage
+
+
+@dataclass(frozen=True)
+class EndRef:
+    """Global identity of one end of one link."""
+
+    link: int
+    side: int  # 0 or 1
+
+    @property
+    def peer(self) -> "EndRef":
+        return EndRef(self.link, 1 - self.side)
+
+    def __str__(self) -> str:
+        return f"L{self.link}{'ab'[self.side]}"
+
+
+class EndLifecycle(enum.Enum):
+    OWNED = "owned"
+    #: enclosed in an outbound message whose receipt is not yet known
+    IN_TRANSIT = "in-transit"
+    #: moved to another process; handle permanently invalid here
+    MOVED = "moved"
+    DESTROYED = "destroyed"
+
+
+class LinkEnd:
+    """User-visible handle to a link end.
+
+    Programs receive these from ``ctx.new_link()``, from initial links,
+    or inside unmarshalled messages; they pass them back into
+    ``ctx.connect`` / ``ctx.reply`` argument tuples (moving them) and to
+    queue-control operations.
+    """
+
+    __slots__ = ("end_ref", "_runtime_name")
+
+    def __init__(self, end_ref: EndRef, runtime_name: str = "?") -> None:
+        self.end_ref = end_ref
+        self._runtime_name = runtime_name
+
+    def __repr__(self) -> str:
+        return f"<LinkEnd {self.end_ref} of {self._runtime_name}>"
+
+
+@dataclass
+class ConnectWaiter:
+    """A coroutine blocked in ``connect``, awaiting a reply."""
+
+    thread: "LynxThread"
+    seq: int
+    op: Any  # Operation
+    #: set when the client aborts the thread while it waits; servers on
+    #: capable kernels then feel RequestAborted on reply
+    aborted: bool = False
+    #: simulated time the request was sent, for RPC latency metrics
+    sent_at: float = 0.0
+
+
+@dataclass
+class EndState:
+    """Everything the owning runtime tracks for one owned end."""
+
+    ref: EndRef
+    lifecycle: EndLifecycle = EndLifecycle.OWNED
+    queue_open: bool = False
+    #: FIFO of coroutines awaiting replies on this end (reply queue is
+    #: open iff this is non-empty)
+    connect_waiters: Deque[ConnectWaiter] = field(default_factory=deque)
+    #: requests delivered by the transport, not yet consumed by a thread
+    incoming_requests: Deque["WireMessage"] = field(default_factory=deque)
+    #: replies delivered by the transport, not yet matched
+    incoming_replies: Deque["WireMessage"] = field(default_factory=deque)
+    #: request seqs received and not yet replied to (blocks moving, §2.1)
+    owed_replies: Set[int] = field(default_factory=set)
+    #: count of our sent messages not yet known to be received
+    #: (blocks moving, §2.1)
+    unreceived_sent: int = 0
+    #: threads blocked in stop-and-wait on their sent message (repliers)
+    send_waiters: Dict[int, "LynxThread"] = field(default_factory=dict)
+    #: sent messages whose receipt is not yet known, by our seq
+    outgoing: Dict[int, "WireMessage"] = field(default_factory=dict)
+    #: outgoing per-end message sequence counter
+    next_seq: int = 1
+    #: why the link died, for exception messages
+    destroy_reason: str = ""
+
+    def alloc_seq(self) -> int:
+        s = self.next_seq
+        self.next_seq += 1
+        return s
+
+    @property
+    def reply_queue_open(self) -> bool:
+        return len(self.connect_waiters) > 0
+
+    @property
+    def movable(self) -> bool:
+        """Paper §2.1: not movable with unreceived sent messages or owed
+        replies."""
+        return (
+            self.lifecycle is EndLifecycle.OWNED
+            and self.unreceived_sent == 0
+            and not self.owed_replies
+        )
+
+    def find_waiter(self, seq: int) -> Optional[ConnectWaiter]:
+        for w in self.connect_waiters:
+            if w.seq == seq:
+                return w
+        return None

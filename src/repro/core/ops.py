@@ -1,0 +1,125 @@
+"""Operations a LYNX thread may yield to its runtime.
+
+These dataclasses are the *language surface*: a LYNX program is a
+generator that yields these (normally via the `repro.core.context`
+helpers) and receives results back.  The vocabulary maps directly onto
+the externally-visible process behaviour of paper §2.1:
+
+=================  ====================================================
+``ConnectOp``      the RPC call: send request, await reply (blocks the
+                   calling coroutine)
+``WaitRequestOp``  reach a block point and receive the next request
+                   from any open queue (fair among non-empty queues)
+``ReplyOp``        answer a received request (blocks until the reply is
+                   received — stop-and-wait, §2.1)
+``OpenOp``         open the end's request queue ("under explicit
+                   process control")
+``CloseOp``        close it
+``NewLinkOp``      create a link; both ends initially owned locally
+``DestroyOp``      destroy a link
+``ForkOp``         start a new coroutine in this process
+``AbortThreadOp``  abort a blocked coroutine (drives the §3.2.1
+                   aborted-request scenarios)
+``RegisterOp``     declare an operation this process can serve
+``DelayOp``        consume local CPU time
+``NowOp``          read the simulated clock
+``SelfOp``         this process's name
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, Sequence, Tuple
+
+from repro.core.links import LinkEnd
+from repro.core.threads import LynxThread
+from repro.core.types import Operation
+
+
+class LynxOp:
+    """Marker base class for yieldable operations."""
+
+    __slots__ = ()
+
+
+@dataclass
+class NewLinkOp(LynxOp):
+    pass
+
+
+@dataclass
+class ConnectOp(LynxOp):
+    end: LinkEnd
+    op: Operation
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass
+class OpenOp(LynxOp):
+    end: LinkEnd
+
+
+@dataclass
+class CloseOp(LynxOp):
+    end: LinkEnd
+
+
+@dataclass
+class WaitRequestOp(LynxOp):
+    #: optionally restrict to these ends (None = all open queues)
+    ends: Optional[Tuple[LinkEnd, ...]] = None
+
+
+@dataclass
+class ReplyOp(LynxOp):
+    incoming: Any  # Incoming (import cycle)
+    results: Tuple[Any, ...] = ()
+
+
+@dataclass
+class DestroyOp(LynxOp):
+    end: LinkEnd
+
+
+@dataclass
+class ForkOp(LynxOp):
+    gen: Generator
+    name: str = ""
+
+
+@dataclass
+class AbortThreadOp(LynxOp):
+    thread: LynxThread
+
+
+@dataclass
+class RegisterOp(LynxOp):
+    operation: Operation
+
+
+@dataclass
+class DelayOp(LynxOp):
+    """Timed block point: the coroutine blocks and sibling coroutines
+    may run; a timer resumes it after ``ms``."""
+
+    ms: float
+
+
+@dataclass
+class ComputeOp(LynxOp):
+    """Busy local computation: consumes CPU *without* yielding — the
+    paper's mutual exclusion means no sibling coroutine runs during
+    computation (§2)."""
+
+    ms: float
+
+
+@dataclass
+class NowOp(LynxOp):
+    pass
+
+
+@dataclass
+class SelfOp(LynxOp):
+    pass

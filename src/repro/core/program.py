@@ -1,0 +1,53 @@
+"""User program model.
+
+A LYNX process is described by a `Proc` subclass whose ``main`` method
+is a generator taking a `LynxContext` (see `repro.core.context`).  The
+same `Proc` runs unmodified on all three kernels — processes "designed
+in isolation, and compiled and loaded at disparate times" (§2) are
+modelled by the fact that a Proc knows nothing about the cluster it is
+spawned into.
+
+`Incoming` is a received request: what `ctx.wait_request()` returns and
+what `ctx.reply()` answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.core.links import LinkEnd
+from repro.core.types import Operation
+
+
+class Proc:
+    """Base class for LYNX process definitions.
+
+    Subclasses implement ``main(self, ctx)`` as a generator.  Instance
+    attributes set before spawning act as program arguments; attributes
+    set during the run are visible to tests afterwards (a convenient
+    observation channel that costs nothing in simulated time).
+    """
+
+    def main(self, ctx):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield  # make it a generator even if not overridden
+
+
+@dataclass
+class Incoming:
+    """A received request, ready to be served.
+
+    ``end`` is the server-side link end the request arrived on; ``op``
+    the matched operation; ``args`` the unmarshalled arguments (link
+    values already adopted as local `LinkEnd` handles); ``seq`` the
+    per-link request sequence number the reply will quote.
+    """
+
+    end: LinkEnd
+    op: Operation
+    args: Tuple[Any, ...]
+    seq: int
+
+    def __repr__(self) -> str:
+        return f"<Incoming {self.op.name}#{self.seq} on {self.end.end_ref}>"

@@ -1,0 +1,959 @@
+"""The kernel-independent half of the LYNX run-time package.
+
+`LynxRuntimeBase` implements everything the *language definition*
+determines — coroutine scheduling in mutual exclusion, block points,
+request/reply queue semantics, fairness, type checking, gather/scatter,
+move legality, the exception model — and leaves everything the *kernel*
+determines to abstract transport hooks.  The three kernel runtime
+packages subclass it:
+
+====================  =============================================
+`repro.charlotte.runtime.CharlotteRuntime`
+                      kernel links + activities; carries the whole
+                      §3.2.1/§3.2.2 unwanted-message and
+                      multi-enclosure machinery
+`repro.soda.runtime.SodaRuntime`
+                      advertised names, put/accept, hints, caches,
+                      discover, freeze (§4.2)
+`repro.chrysalis.runtime.ChrysalisRuntime`
+                      shared link objects, flags, dual-queue notices
+                      (§5.2)
+====================  =============================================
+
+Execution model
+---------------
+One runtime == one simulated process == one `repro.sim.tasks.Task`
+driving `main_generator`.  The dispatcher steps LYNX threads (user
+generators yielding `repro.core.ops` objects) one at a time; when no
+thread is runnable the process is at a *block point* and the dispatcher
+calls the kernel-specific ``rt_block_wait``.
+
+Message receipt discipline (important for fidelity): **requests are
+taken from the transport lazily**, at block points, when an open queue
+and a thread in ``wait_request`` exist — so unwanted messages stay *in
+the kernel* under SODA (unaccepted puts) and *in the link object* under
+Chrysalis (flags), exactly as the paper describes.  Only the Charlotte
+kernel eagerly pushes messages at the runtime — which is precisely what
+creates the retry/forbid/allow machinery in that runtime package.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core import codec
+from repro.core import ops as _ops
+from repro.core.context import LynxContext
+from repro.core.exceptions import (
+    LinkDestroyed,
+    LinkMoved,
+    LynxError,
+    MoveRestricted,
+    ProtocolViolation,
+    RemoteCrash,
+    RequestAborted,
+    ThreadAborted,
+    TypeClash,
+)
+from repro.core.links import ConnectWaiter, EndLifecycle, EndRef, EndState, LinkEnd
+from repro.core.program import Incoming
+from repro.core.threads import LynxThread, ThreadState
+from repro.core.types import Operation
+from repro.core.wire import ExceptionCode, MsgKind, WireMessage
+from repro.sim.futures import Future
+from repro.sim.tasks import TaskKilled, sleep
+from repro.sim.failure import CrashMode
+
+
+class LynxRuntimeBase:
+    """Shared half of the LYNX run-time package; see module docstring."""
+
+    RUNTIME_NAME = "abstract"
+
+    def __init__(self, handle, cluster) -> None:
+        self.handle = handle
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.metrics = cluster.metrics
+        self.registry = cluster.registry
+        self.name: str = handle.name
+        #: costs of the run-time package itself (RuntimeCosts)
+        self.rc = self.runtime_costs()
+
+        self.threads: List[LynxThread] = []
+        self.ready: deque[LynxThread] = deque()
+        self.ends: Dict[EndRef, EndState] = {}
+        self.op_registry: Dict[str, Operation] = {}
+        self.initial_links: List[LinkEnd] = []
+
+        #: threads blocked in WaitRequest, FIFO, with their end filters
+        self._wait_req: deque[Tuple[LynxThread, Optional[Tuple[EndRef, ...]]]] = (
+            deque()
+        )
+        #: round-robin rotation of end refs for queue fairness (§2.1)
+        self._rr: deque[EndRef] = deque()
+        self._wakeup: Optional[Future] = None
+        #: level-trigger latch: a wake that arrived while no wakeup
+        #: future existed (e.g. during a charged kernel call) is
+        #: remembered, not lost
+        self._wake_signal = False
+        self.alive = True
+        self.exited = False
+        self._crash_mode: Optional[CrashMode] = None
+
+    # ==================================================================
+    # kernel-specific transport hooks (overridden by kernel runtimes);
+    # all are generator functions unless noted
+    # ==================================================================
+    def runtime_costs(self):
+        """(plain) The `RuntimeCosts` profile for this kernel family."""
+        raise NotImplementedError
+
+    def rt_startup(self) -> Generator:
+        """Per-process kernel setup (allocate queues, register names)."""
+        return
+        yield
+
+    def rt_runnable(self) -> bool:
+        """(plain) May user threads run right now?  SODA's freeze
+        protocol (§4.2) returns False while the process is frozen —
+        "ceases execution of everything but its own searches"."""
+        return True
+
+    def rt_shutdown(self) -> Generator:
+        """Orderly teardown after all links have been destroyed."""
+        return
+        yield
+
+    def rt_new_link(self) -> Generator:
+        """Create a fresh link with both ends owned locally; returns
+        (ref_a, ref_b)."""
+        raise NotImplementedError
+        yield
+
+    def rt_send_request(self, es: EndState, msg: WireMessage) -> Generator:
+        """Put a REQUEST on the wire (or queue it transport-side)."""
+        raise NotImplementedError
+        yield
+
+    def rt_send_reply(self, es: EndState, msg: WireMessage) -> Generator:
+        """Put a REPLY/EXCEPTION on the wire.  May raise
+        `RequestAborted` if the transport can tell the requester no
+        longer wants it (SODA/Chrysalis can; Charlotte cannot — §3.2)."""
+        raise NotImplementedError
+        yield
+
+    def rt_sync_interest(self, es: EndState) -> Generator:
+        """The set of messages we are willing to receive on ``es``
+        changed (queue opened/closed, reply newly expected/satisfied).
+        Charlotte posts/cancels kernel Receives here; SODA posts status
+        signals; Chrysalis needs nothing."""
+        return
+        yield
+
+    def rt_block_wait(self) -> Generator:
+        """Block until at least one transport event has been applied
+        (via the ``deliver_* / notify_*`` base hooks or internal
+        state)."""
+        raise NotImplementedError
+        yield
+
+    def rt_request_available(self, es: EndState) -> bool:
+        """(plain) A request could be taken from the transport on this
+        end right now."""
+        raise NotImplementedError
+
+    def rt_take_request(self, es: EndState) -> Generator:
+        """Take one request from the transport (scatter/accept it);
+        returns a WireMessage, or None if none was actually available."""
+        raise NotImplementedError
+        yield
+
+    def rt_destroy(self, es: EndState, reason: str) -> Generator:
+        """Destroy the link at the kernel level and notify the peer."""
+        raise NotImplementedError
+        yield
+
+    def rt_abort_connect(self, es: EndState, waiter: ConnectWaiter) -> Generator:
+        """Attempt to withdraw the outstanding request of ``waiter``.
+        Returns True if it was withdrawn before receipt (enclosures are
+        then restored by the base)."""
+        raise NotImplementedError
+        yield
+
+    def rt_export_end(self, es: EndState) -> dict:
+        """(plain) Transport metadata shipped with a moving end."""
+        return {}
+
+    def rt_adopt_end(self, ref: EndRef, meta: dict) -> Generator:
+        """Adopt a moved-in end at the kernel level (map the memory
+        object, advertise the name, ...)."""
+        return
+        yield
+
+    # ==================================================================
+    # base hooks called by kernel runtimes when transport events occur.
+    # These are plain functions, safe to call from kernel callbacks at
+    # any simulated instant; they only mutate state and wake the
+    # dispatcher.
+    # ==================================================================
+    def deliver_reply(self, ref: EndRef, msg: WireMessage) -> None:
+        """A REPLY or EXCEPTION message arrived for a connect of ours."""
+        es = self.ends.get(ref)
+        if es is None:
+            self.metrics.count("runtime.stray_reply")
+            return
+        es.incoming_replies.append(msg)
+        self._wake()
+
+    def notify_receipt(self, ref: EndRef, seq: int) -> None:
+        """A message we sent (request or reply) was received by the far
+        process; finalises enclosure moves and unblocks stop-and-wait
+        senders."""
+        es = self.ends.get(ref)
+        if es is None:
+            return
+        msg = es.outgoing.pop(seq, None)
+        if msg is None:
+            return
+        es.unreceived_sent = max(0, es.unreceived_sent - 1)
+        self._finalise_enclosures(msg)
+        waiter_thread = es.send_waiters.pop(seq, None)
+        if waiter_thread is not None:
+            self._resume(waiter_thread, None)
+        self._wake()
+
+    def notify_bounce(self, ref: EndRef, seq: int) -> None:
+        """A message we sent was returned unreceived (Charlotte retry /
+        forbid); enclosures come back to us.  The kernel runtime is
+        responsible for any resend policy; the base only restores
+        enclosure ownership if the message will NOT be resent (the
+        Charlotte runtime resends, so it does not call this for retried
+        requests — only for terminally bounced ones)."""
+        es = self.ends.get(ref)
+        if es is None:
+            return
+        msg = es.outgoing.pop(seq, None)
+        if msg is None:
+            return
+        es.unreceived_sent = max(0, es.unreceived_sent - 1)
+        self._restore_enclosures(msg)
+        self._wake()
+
+    def notify_reply_aborted(self, ref: EndRef, seq: int) -> None:
+        """The requester aborted; our REPLY was refused — the replying
+        coroutine feels `RequestAborted` (§3.2)."""
+        es = self.ends.get(ref)
+        if es is None:
+            return
+        msg = es.outgoing.pop(seq, None)
+        if msg is not None:
+            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+            self._restore_enclosures(msg)
+        t = es.send_waiters.pop(seq, None)
+        if t is not None:
+            self._resume_error(t, RequestAborted(f"requester aborted on {ref}"))
+        self.metrics.count("runtime.reply_aborted")
+        self._wake()
+
+    def notify_destroyed(self, ref: EndRef, reason: str, crash: bool = False) -> None:
+        """The link was destroyed underneath us (peer destroyed it or
+        its process died)."""
+        es = self.ends.get(ref)
+        if es is None or es.lifecycle is EndLifecycle.DESTROYED:
+            return
+        self._mark_destroyed(es, reason, crash)
+        self._wake()
+
+    # ==================================================================
+    # process main loop
+    # ==================================================================
+    def main_generator(self) -> Generator:
+        """The generator driven as this process's simulation Task."""
+        try:
+            yield from self.rt_startup()
+            ctx = LynxContext(self)
+            self._spawn_thread(self.handle.program.main(ctx), f"{self.name}.main")
+            while self.alive:
+                while self.ready and self.alive and self.rt_runnable():
+                    t = self.ready.popleft()
+                    if t.live:
+                        yield from self._run_thread(t)
+                if not self.alive or not self._has_live_threads():
+                    break
+                yield from self._block_point()
+        except GeneratorExit:
+            # the simulation ended with this process still suspended
+            # (e.g. an undetected Chrysalis processor failure left it
+            # blocked); no simulated clean-up can run during GC
+            self.alive = False
+            self.exited = True
+            raise
+        except TaskKilled:
+            self.alive = False
+            if self._crash_mode is CrashMode.PROCESSOR:
+                # hard processor failure: nothing more runs here; the
+                # *kernel* may or may not clean up (cluster decides)
+                self.exited = True
+                raise
+            # TERMINATE / FAULT: orderly clean-up still runs (§5.2:
+            # "even erroneous processes can clean up their links")
+        finally:
+            if self._crash_mode is not CrashMode.PROCESSOR and not self.exited:
+                yield from self._cleanup()
+                self.exited = True
+
+    def _cleanup(self) -> Generator:
+        """LYNX semantics: "the termination of a process must destroy
+        all the links attached to that process" (§2.2)."""
+        self.alive = False
+        for ref in list(self.ends.keys()):
+            es = self.ends.get(ref)
+            if es is None or es.lifecycle is not EndLifecycle.OWNED:
+                continue
+            reason = f"process {self.name} terminated"
+            self._mark_destroyed(es, reason, crash=self._crash_mode is not None)
+            try:
+                yield from self.rt_destroy(es, reason)
+            except LynxError:
+                self.metrics.count("runtime.cleanup_errors")
+            self.registry.record_destroyed(ref.link, reason)
+        yield from self.rt_shutdown()
+
+    # ------------------------------------------------------------------
+    # thread machinery
+    # ------------------------------------------------------------------
+    def _spawn_thread(self, gen: Generator, name: str) -> LynxThread:
+        t = LynxThread(gen, name)
+        self.threads.append(t)
+        self.ready.append(t)
+        return t
+
+    def _has_live_threads(self) -> bool:
+        return any(t.live for t in self.threads)
+
+    def _run_thread(self, t: LynxThread) -> Generator:
+        """Step ``t`` until it blocks or finishes.  Mutual exclusion is
+        by construction: nothing else runs while we are in here."""
+        while t.state is ThreadState.READY and self.alive:
+            try:
+                if t.pending_error is not None:
+                    err, t.pending_error = t.pending_error, None
+                    t.pending_value = None
+                    op = t.gen.throw(err)
+                else:
+                    val, t.pending_value = t.pending_value, None
+                    op = t.gen.send(val)
+            except StopIteration as stop:
+                t.state = ThreadState.DONE
+                t.result = stop.value
+                return
+            except ThreadAborted as err:
+                t.state = ThreadState.DONE
+                t.error = err
+                self.metrics.count("runtime.threads_aborted")
+                return
+            except LynxError as err:
+                # an unhandled LYNX exception terminates the coroutine
+                t.state = ThreadState.FAILED
+                t.error = err
+                self.metrics.count("runtime.threads_failed")
+                return
+            yield from self._handle_op(t, op)
+
+    # ------------------------------------------------------------------
+    # op dispatch
+    # ------------------------------------------------------------------
+    def _handle_op(self, t: LynxThread, op: Any) -> Generator:
+        if isinstance(op, _ops.ConnectOp):
+            yield from self._op_connect(t, op)
+        elif isinstance(op, _ops.WaitRequestOp):
+            self._op_wait_request(t, op)
+        elif isinstance(op, _ops.ReplyOp):
+            yield from self._op_reply(t, op)
+        elif isinstance(op, _ops.OpenOp):
+            yield from self._op_set_queue(t, op.end, True)
+        elif isinstance(op, _ops.CloseOp):
+            yield from self._op_set_queue(t, op.end, False)
+        elif isinstance(op, _ops.NewLinkOp):
+            yield from self._op_new_link(t)
+        elif isinstance(op, _ops.DestroyOp):
+            yield from self._op_destroy(t, op)
+        elif isinstance(op, _ops.ForkOp):
+            child = self._spawn_thread(op.gen, op.name or f"{self.name}.fork")
+            t.pending_value = child
+        elif isinstance(op, _ops.AbortThreadOp):
+            yield from self._op_abort(t, op.thread)
+        elif isinstance(op, _ops.RegisterOp):
+            self.op_registry[op.operation.name] = op.operation
+            t.pending_value = None
+        elif isinstance(op, _ops.DelayOp):
+            t.block("delay")
+            self.engine.schedule(op.ms, self._resume, t, None)
+        elif isinstance(op, _ops.ComputeOp):
+            yield sleep(self.engine, op.ms)
+            t.pending_value = None
+        elif isinstance(op, _ops.NowOp):
+            t.pending_value = self.engine.now
+        elif isinstance(op, _ops.SelfOp):
+            t.pending_value = self.name
+        else:
+            t.pending_error = ProtocolViolation(f"unknown op {op!r}")
+
+    # -- connect --------------------------------------------------------
+    def _op_connect(self, t: LynxThread, op: _ops.ConnectOp) -> Generator:
+        try:
+            es = self._resolve_end(op.end)
+            payload, encs = codec.request_payload(op.op, op.args)
+            self._check_movable(encs, es)
+        except LynxError as err:
+            t.pending_error = err
+            return
+        yield self._charge_gather(payload, encs)
+        seq = es.alloc_seq()
+        msg = WireMessage(
+            kind=MsgKind.REQUEST,
+            seq=seq,
+            opname=op.op.name,
+            sighash=op.op.sighash,
+            payload=payload,
+            enclosures=encs,
+            enc_total=len(encs),
+            sent_at=self.engine.now,
+        )
+        self._stage_enclosures(msg)
+        es.outgoing[seq] = msg
+        es.unreceived_sent += 1
+        waiter = ConnectWaiter(t, seq, op.op, sent_at=self.engine.now)
+        es.connect_waiters.append(waiter)
+        t.block(f"connect:{op.op.name}")
+        self.metrics.count("runtime.connects")
+        self.cluster.trace_msg(self.name, "send", es.ref, msg, op=op.op.name)
+        try:
+            yield from self.rt_send_request(es, msg)
+            yield from self.rt_sync_interest(es)
+        except LynxError as err:
+            self._unwind_connect(es, waiter, msg)
+            self._resume_error(t, err)
+
+    def _unwind_connect(
+        self, es: EndState, waiter: ConnectWaiter, msg: WireMessage
+    ) -> None:
+        if waiter in es.connect_waiters:
+            es.connect_waiters.remove(waiter)
+        if es.outgoing.pop(msg.seq, None) is not None:
+            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+        self._restore_enclosures(msg)
+
+    # -- wait_request -----------------------------------------------------
+    def _op_wait_request(self, t: LynxThread, op: _ops.WaitRequestOp) -> None:
+        filt = None
+        if op.ends is not None:
+            filt = tuple(e.end_ref for e in op.ends)
+        t.block("wait_request")
+        self._wait_req.append((t, filt))
+
+    # -- reply ------------------------------------------------------------
+    def _op_reply(self, t: LynxThread, op: _ops.ReplyOp) -> Generator:
+        inc: Incoming = op.incoming
+        try:
+            es = self._resolve_end(inc.end)
+            if inc.seq not in es.owed_replies:
+                raise ProtocolViolation(
+                    f"no reply owed for seq {inc.seq} on {es.ref}"
+                )
+            payload, encs = codec.reply_payload(inc.op, op.results)
+            self._check_movable(encs, es)
+        except LynxError as err:
+            t.pending_error = err
+            return
+        yield self._charge_gather(payload, encs)
+        seq = es.alloc_seq()
+        msg = WireMessage(
+            kind=MsgKind.REPLY,
+            seq=seq,
+            reply_to=inc.seq,
+            opname=inc.op.name,
+            sighash=inc.op.sighash,
+            payload=payload,
+            enclosures=encs,
+            enc_total=len(encs),
+            sent_at=self.engine.now,
+        )
+        self._stage_enclosures(msg)
+        es.outgoing[seq] = msg
+        es.unreceived_sent += 1
+        es.owed_replies.discard(inc.seq)
+        es.send_waiters[seq] = t
+        t.block("reply")
+        self.metrics.count("runtime.replies")
+        self.cluster.trace_msg(self.name, "send", es.ref, msg, op=inc.op.name)
+        try:
+            yield from self.rt_send_reply(es, msg)
+        except RequestAborted as err:
+            es.send_waiters.pop(seq, None)
+            if es.outgoing.pop(seq, None) is not None:
+                es.unreceived_sent = max(0, es.unreceived_sent - 1)
+            self._restore_enclosures(msg)
+            self._resume_error(t, err)
+        except LynxError as err:
+            es.send_waiters.pop(seq, None)
+            if es.outgoing.pop(seq, None) is not None:
+                es.unreceived_sent = max(0, es.unreceived_sent - 1)
+            self._resume_error(t, err)
+
+    # -- queue control ------------------------------------------------------
+    def _op_set_queue(self, t: LynxThread, end: LinkEnd, open_: bool) -> Generator:
+        try:
+            es = self._resolve_end(end)
+        except LynxError as err:
+            t.pending_error = err
+            return
+        if es.queue_open != open_:
+            es.queue_open = open_
+            yield from self.rt_sync_interest(es)
+        t.pending_value = None
+
+    # -- link creation/destruction -------------------------------------------
+    def _op_new_link(self, t: LynxThread) -> Generator:
+        ref_a, ref_b = yield from self.rt_new_link()
+        for ref in (ref_a, ref_b):
+            self.ends[ref] = self._new_end_state(ref)
+        t.pending_value = (
+            LinkEnd(ref_a, self.name),
+            LinkEnd(ref_b, self.name),
+        )
+        self.metrics.count("runtime.links_created")
+
+    def _op_destroy(self, t: LynxThread, op: _ops.DestroyOp) -> Generator:
+        try:
+            es = self._resolve_end(op.end)
+        except LynxError as err:
+            t.pending_error = err
+            return
+        reason = f"destroyed by {self.name}"
+        self._mark_destroyed(es, reason, crash=False)
+        yield from self.rt_destroy(es, reason)
+        self.registry.record_destroyed(es.ref.link, reason)
+        t.pending_value = None
+
+    # -- abort -----------------------------------------------------------------
+    def _op_abort(self, t: LynxThread, target: LynxThread) -> Generator:
+        if target is t:
+            t.pending_error = ProtocolViolation("a thread cannot abort itself")
+            return
+        if not target.live:
+            t.pending_value = None
+            return
+        if target.state is ThreadState.BLOCKED:
+            # find what it is blocked on
+            if target.block_reason.startswith("connect"):
+                es, waiter = self._find_connect_waiter(target)
+                if waiter is not None:
+                    waiter.aborted = True
+                    withdrawn = yield from self.rt_abort_connect(es, waiter)
+                    if withdrawn:
+                        self._unwind_connect(
+                            es, waiter, self._outgoing_of(es, waiter.seq)
+                        )
+                self.metrics.count("runtime.connect_aborts")
+            elif target.block_reason == "wait_request":
+                self._wait_req = deque(
+                    (th, f) for th, f in self._wait_req if th is not target
+                )
+            self._resume_error(target, ThreadAborted("aborted by peer thread"))
+        else:
+            # runnable: deliver the abort before its next operation
+            target.pending_error = ThreadAborted("aborted by peer thread")
+        t.pending_value = None
+
+    def _outgoing_of(self, es: EndState, seq: int) -> WireMessage:
+        msg = es.outgoing.get(seq)
+        if msg is None:
+            # already received/bounced; nothing to unwind
+            msg = WireMessage(kind=MsgKind.REQUEST, seq=seq)
+        return msg
+
+    def _find_connect_waiter(
+        self, t: LynxThread
+    ) -> Tuple[Optional[EndState], Optional[ConnectWaiter]]:
+        for es in self.ends.values():
+            for w in es.connect_waiters:
+                if w.thread is t:
+                    return es, w
+        return None, None
+
+    # ==================================================================
+    # block points
+    # ==================================================================
+    def _block_point(self) -> Generator:
+        yield sleep(self.engine, self.rc.dispatch_ms)
+        while self.alive:
+            if self.rt_runnable():
+                yield from self._deliver_pending()
+                if self.ready:
+                    return
+            if not self._has_live_threads():
+                return
+            yield from self.rt_block_wait()
+
+    def _deliver_pending(self) -> Generator:
+        """Consume deliverable replies, then match available requests to
+        waiting threads, fairly."""
+        progressed = True
+        while progressed and self.alive:
+            progressed = False
+            # replies first: always wanted (§3.2.1)
+            for es in list(self.ends.values()):
+                while es.incoming_replies:
+                    msg = es.incoming_replies.popleft()
+                    yield from self._consume_reply(es, msg)
+                    progressed = True
+            # requests: fair round-robin over open, available queues
+            if self._wait_req:
+                delivered = yield from self._match_requests()
+                progressed = progressed or delivered
+
+    def _match_requests(self) -> Generator:
+        delivered = False
+        still_waiting: deque = deque()
+        while self._wait_req:
+            t, filt = self._wait_req.popleft()
+            if not t.live or t.state is not ThreadState.BLOCKED:
+                continue
+            es = self._pick_queue(filt)
+            if es is None:
+                still_waiting.append((t, filt))
+                continue
+            msg = yield from self.rt_take_request(es)
+            if msg is None:
+                still_waiting.append((t, filt))
+                continue
+            ok = yield from self._consume_request(es, msg, t)
+            if ok:
+                delivered = True
+            else:
+                still_waiting.append((t, filt))
+        self._wait_req = still_waiting
+        return delivered
+
+    def _pick_queue(self, filt: Optional[Tuple[EndRef, ...]]) -> Optional[EndState]:
+        """Fair choice among non-empty open queues: rotate a global
+        round-robin so "no queue is ignored forever" (§2.1)."""
+        candidates = [
+            ref
+            for ref in self._rr
+            if ref in self.ends
+            and self.ends[ref].queue_open
+            and self.ends[ref].lifecycle is EndLifecycle.OWNED
+            and (filt is None or ref in filt)
+            and self.rt_request_available(self.ends[ref])
+        ]
+        if not candidates:
+            return None
+        chosen = candidates[0]
+        # rotate: move chosen to the back of the global order
+        self._rr.remove(chosen)
+        self._rr.append(chosen)
+        return self.ends[chosen]
+
+    def _consume_reply(self, es: EndState, msg: WireMessage) -> Generator:
+        waiter = es.find_waiter(msg.reply_to)
+        if waiter is None:
+            self.metrics.count("runtime.unmatched_replies")
+            return
+        es.connect_waiters.remove(waiter)
+        if waiter.aborted:
+            # client already gave up; drop silently (Charlotte cannot
+            # tell the server — §3.2; capable kernels told it earlier)
+            self.metrics.count("runtime.replies_dropped_aborted")
+            return
+        yield from self.rt_sync_interest(es)
+        if msg.kind is MsgKind.EXCEPTION:
+            # enclosures of the refused request come home with it
+            yield from self._adopt_enclosures(msg)
+            err = self._exception_from_code(msg.error, es)
+            self._resume_error(waiter.thread, err)
+            return
+        yield self._charge_scatter(msg)
+        try:
+            results = codec.unmarshal(
+                waiter.op.reply,
+                msg.payload,
+                msg.enclosures,
+                self._adopt_link_factory(msg),
+            )
+        except LynxError as err:
+            self._resume_error(waiter.thread, err)
+            return
+        yield from self._adopt_enclosures(msg)
+        self.metrics.latency("rpc.roundtrip").record(self.engine.now - waiter.sent_at)
+        self.cluster.trace_msg(self.name, "consume", es.ref, msg)
+        self._resume(waiter.thread, results)
+
+    def _consume_request(
+        self, es: EndState, msg: WireMessage, t: LynxThread
+    ) -> Generator:
+        op = self.op_registry.get(msg.opname)
+        if op is None or op.sighash != msg.sighash:
+            code = (
+                ExceptionCode.NO_SUCH_OPERATION
+                if op is None
+                else ExceptionCode.TYPE_CLASH
+            )
+            yield from self._auto_exception_reply(es, msg, code)
+            self.metrics.count("runtime.type_clashes")
+            return False
+        yield self._charge_scatter(msg)
+        try:
+            args = codec.unmarshal(
+                op.request, msg.payload, msg.enclosures, self._adopt_link_factory(msg)
+            )
+        except LynxError:
+            yield from self._auto_exception_reply(es, msg, ExceptionCode.TYPE_CLASH)
+            self.metrics.count("runtime.type_clashes")
+            return False
+        yield from self._adopt_enclosures(msg)
+        es.owed_replies.add(msg.seq)
+        incoming = Incoming(LinkEnd(es.ref, self.name), op, args, msg.seq)
+        self.metrics.count("runtime.requests_served")
+        self.cluster.trace_msg(self.name, "consume", es.ref, msg, op=op.name)
+        self._resume(t, incoming)
+        return True
+
+    def _auto_exception_reply(
+        self, es: EndState, msg: WireMessage, code: ExceptionCode
+    ) -> Generator:
+        exc = WireMessage(
+            kind=MsgKind.EXCEPTION,
+            seq=es.alloc_seq(),
+            reply_to=msg.seq,
+            opname=msg.opname,
+            error=code,
+            # enclosures of the refused request travel back, unadopted
+            enclosures=list(msg.enclosures),
+            enclosure_meta=list(msg.enclosure_meta),
+            enc_total=len(msg.enclosures),
+            sent_at=self.engine.now,
+        )
+        es.outgoing[exc.seq] = exc
+        es.unreceived_sent += 1
+        try:
+            yield from self.rt_send_reply(es, exc)
+        except LynxError:
+            es.outgoing.pop(exc.seq, None)
+            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+
+    # ==================================================================
+    # enclosure (link-moving) machinery
+    # ==================================================================
+    def _check_movable(self, encs: List[EndRef], via: EndState) -> None:
+        seen = set()
+        for ref in encs:
+            if ref in seen:
+                raise MoveRestricted(f"{ref} enclosed twice in one message")
+            seen.add(ref)
+            if ref.link == via.ref.link:
+                raise MoveRestricted(
+                    f"cannot enclose {ref} in a message on its own link (§2.2)"
+                )
+            es = self.ends.get(ref)
+            if es is None or es.lifecycle is EndLifecycle.MOVED:
+                raise LinkMoved(f"{ref} is not owned by {self.name}")
+            if es.lifecycle is EndLifecycle.DESTROYED:
+                raise LinkDestroyed(f"{ref} is destroyed")
+            if es.lifecycle is EndLifecycle.IN_TRANSIT:
+                raise MoveRestricted(f"{ref} is already moving")
+            if not es.movable:
+                raise MoveRestricted(
+                    f"{ref} has unreceived messages or owed replies (§2.1)"
+                )
+            if es.connect_waiters:
+                raise MoveRestricted(
+                    f"{ref} has outstanding connects awaiting replies"
+                )
+
+    def _stage_enclosures(self, msg: WireMessage) -> None:
+        for ref in msg.enclosures:
+            es = self.ends[ref]
+            es.lifecycle = EndLifecycle.IN_TRANSIT
+            self.registry.record_in_transit(ref, self.name)
+        msg.enclosure_meta = [self.rt_export_end(self.ends[r]) for r in msg.enclosures]
+
+    def _restore_enclosures(self, msg: WireMessage) -> None:
+        for ref in msg.enclosures:
+            es = self.ends.get(ref)
+            if es is not None and es.lifecycle is EndLifecycle.IN_TRANSIT:
+                es.lifecycle = EndLifecycle.OWNED
+                self.registry.record_bounced(ref, self.name)
+
+    def _finalise_enclosures(self, msg: WireMessage) -> None:
+        """Our message (with moved ends) was received: the ends are gone
+        from this process for good."""
+        for ref in msg.enclosures:
+            es = self.ends.pop(ref, None)
+            if es is not None:
+                es.lifecycle = EndLifecycle.MOVED
+                if ref in self._rr:
+                    self._rr.remove(ref)
+
+    def _adopt_link_factory(self, msg: WireMessage):
+        """codec link factory: wrap incoming EndRefs as local handles;
+        actual kernel adoption happens in `_adopt_enclosures`."""
+
+        def factory(ref: EndRef) -> LinkEnd:
+            return LinkEnd(ref, self.name)
+
+        return factory
+
+    def _adopt_enclosures(self, msg: WireMessage) -> Generator:
+        metas = getattr(msg, "enclosure_meta", None) or [{}] * len(msg.enclosures)
+        for ref, meta in zip(msg.enclosures, metas):
+            if ref in self.ends:  # the end came home
+                es = self.ends[ref]
+                es.lifecycle = EndLifecycle.OWNED
+            else:
+                self.ends[ref] = self._new_end_state(ref)
+                yield from self.rt_adopt_end(ref, meta)
+            self.registry.record_adopted(ref, self.name)
+            self.metrics.count("runtime.ends_adopted")
+
+    # ==================================================================
+    # shared plumbing
+    # ==================================================================
+    def _new_end_state(self, ref: EndRef) -> EndState:
+        es = EndState(ref)
+        if ref not in self._rr:
+            self._rr.append(ref)
+        return es
+
+    def preload_end(self, ref: EndRef, as_initial: bool = True) -> EndState:
+        """Cluster-side installation of an initial link end (before the
+        process starts)."""
+        es = self._new_end_state(ref)
+        self.ends[ref] = es
+        if as_initial:
+            self.initial_links.append(LinkEnd(ref, self.name))
+        return es
+
+    def _resolve_end(self, end: LinkEnd) -> EndState:
+        es = self.ends.get(end.end_ref)
+        if es is None:
+            raise LinkMoved(f"{end.end_ref} is not owned by {self.name}")
+        if es.lifecycle is EndLifecycle.DESTROYED:
+            raise (
+                RemoteCrash(es.destroy_reason)
+                if "crash" in es.destroy_reason
+                else LinkDestroyed(es.destroy_reason or f"{end.end_ref} destroyed")
+            )
+        if es.lifecycle is not EndLifecycle.OWNED:
+            raise LinkMoved(f"{end.end_ref} has moved away")
+        return es
+
+    def _mark_destroyed(self, es: EndState, reason: str, crash: bool) -> None:
+        if es.lifecycle is EndLifecycle.DESTROYED:
+            return
+        es.lifecycle = EndLifecycle.DESTROYED
+        es.destroy_reason = ("crash: " if crash else "") + reason
+        err_cls = RemoteCrash if crash else LinkDestroyed
+        # a reply that already reached us satisfies its waiter even
+        # though the link is now dead (the far end may legitimately
+        # destroy the link the moment its reply leaves, §2.2)
+        pending_replies = {m.reply_to for m in es.incoming_replies}
+        # wake everything else blocked on this end with the exception
+        for w in list(es.connect_waiters):
+            if w.seq in pending_replies:
+                continue
+            es.connect_waiters.remove(w)
+            if not w.aborted:
+                self._resume_error(w.thread, err_cls(es.destroy_reason))
+        for seq, t in list(es.send_waiters.items()):
+            es.send_waiters.pop(seq, None)
+            self._resume_error(t, err_cls(es.destroy_reason))
+        # wake wait_request threads whose filter can now never match
+        still: deque = deque()
+        for th, filt in self._wait_req:
+            dead_filter = filt is not None and all(
+                r not in self.ends
+                or self.ends[r].lifecycle is EndLifecycle.DESTROYED
+                for r in filt
+            )
+            if dead_filter:
+                self._resume_error(th, err_cls(es.destroy_reason))
+            else:
+                still.append((th, filt))
+        self._wait_req = still
+        # enclosures of ours that were in transit on this link: their
+        # fate is kernel-specific; kernels call registry.record_lost or
+        # redeliver.  Here we only drop the outgoing staging.
+        es.outgoing.clear()
+        es.unreceived_sent = 0
+        es.owed_replies.clear()
+
+    def _resume(self, t: LynxThread, value: Any) -> None:
+        if t.state is ThreadState.BLOCKED:
+            t.resume(value)
+            self.ready.append(t)
+            self._wake()
+
+    def _resume_error(self, t: LynxThread, err: BaseException) -> None:
+        if t.state is ThreadState.BLOCKED:
+            t.resume_error(err)
+            self.ready.append(t)
+            self._wake()
+
+    def _wake(self) -> None:
+        # ALWAYS latch: the pending wakeup future may have been
+        # abandoned (the dispatcher moved on after a different event
+        # and is currently inside a charged kernel call); resolving it
+        # alone would lose the signal.  The latch costs at most one
+        # spurious loop pass, which the block loops absorb.
+        self._wake_signal = True
+        if self._wakeup is not None and not self._wakeup.is_settled():
+            fut, self._wakeup = self._wakeup, None
+            fut.resolve(None)
+
+    def wakeup_future(self) -> Future:
+        """A future the dispatcher can block on that base hooks resolve
+        when anything happens.  Level-triggered: a wake that arrived
+        while nobody was listening resolves the next future
+        immediately (the block loops re-check their conditions, so
+        spurious wakeups are harmless)."""
+        if self._wake_signal:
+            self._wake_signal = False
+            fut = Future(self.engine, f"{self.name}.wakeup-latched")
+            fut.resolve(None)
+            return fut
+        if self._wakeup is None or self._wakeup.is_settled():
+            self._wakeup = Future(self.engine, f"{self.name}.wakeup")
+        return self._wakeup
+
+    def _charge_gather(self, payload: bytes, encs: List[EndRef]):
+        cost = (
+            self.rc.gather_fixed_ms
+            + self.rc.per_byte_ms * len(payload)
+            + self.rc.per_enclosure_ms * len(encs)
+        )
+        self.metrics.count("runtime.gathers")
+        return sleep(self.engine, cost)
+
+    def _charge_scatter(self, msg: WireMessage):
+        cost = (
+            self.rc.scatter_fixed_ms
+            + self.rc.per_byte_ms * len(msg.payload)
+            + self.rc.per_enclosure_ms * len(msg.enclosures)
+        )
+        self.metrics.count("runtime.scatters")
+        return sleep(self.engine, cost)
+
+    def _exception_from_code(
+        self, code: Optional[ExceptionCode], es: EndState
+    ) -> LynxError:
+        if code is ExceptionCode.REQUEST_ABORTED:
+            return RequestAborted("request aborted")
+        if code is ExceptionCode.LINK_DESTROYED:
+            return LinkDestroyed("link destroyed during operation")
+        if code is ExceptionCode.NO_SUCH_OPERATION:
+            return TypeClash("server does not serve this operation")
+        return TypeClash("request/reply signature mismatch")

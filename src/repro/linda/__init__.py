@@ -1,0 +1,39 @@
+"""A second "language" on the same kernels: a miniature Linda.
+
+The paper's final argument (§6, lesson three) is not about LYNX at
+all: "For general-purpose computing a distributed operating system
+must support a wide variety of languages and applications ... by
+maintaining the flexibility of the kernel interface they permit
+equally efficient implementations of a wide variety of other
+distributed languages, with entirely different needs."  §1 names
+Linda — a coordination model with *nothing* in common with LYNX links:
+an associative tuple space with blocking ``in``.
+
+This package implements that second language over each kernel's **raw
+interface** (no LYNX runtime underneath):
+
+* `repro.linda.space` — the kernel-free matching engine;
+* `repro.linda.soda_adapter` — SODA's delayed *accept* is a perfect
+  blocking ``in``: the request simply waits, unaccepted, until a match
+  exists ("screening belongs in the application layer");
+* `repro.linda.chrysalis_adapter` — shared memory makes the tuple
+  space a mapped object plus event blocks; there is no server at all;
+* `repro.linda.charlotte_adapter` — a central server juggling one
+  Receive and one send slot per client link; the high-level kernel
+  fits the *different* language no better than it fit LYNX.
+
+Experiment A5 compares the three adapters' complexity and latency —
+§6's closing claim, measured.
+"""
+
+from repro.linda.space import ANY, Pattern, TupleSpace, match
+from repro.linda.api import make_linda, LindaClientBase
+
+__all__ = [
+    "ANY",
+    "Pattern",
+    "TupleSpace",
+    "match",
+    "make_linda",
+    "LindaClientBase",
+]

@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is the "hardware" of the reproduction: everything the paper
+ran on physical machines (VAX nodes on a token ring, PDP-11s on a CSMA
+bus, a shared-memory Butterfly) runs here on a single-threaded,
+deterministic event engine with simulated time.
+
+Modules
+-------
+engine   : the event loop (`Engine`) and simulated clock.
+futures  : `Future`, the completion primitive kernels hand to tasks.
+tasks    : `Task`, which drives generator coroutines over futures.
+network  : latency/bandwidth models for the three interconnects.
+metrics  : counters and latency recorders shared by kernels and benches.
+failure  : crash / message-loss injection.
+rng      : seeded randomness helpers (all randomness flows through here).
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.futures import Future, FutureState, gather, first_of
+from repro.sim.tasks import Task, TaskKilled, sleep
+from repro.sim.metrics import MetricSet, LatencyRecorder
+from repro.sim.network import (
+    NetworkModel,
+    TokenRing,
+    CSMABus,
+    SharedMemoryInterconnect,
+)
+from repro.sim.failure import FailurePlan, CrashInjector
+from repro.sim.rng import SimRandom
+from repro.sim.trace import TraceLog, TraceEvent
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Future",
+    "FutureState",
+    "gather",
+    "first_of",
+    "Task",
+    "TaskKilled",
+    "sleep",
+    "MetricSet",
+    "LatencyRecorder",
+    "NetworkModel",
+    "TokenRing",
+    "CSMABus",
+    "SharedMemoryInterconnect",
+    "FailurePlan",
+    "CrashInjector",
+    "SimRandom",
+    "TraceLog",
+    "TraceEvent",
+]

@@ -1,0 +1,181 @@
+"""The discrete-event engine: a deterministic clock and event heap.
+
+Every component of the reproduction — kernels, runtimes, networks,
+failure injectors — schedules work through one `Engine`.  Determinism is
+a hard requirement (the conformance suite and the benchmark tables must
+be exactly reproducible), so:
+
+* events fire in (time, sequence-number) order: ties are broken by
+  insertion order, never by identity hash;
+* there is no wall-clock anywhere; `Engine.now` is the only clock;
+* all randomness used by simulated hardware flows through
+  `repro.sim.rng.SimRandom`, seeded per run.
+
+Time is a float in **milliseconds** throughout the project, matching the
+units of the paper's tables (57 ms, 2.4 ms, ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class EngineError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback; returned by `Engine.schedule` so it can be
+    cancelled before it fires.
+
+    Cancellation is O(1): the heap entry is tombstoned rather than
+    removed, and skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} {self.fn!r}>"
+
+
+class Engine:
+    """A deterministic discrete-event scheduler.
+
+    Usage::
+
+        eng = Engine()
+        eng.schedule(5.0, callback, arg1)
+        eng.run()            # runs until the heap is empty
+        eng.run(until=100.0) # or until simulated time passes 100 ms
+
+    The engine deliberately has no notion of processes; see
+    `repro.sim.tasks.Task` for coroutine driving.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        self._running: bool = False
+        #: optional hook called as trace(engine, event) before each event
+        self.trace_hook: Optional[Callable[["Engine", Event], None]] = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now.
+
+        ``delay`` must be >= 0; a zero delay runs after all events already
+        scheduled for the current instant (FIFO at equal timestamps).
+        """
+        if delay < 0:
+            raise EngineError(f"cannot schedule {delay} ms in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise EngineError(
+                f"cannot schedule at t={time} before current t={self.now}"
+            )
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current instant (after pending
+        same-instant events)."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next non-cancelled event.
+
+        Returns False when the heap is exhausted.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:  # pragma: no cover - defensive
+                raise EngineError("event heap corrupted: time went backwards")
+            self.now = ev.time
+            if self.trace_hook is not None:
+                self.trace_hook(self, ev)
+            self._events_fired += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the heap empties, ``until`` is passed, or
+        ``max_events`` have fired.  Returns the number of events fired by
+        this call.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        When the run stops because a *pending* event lies beyond
+        ``until``, the clock advances to ``until``; when the heap simply
+        empties, the clock stays at the last event fired (so it reads as
+        the workload's true duration).
+        """
+        fired = 0
+        self._running = True
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self._peek_time()
+                if until is not None and nxt is not None and nxt > until:
+                    self.now = max(self.now, until)
+                    break
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of non-cancelled events still scheduled."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self.now:.6f} pending={self.pending}>"

@@ -1,0 +1,78 @@
+"""Failure injection.
+
+The paper's semantic findings all involve failures:
+
+* Charlotte: process termination destroys all the process's links, and
+  peers must see send/receive failures (§2.2); a crash *during* the
+  multi-packet enclosure protocol loses enclosed links (§3.2.2 a–d).
+* SODA: "If a process dies before accepting a request, the requester
+  feels an interrupt that informs it of the crash" (§4.1); node crashes
+  strain ``discover`` (§4.2).
+* Chrysalis: clean termination destroys links even for erroneous
+  processes (the runtime catches faults), but "processor failures are
+  currently not detected" (§5.2) — a hard kill leaves peers hanging.
+
+`CrashInjector` schedules kills against cluster processes; a
+`FailurePlan` is a declarative list of (time, target, mode) used by
+tests and benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.engine import Engine
+
+
+class CrashMode(enum.Enum):
+    #: orderly termination: runtime clean-up runs (finally blocks)
+    TERMINATE = "terminate"
+    #: software fault inside the process: runtime fault handlers run
+    #: (Chrysalis can still clean up; models "even erroneous processes
+    #: can clean up their links", §5.2)
+    FAULT = "fault"
+    #: hard processor failure: nothing runs; peers are only informed if
+    #: the kernel itself detects node death (Charlotte/SODA yes,
+    #: Chrysalis no)
+    PROCESSOR = "processor"
+
+
+@dataclass
+class FailureEvent:
+    time: float
+    target: str
+    mode: CrashMode = CrashMode.TERMINATE
+
+
+@dataclass
+class FailurePlan:
+    """A declarative crash schedule, applied by `CrashInjector.apply`."""
+
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def kill(self, time: float, target: str, mode: CrashMode = CrashMode.TERMINATE):
+        self.events.append(FailureEvent(time, target, mode))
+        return self
+
+
+class CrashInjector:
+    """Binds a `FailurePlan` to a cluster.
+
+    The cluster must expose ``crash_process(name, mode)``; all three
+    cluster classes do (see `repro.core.cluster.ClusterBase`).
+    """
+
+    def __init__(self, engine: Engine, crash_fn: Callable[[str, CrashMode], None]):
+        self.engine = engine
+        self.crash_fn = crash_fn
+        self.injected: List[FailureEvent] = []
+
+    def apply(self, plan: FailurePlan) -> None:
+        for ev in plan.events:
+            self.engine.schedule_at(ev.time, self._fire, ev)
+
+    def _fire(self, ev: FailureEvent) -> None:
+        self.injected.append(ev)
+        self.crash_fn(ev.target, ev.mode)

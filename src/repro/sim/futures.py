@@ -1,0 +1,166 @@
+"""Futures: the completion primitive connecting kernels to tasks.
+
+A `Future` is resolved (or failed) exactly once, at some simulated time;
+callbacks registered on it run at the instant of resolution.  Tasks
+(`repro.sim.tasks.Task`) suspend by yielding a Future and resume when it
+settles.
+
+Futures are the only suspension mechanism in the whole reproduction:
+kernel calls, network deliveries, dual-queue waits and software
+interrupts all surface as futures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.sim.engine import Engine
+
+
+class FutureState(enum.Enum):
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class InvalidFutureTransition(RuntimeError):
+    """A future was resolved or failed more than once."""
+
+
+class Future:
+    """A single-assignment cell that settles at a simulated instant.
+
+    Callbacks run synchronously inside ``resolve``/``fail`` — callers that
+    need "run later this instant" ordering should resolve via
+    ``engine.call_soon``.
+    """
+
+    __slots__ = ("engine", "state", "value", "error", "_callbacks", "label")
+
+    def __init__(self, engine: Engine, label: str = "") -> None:
+        self.engine = engine
+        self.state = FutureState.PENDING
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        #: free-form tag for tracing and error messages
+        self.label = label
+
+    # ------------------------------------------------------------------
+    def is_settled(self) -> bool:
+        return self.state is not FutureState.PENDING
+
+    def resolve(self, value: Any = None) -> None:
+        """Settle successfully with ``value``."""
+        if self.state is not FutureState.PENDING:
+            raise InvalidFutureTransition(
+                f"future {self.label!r} already {self.state.value}"
+            )
+        self.state = FutureState.DONE
+        self.value = value
+        self._fire()
+
+    def fail(self, error: BaseException) -> None:
+        """Settle with an exception; the waiting task will see it raised."""
+        if self.state is not FutureState.PENDING:
+            raise InvalidFutureTransition(
+                f"future {self.label!r} already {self.state.value}"
+            )
+        self.state = FutureState.FAILED
+        self.error = error
+        self._fire()
+
+    def resolve_later(self, delay: float, value: Any = None):
+        """Schedule resolution ``delay`` ms from now; returns the Event."""
+        return self.engine.schedule(delay, self._safe_resolve, value)
+
+    def fail_later(self, delay: float, error: BaseException):
+        return self.engine.schedule(delay, self._safe_fail, error)
+
+    def _safe_resolve(self, value: Any) -> None:
+        if self.state is FutureState.PENDING:
+            self.resolve(value)
+
+    def _safe_fail(self, error: BaseException) -> None:
+        if self.state is FutureState.PENDING:
+            self.fail(error)
+
+    # ------------------------------------------------------------------
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Register ``fn(self)`` to run when the future settles (or
+        immediately if it already has)."""
+        if self.is_settled():
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def result(self) -> Any:
+        """The settled value; raises if pending or failed."""
+        if self.state is FutureState.DONE:
+            return self.value
+        if self.state is FutureState.FAILED:
+            assert self.error is not None
+            raise self.error
+        raise InvalidFutureTransition(f"future {self.label!r} still pending")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future {self.label!r} {self.state.value}>"
+
+
+def gather(engine: Engine, futures: Sequence[Future], label: str = "gather") -> Future:
+    """A future that resolves to the list of values once *all* inputs have
+    resolved; it fails with the first failure observed."""
+    out = Future(engine, label)
+    remaining = len(futures)
+    if remaining == 0:
+        out.resolve([])
+        return out
+    results: List[Any] = [None] * remaining
+
+    def make_cb(index: int):
+        def cb(f: Future) -> None:
+            nonlocal remaining
+            if out.is_settled():
+                return
+            if f.state is FutureState.FAILED:
+                assert f.error is not None
+                out.fail(f.error)
+                return
+            results[index] = f.value
+            remaining -= 1
+            if remaining == 0:
+                out.resolve(list(results))
+
+        return cb
+
+    for i, f in enumerate(futures):
+        f.add_done_callback(make_cb(i))
+    return out
+
+
+def first_of(engine: Engine, futures: Sequence[Future], label: str = "first") -> Future:
+    """A future that settles with the (index, value) of the first input to
+    resolve, or fails with the first failure."""
+    out = Future(engine, label)
+
+    def make_cb(index: int):
+        def cb(f: Future) -> None:
+            if out.is_settled():
+                return
+            if f.state is FutureState.FAILED:
+                assert f.error is not None
+                out.fail(f.error)
+            else:
+                out.resolve((index, f.value))
+
+        return cb
+
+    for i, f in enumerate(futures):
+        f.add_done_callback(make_cb(i))
+    return out

@@ -1,0 +1,153 @@
+"""Counters and latency statistics.
+
+Every cluster owns one `MetricSet`; kernels count syscalls, wire
+messages and bytes into it, runtimes count protocol messages
+(request / reply / retry / forbid / allow / goahead / enc — the §3.2.1
+vocabulary), and benchmarks read it back to print the paper's tables.
+
+Counter names are plain dotted strings, e.g.::
+
+    kernel.calls.Send          Charlotte syscall count
+    wire.messages.request      LYNX-level requests put on the wire
+    wire.bytes                 total payload+header bytes transmitted
+    runtime.unwanted           messages received and bounced (§3.2.1)
+    move.kernel_messages       inter-kernel messages for link moves
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class LatencyRecorder:
+    """Accumulates individual latency samples (ms) and summarises them.
+
+    Keeps raw samples: the benchmark tables need means, and the fairness
+    experiment (E12) needs maxima over service gaps, so summary-only
+    accumulation would not do.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        xs = sorted(self.samples)
+        if len(xs) == 1:
+            return xs[0]
+        rank = (p / 100.0) * (len(xs) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return xs[lo]
+        frac = rank - lo
+        return xs[lo] * (1 - frac) + xs[hi] * frac
+
+    @property
+    def stddev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyRecorder {self.name!r} n={self.count} mean={self.mean:.3f}>"
+
+
+class MetricSet:
+    """A namespace of counters and latency recorders."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._latencies: Dict[str, LatencyRecorder] = {}
+
+    # counters ----------------------------------------------------------
+    def count(self, name: str, n: float = 1.0) -> None:
+        self._counters[name] += n
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose names start with ``prefix``."""
+        return {
+            k: v for k, v in sorted(self._counters.items()) if k.startswith(prefix)
+        }
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters under ``prefix``."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    # latency recorders ---------------------------------------------------
+    def latency(self, name: str) -> LatencyRecorder:
+        rec = self._latencies.get(name)
+        if rec is None:
+            rec = self._latencies[name] = LatencyRecorder(name)
+        return rec
+
+    def latencies(self) -> Dict[str, LatencyRecorder]:
+        return dict(self._latencies)
+
+    # utilities -----------------------------------------------------------
+    def reset(self) -> None:
+        self._counters.clear()
+        self._latencies.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters plus ``<name>.mean`` for each latency recorder."""
+        snap = dict(self._counters)
+        for name, rec in self._latencies.items():
+            snap[f"{name}.mean"] = rec.mean
+            snap[f"{name}.count"] = float(rec.count)
+        return snap
+
+    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
+        """Counter deltas relative to an earlier `snapshot` of counters."""
+        out = {}
+        for k, v in self._counters.items():
+            d = v - before.get(k, 0.0)
+            if d:
+                out[k] = d
+        return out

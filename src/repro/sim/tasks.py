@@ -1,0 +1,141 @@
+"""Tasks: generator coroutines driven over the event engine.
+
+A simulated *process* (a Charlotte process, a SODA client processor, a
+Chrysalis process) is a Python generator that yields `Future` objects
+when it must wait for simulated time to pass or for a kernel completion.
+`Task` drives one such generator.
+
+The yield protocol
+------------------
+A task generator may yield:
+
+* a ``Future`` — the task suspends until the future settles; a resolved
+  future resumes the generator with its value, a failed one raises the
+  failure *inside* the generator (so simulated code can catch simulated
+  exceptions);
+* ``None`` — the task is rescheduled at the current instant, after other
+  pending same-instant events (a cooperative yield).
+
+The generator's ``return`` value becomes the result of ``task.done``
+(itself a Future), so whole processes compose as futures.
+
+Note the two-level coroutine structure of the reproduction: LYNX
+*threads inside a process* are scheduled by the language run-time
+package (in mutual exclusion, per paper §2), and are **not** Tasks; only
+whole processes are.  This mirrors the paper, where coroutines "may be
+managed by the language run-time package, much like the coroutines of
+Modula-2".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.futures import Future, FutureState
+
+
+class TaskKilled(BaseException):
+    """Thrown into a task generator when the task is killed (crash
+    injection, process termination).  Derives from BaseException so that
+    simulated code's ``except Exception`` clean-up blocks do not swallow
+    a kill — but ``finally`` blocks still run, which is exactly what the
+    Chrysalis runtime relies on to destroy its links on the way out
+    (paper §5.2)."""
+
+
+class Task:
+    """Drives a generator coroutine over an `Engine`.
+
+    Parameters
+    ----------
+    engine : Engine
+    gen : generator yielding futures (see module docstring)
+    name : diagnostic label
+    """
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = "task") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        #: settles with the generator's return value (or its exception)
+        self.done: Future = Future(engine, f"{name}.done")
+        self._waiting_on: Optional[Future] = None
+        self._kill_pending: Optional[TaskKilled] = None
+        # start on the next tick so construction order does not matter
+        engine.call_soon(self._step, None, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.done.is_settled()
+
+    def kill(self, reason: str = "killed") -> None:
+        """Deliver `TaskKilled` at the task's current (or next) yield
+        point.  The generator may catch it and continue — that is how
+        runtimes perform orderly crash clean-up — or let it propagate,
+        failing ``done``.  Idempotent; a finished task ignores kills."""
+        if self.finished or self._kill_pending is not None:
+            return
+        self._kill_pending = TaskKilled(reason)
+        # Detach from whatever it was waiting on and resume with the kill.
+        self._waiting_on = None
+        self.engine.call_soon(self._step, None, None)
+
+    # ------------------------------------------------------------------
+    def _step(self, value: Any, error: Optional[BaseException]) -> None:
+        if self.finished:
+            return
+        if self._kill_pending is not None and error is None:
+            error, self._kill_pending = self._kill_pending, None
+        self._waiting_on = None
+        try:
+            if error is not None:
+                yielded = self.gen.throw(error)
+            else:
+                yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.done.resolve(stop.value)
+            return
+        except TaskKilled as kill:
+            self.done.fail(kill)
+            return
+        except BaseException as exc:
+            self.done.fail(exc)
+            return
+
+        if yielded is None:
+            self.engine.call_soon(self._step, None, None)
+        elif isinstance(yielded, Future):
+            self._wait_on(yielded)
+        else:
+            err = TypeError(
+                f"task {self.name!r} yielded {type(yielded).__name__}; "
+                "only Future or None may be yielded"
+            )
+            self.engine.call_soon(self._step, None, err)
+
+    def _wait_on(self, fut: Future) -> None:
+        self._waiting_on = fut
+
+        def on_settle(f: Future) -> None:
+            if self._waiting_on is not f:
+                return  # task was killed or redirected meanwhile
+            if f.state is FutureState.DONE:
+                self.engine.call_soon(self._step, f.value, None)
+            else:
+                self.engine.call_soon(self._step, None, f.error)
+
+        fut.add_done_callback(on_settle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Task {self.name!r} {state}>"
+
+
+def sleep(engine: Engine, delay: float, label: str = "sleep") -> Future:
+    """A future that resolves ``delay`` ms from now — the idiom simulated
+    code uses to burn simulated CPU time: ``yield sleep(eng, 0.5)``."""
+    fut = Future(engine, label)
+    fut.resolve_later(delay, None)
+    return fut

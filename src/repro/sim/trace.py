@@ -1,0 +1,129 @@
+"""Event tracing: message-sequence records and ASCII sequence charts.
+
+The paper explains its protocols with message-sequence diagrams
+(figures 1 and 2).  `TraceLog` records runtime-level events as they
+happen so any run can be rendered the same way — the E3 bench and the
+`examples/figure2.py` script regenerate figure 2 from a live run
+rather than from the model.
+
+Tracing is always on (appending a tuple is cheap at simulation scale)
+but bounded; the log keeps the most recent ``capacity`` events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    actor: str
+    event: str
+    #: free-form details (message kind, link, seq, peer, ...)
+    detail: Dict[str, object]
+
+    def describe(self) -> str:
+        bits = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.3f}] {self.actor:<12} {self.event:<16} {bits}"
+
+
+class TraceLog:
+    """A bounded, append-only log of simulation events."""
+
+    def __init__(self, engine: Engine, capacity: int = 100_000) -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.enabled = True
+
+    def emit(self, actor: str, event: str, **detail: object) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(self.engine.now, actor, event, detail)
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        actor: Optional[str] = None,
+        event: Optional[str] = None,
+        link: Optional[int] = None,
+    ) -> List[TraceEvent]:
+        out = []
+        for ev in self.events:
+            if actor is not None and ev.actor != actor:
+                continue
+            if event is not None and ev.event != event:
+                continue
+            if link is not None and ev.detail.get("link") != link:
+                continue
+            out.append(ev)
+        return out
+
+    def dump(self, limit: int = 200) -> str:
+        lines = [ev.describe() for ev in list(self.events)[-limit:]]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # sequence chart (figures 1/2 style)
+    # ------------------------------------------------------------------
+    def sequence_chart(
+        self,
+        actors: Sequence[str],
+        events: Optional[Iterable[str]] = None,
+        link: Optional[int] = None,
+        width: int = 24,
+    ) -> str:
+        """Render send events between ``actors`` as an ASCII sequence
+        chart.  Events must carry ``peer`` (destination actor) and
+        ``kind`` details to be drawn; others are listed inline.
+        """
+        wanted = set(events) if events is not None else None
+        cols = {a: i for i, a in enumerate(actors)}
+        total = width * len(actors)
+
+        def lifelines() -> List[str]:
+            row = [" "] * total
+            for i in range(len(actors)):
+                row[i * width] = "|"
+            return row
+
+        lines = ["".join(a.ljust(width) for a in actors),
+                 "".join(lifelines())]
+        for ev in self.events:
+            if wanted is not None and ev.event not in wanted:
+                continue
+            if link is not None and ev.detail.get("link") != link:
+                continue
+            src = ev.actor
+            dst = ev.detail.get("peer")
+            label = str(ev.detail.get("kind", ev.event))
+            row = lifelines()
+            if src in cols and isinstance(dst, str) and dst in cols \
+                    and cols[src] != cols[dst]:
+                i, j = cols[src], cols[dst]
+                lo, hi = min(i, j), max(i, j)
+                start, end = lo * width + 1, hi * width - 1
+                body = label.center(end - start - 1, "-")
+                if j > i:
+                    segment = body + ">"
+                else:
+                    segment = "<" + body
+                row[start:end] = list(segment[: end - start])
+            elif src in cols:
+                i = cols[src]
+                note = f" {label}"
+                pos = i * width + 1
+                row[pos : pos + len(note)] = list(note[: total - pos])
+            else:
+                continue
+            lines.append("".join(row).rstrip())
+        return "\n".join(lines)

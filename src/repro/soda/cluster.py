@@ -1,0 +1,88 @@
+"""The SODA cluster: kernel processors on a CSMA bus."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.cluster import ClusterBase, ProcessHandle
+from repro.core.links import EndRef
+from repro.sim.failure import CrashMode
+from repro.sim.network import CSMABus
+from repro.soda.kernel import SodaKernel
+from repro.soda.runtime import SodaRuntime
+
+
+class SodaCluster(ClusterBase):
+    """A SODA network (§4.1): many two-processor nodes on a 1 Mbit/s
+    CSMA bus.
+
+    Extra options
+    -------------
+    broadcast_loss : float
+        Probability an unreliable-broadcast (discover) frame misses a
+        given receiver — the E9 sweep parameter.  The paper: "without
+        reasonable assumptions about the reliability of SODA
+        broadcasts, it is impossible to predict the success rate of
+        the heuristics."
+    pair_request_limit : int
+        §4.2.1's outstanding-request limit (E10 sweep parameter).
+    cache_size : int
+        Entries in each process's moved-link cache (§4.2).
+    """
+
+    KIND = "soda"
+
+    def __init__(
+        self,
+        seed=0,
+        costmodel=None,
+        nodes: int = 64,
+        broadcast_loss: float = 0.0,
+        pair_request_limit: Optional[int] = None,
+        cache_size: int = 64,
+    ) -> None:
+        self.broadcast_loss = broadcast_loss
+        self.pair_request_limit = pair_request_limit
+        self.cache_size = cache_size
+        super().__init__(seed=seed, costmodel=costmodel, nodes=nodes)
+
+    def _setup_hardware(self) -> None:
+        costs = self.costmodel.soda
+        if self.pair_request_limit is not None:
+            costs = replace(costs, pair_request_limit=self.pair_request_limit)
+        #: the (possibly overridden) profile kernel and runtimes read
+        self.soda_costs = costs
+        self.bus = CSMABus(
+            self.engine,
+            metrics=self.metrics,
+            rng=self.rng.child("bus"),
+            rate_mbit=costs.bus_rate_mbit,
+            base_access_ms=costs.bus_access_ms,
+            max_backoff_ms=costs.bus_backoff_ms,
+            broadcast_loss=self.broadcast_loss,
+        )
+        self.kernel = SodaKernel(
+            self.engine, self.metrics, costs, self.bus, self.registry
+        )
+
+    def make_runtime(self, handle: ProcessHandle) -> SodaRuntime:
+        return SodaRuntime(handle, self)
+
+    def create_link(self, a: ProcessHandle, b: ProcessHandle) -> None:
+        link = self.registry.alloc_link(a.name, b.name)
+        ref_a, ref_b = EndRef(link, 0), EndRef(link, 1)
+        name_a = self.kernel.new_name()
+        name_b = self.kernel.new_name()
+        a.runtime.preload_end(ref_a)
+        a.runtime.preload_soda_end(ref_a, name_a, name_b, b.name)
+        b.runtime.preload_end(ref_b)
+        b.runtime.preload_soda_end(ref_b, name_b, name_a, a.name)
+
+    def on_crash(self, handle: ProcessHandle, mode: CrashMode) -> None:
+        # the kernel processor outlives its client processor and
+        # notifies requesters of the death (§4.1) in every crash mode
+        if mode is CrashMode.PROCESSOR:
+            self.kernel.process_died(handle.name)
+        # TERMINATE/FAULT: the runtime clean-up destroys links itself
+        # and then reports the death in rt_shutdown

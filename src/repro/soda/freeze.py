@@ -1,0 +1,206 @@
+"""The freeze/unfreeze absolute search for lost links (paper §4.2).
+
+When hints, the cache, and discover all fail, the paper sketches a
+fall-back that is guaranteed to find a live link end:
+
+  "• Every process advertises a freeze name.  When C discovers its
+  hint for L is bad, it posts a SODA request on the freeze name of
+  every process currently in existence (SODA makes it easy to guess
+  their ids).  It includes the name of L in the request.
+  • Each process accepts a freeze request immediately, ceases
+  execution of everything but its own searches, increments a counter,
+  and posts an unfreeze request with C.  If it has a hint for L, it
+  includes that hint in the freeze accept or the unfreeze request.
+  • When C obtains a new hint or has unsuccessfully queried everyone,
+  it accepts the unfreeze requests.  When a frozen process feels an
+  interrupt indicating that its unfreeze request has been accepted or
+  that C has crashed, it decrements its counter.  If the counter hits
+  zero, it continues execution.  The existence of the counter permits
+  multiple concurrent searches."
+
+"This algorithm has the considerable disadvantage of bringing every
+LYNX process in existence to a temporary halt" — which experiment E9
+quantifies (frozen process-milliseconds per search).
+
+Idealisation (documented): freeze names are derived deterministically
+from process ids (``("freeze", pid)``) rather than discovered; the
+paper's "easy to guess" remark licenses this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Set, TYPE_CHECKING
+
+from repro.soda.kernel import AcceptStatus, Interrupt, InterruptKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.soda.runtime import SodaRuntime
+
+
+def freeze_name_of(pid: str):
+    return ("freeze", pid)
+
+
+class _Search:
+    """Bookkeeping for one search this process is running (as C)."""
+
+    def __init__(self, target_name: int, peers: List[str]) -> None:
+        self.target_name = target_name
+        self.awaiting: Set[str] = set(peers)
+        self.hint: Optional[str] = None
+        #: unfreeze request rids received, to accept when concluding
+        self.unfreeze_rids: List[int] = []
+        self.done: bool = False
+
+
+class FreezeManager:
+    """Both sides of the protocol for one process: freezing when asked,
+    and searching (freezing everyone else) when desperate."""
+
+    def __init__(self, runtime: "SodaRuntime") -> None:
+        self.runtime = runtime
+        #: searches we are running, by target link-end name
+        self.active: Dict[int, _Search] = {}
+        #: our pending unfreeze request rid, by searcher — so stray
+        #: accept-completions decrement the right counter
+        self._unfreeze_out: Dict[str, int] = {}
+        self._froze_at: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def startup(self) -> Generator:
+        yield self.runtime.port.advertise(freeze_name_of(self.runtime.name))
+
+    # ------------------------------------------------------------------
+    # the frozen side
+    # ------------------------------------------------------------------
+    def on_freeze_request(self, intr: Interrupt) -> Generator:
+        """Accept immediately, halt, and post an unfreeze request back
+        to the searcher."""
+        rt = self.runtime
+        searcher = intr.oob["searcher"]
+        target = intr.oob["target"]
+        hint = self._any_hint_for(target)
+        yield rt.port.accept(
+            intr.rid, oob={"kind": "freeze-ack", "hint": hint}
+        )
+        rt.frozen_count += 1
+        self._froze_at[searcher] = rt.engine.now
+        rt.metrics.count("soda.freeze.frozen")
+        rid = yield rt.port.request(
+            searcher,
+            intr.oob["unfreeze_name"],
+            {"kind": "unfreeze", "hint": hint, "frozen": rt.name},
+        )
+        self._unfreeze_out[searcher] = rid
+
+    def on_completion_maybe(self, intr: Interrupt) -> bool:
+        """Route a completion/crash for one of our unfreeze requests;
+        returns True if it was one."""
+        for searcher, rid in list(self._unfreeze_out.items()):
+            if rid == intr.rid:
+                self.on_unfreeze_accepted(searcher)
+                return True
+        return False
+
+    def on_unfreeze_accepted(self, searcher: str) -> None:
+        """Our unfreeze request was accepted (or the searcher crashed):
+        decrement; at zero, run again."""
+        rt = self.runtime
+        if searcher in self._unfreeze_out:
+            self._unfreeze_out.pop(searcher, None)
+            rt.frozen_count = max(0, rt.frozen_count - 1)
+            start = self._froze_at.pop(searcher, rt.engine.now)
+            rt.metrics.count("soda.freeze.frozen_ms", rt.engine.now - start)
+            if rt.frozen_count == 0:
+                rt._wake()
+
+    def _any_hint_for(self, target_name: int) -> Optional[str]:
+        rt = self.runtime
+        # do we own the end itself?
+        if target_name in rt.name_to_ref:
+            return rt.name
+        # or remember where it went?  (the far name of an end we own
+        # also locates it: its owner is our hint)
+        cached = rt.cache.get(target_name)
+        if cached is not None:
+            return cached
+        for se in rt.sref.values():
+            if se.far_name == target_name:
+                return se.hint
+        return None
+
+    # ------------------------------------------------------------------
+    # the searching side (C)
+    # ------------------------------------------------------------------
+    def on_unfreeze_request(self, intr: Interrupt) -> Generator:
+        """A frozen process posted its unfreeze request with us."""
+        target = None
+        for t, search in self.active.items():
+            if not search.done:
+                target = t
+                break
+        hint = intr.oob.get("hint")
+        if target is not None:
+            search = self.active[target]
+            search.unfreeze_rids.append(intr.rid)
+            search.awaiting.discard(intr.oob.get("frozen", ""))
+            if hint and search.hint is None:
+                search.hint = hint
+        else:
+            # no active search (stragglers after conclusion): release
+            # the poor frozen process immediately
+            yield self.runtime.port.accept(intr.rid, oob={})
+
+    def search(self, target_name: int) -> Generator:
+        """Freeze the world and ask everyone about ``target_name``.
+        Returns a hint (process id) or None."""
+        rt = self.runtime
+        rt.metrics.count("soda.freeze.searches")
+        unfreeze_name = yield rt.port.new_name()
+        yield rt.port.advertise(unfreeze_name)
+        peers = [p for p in rt.cluster.kernel.process_ids() if p != rt.name]
+        search = _Search(target_name, peers)
+        self.active[target_name] = search
+        freeze_rids = []
+        for pid in peers:
+            rid = yield rt.port.request(
+                pid,
+                freeze_name_of(pid),
+                {
+                    "kind": "freeze",
+                    "target": target_name,
+                    "searcher": rt.name,
+                    "unfreeze_name": unfreeze_name,
+                },
+            )
+            freeze_rids.append(rid)
+        # collect freeze-acks (completions carry hints) and unfreeze
+        # requests, pumping our own interrupt queue while we wait
+        deadline = rt.engine.now + 10_000.0
+        while search.awaiting and rt.engine.now < deadline:
+            if search.hint is not None:
+                break  # "When C obtains a new hint ..."
+            if rt._intr_q:
+                intr = rt._intr_q.popleft()
+                if (
+                    intr.kind is InterruptKind.COMPLETION
+                    and intr.rid in freeze_rids
+                ):
+                    hint = intr.oob.get("hint")
+                    if hint and search.hint is None:
+                        search.hint = hint
+                    continue
+                if intr.kind is InterruptKind.CRASH and intr.rid in freeze_rids:
+                    search.awaiting.discard(intr.frm)
+                    continue
+                yield from rt._handle_interrupt(intr)
+                continue
+            yield rt.wakeup_future()
+        # "... or has unsuccessfully queried everyone, it accepts the
+        # unfreeze requests"
+        search.done = True
+        for rid in search.unfreeze_rids:
+            yield rt.port.accept(rid, oob={})
+        self.active.pop(target_name, None)
+        yield rt.port.unadvertise(unfreeze_name)
+        return search.hint

@@ -1,0 +1,65 @@
+"""Tests for the CLI (`python -m repro ...`)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_rpc_command(capsys):
+    assert main(["rpc", "--kernel", "chrysalis", "--count", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "chrysalis" in out and "mean ms" in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--count", "2"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("charlotte", "soda", "chrysalis"):
+        assert kind in out
+
+
+def test_figure2_command(capsys):
+    assert main(["figure2", "--enclosures", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "goahead" in out and out.count("enc") >= 2
+
+
+def test_figure2_on_chrysalis_has_no_protocol(capsys):
+    assert main(["figure2", "--kernel", "chrysalis"]) == 0
+    out = capsys.readouterr().out
+    assert "goahead" not in out
+    assert "request" in out and "reply" in out
+
+
+def test_migrate_command(capsys):
+    assert main(["migrate", "--kernel", "chrysalis", "--hops", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "repair_latency_ms" in out
+
+
+def test_sizes_command(capsys):
+    assert main(["sizes"]) == 0
+    out = capsys.readouterr().out
+    assert "charlotte special cases" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_sweep_command(capsys):
+    from repro.cli import main as _main
+
+    assert _main(["sweep"]) == 0
+    out = capsys.readouterr().out
+    assert "charlotte" in out and "soda" in out
+
+
+def test_linda_command(capsys):
+    from repro.cli import main as _main
+
+    assert _main(["linda", "--kernel", "chrysalis", "--tasks", "4",
+                  "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "results collected" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the code-complexity accounting (E2's instrument)."""
+
+import pytest
+
+import repro.charlotte.runtime
+import repro.core.runtime
+from repro.analysis.complexity import (
+    CHARLOTTE_SPECIAL_CASES,
+    analyze_module,
+    charlotte_special_case_stats,
+    comparison,
+    runtime_package_stats,
+)
+
+
+def test_analyze_module_counts_are_positive_and_stable():
+    a = analyze_module(repro.core.runtime)
+    b = analyze_module(repro.core.runtime)
+    assert a.logical_loc == b.logical_loc > 100
+    assert a.branches == b.branches > 20
+    assert "LynxRuntimeBase" in a.units
+
+
+def test_docstrings_do_not_count_as_logical_lines():
+    import types
+
+    mod = types.ModuleType("fake")
+    src = '''
+def f():
+    """A very long docstring.
+
+    Many lines of prose here that must not count.
+    """
+    return 1
+'''
+    import ast as _ast
+    tree = _ast.parse(src)
+    from repro.analysis.complexity import _branches, _logical_lines
+
+    # def + return = 2 statements; the docstring Expr is skipped
+    assert _logical_lines(tree) == 2
+    assert _branches(tree) == 0
+
+
+def test_special_case_units_exist_in_source():
+    """The curated special-case list must stay in sync with the
+    Charlotte runtime's actual function names."""
+    mod = analyze_module(repro.charlotte.runtime)
+    for name in CHARLOTTE_SPECIAL_CASES:
+        assert name in mod.units, name
+
+
+def test_special_case_stats_nonzero():
+    s = charlotte_special_case_stats()
+    assert s.logical_loc > 40
+    assert s.branches > 5
+
+
+def test_package_stats_shape():
+    for kind in ("charlotte", "soda", "chrysalis"):
+        stats = runtime_package_stats(kind)
+        assert stats.kernel_specific_loc > 0
+        assert stats.common_loc > 0
+        assert 0.0 < stats.kernel_share < 1.0
+        assert stats.total_loc == stats.kernel_specific_loc + stats.common_loc
+
+
+def test_comparison_reproduces_paper_ordering():
+    cmp_ = comparison()
+    assert (
+        cmp_["chrysalis"]["kernel_specific_loc"]
+        < cmp_["charlotte"]["kernel_specific_loc"]
+    )
+    assert 0.0 < cmp_["charlotte"]["special_case_share_of_specific"] < 1.0

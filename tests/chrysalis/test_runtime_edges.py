@@ -1,0 +1,240 @@
+"""Chrysalis runtime edge cases: buffer flow control, stale notices,
+adoption races, reclaim accounting."""
+
+import pytest
+
+from repro.core.api import (
+    BYTES,
+    INT,
+    LINK,
+    LinkDestroyed,
+    Operation,
+    Proc,
+    make_cluster,
+)
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+ADD = Operation("add", (INT, INT), (INT,))
+GIVE = Operation("give", (LINK,), ())
+
+
+def test_single_request_buffer_serialises_bursts():
+    """"buffer space for a single request ... in each direction"
+    (§5.2): five concurrent connects on one link must flow one at a
+    time through the shared buffer, in order, with the extras parked in
+    the runtime."""
+
+    class Burst(Proc):
+        def one(self, ctx, end, i):
+            yield from ctx.connect(end, ADD, (i, 0))
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for i in range(5):
+                yield from ctx.fork(self.one(ctx, end, i), f"b{i}")
+
+    class Server(Proc):
+        def __init__(self):
+            self.order = []
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ADD)
+            yield from ctx.open(end)
+            for _ in range(5):
+                inc = yield from ctx.wait_request()
+                self.order.append(inc.args[0])
+                yield from ctx.reply(inc, (0,))
+
+    cluster = make_cluster("chrysalis")
+    server = Server()
+    s = cluster.spawn(server, "server")
+    b = cluster.spawn(Burst(), "burst")
+    cluster.create_link(s, b)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished
+    assert server.order == [0, 1, 2, 3, 4]
+    # at least some of the burst had to park behind the single buffer
+    # (how many depends on how fast the server drains it)
+    assert cluster.metrics.get("chrysalis.sends_parked") >= 1
+    cluster.check()
+
+
+def test_reply_buffer_flow_control_two_serving_coroutines():
+    """Two server coroutines answer back-to-back on one link: the
+    single reply buffer forces the second reply to park until the
+    client scatters the first."""
+
+    class Server(Proc):
+        def entry(self, ctx, inc):
+            yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ADD)
+            yield from ctx.open(end)
+            threads = []
+            for _ in range(2):
+                inc = yield from ctx.wait_request()
+                t = yield from ctx.fork(self.entry(ctx, inc), "e")
+                threads.append(t)
+            while any(t.live for t in threads):
+                yield from ctx.delay(1.0)
+
+    class Client(Proc):
+        def __init__(self):
+            self.replies = []
+
+        def one(self, ctx, end, i):
+            r = yield from ctx.connect(end, ADD, (i, 100))
+            self.replies.append(r[0])
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for i in range(2):
+                yield from ctx.fork(self.one(ctx, end, i), f"c{i}")
+
+    cluster = make_cluster("chrysalis")
+    client = Client()
+    s = cluster.spawn(Server(), "server")
+    c = cluster.spawn(client, "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert sorted(client.replies) == [100, 101]
+    cluster.check()
+
+
+def test_stale_notice_after_move_is_discarded():
+    """"If either check fails, the notice is discarded" (§5.2): traffic
+    racing a move leaves notices pointing at the old owner's queue."""
+
+    class Carol(Proc):
+        def __init__(self):
+            self.reply = None
+
+        def main(self, ctx):
+            (to_link,) = ctx.initial_links
+            # fire the request exactly while the move is happening
+            yield from ctx.delay(2.0)
+            self.reply = yield from ctx.connect(to_link, ADD, (2, 2))
+
+    class Alice(Proc):
+        def main(self, ctx):
+            to_carol, to_bob = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.delay(2.0)
+            yield from ctx.connect(to_bob, GIVE, (to_carol,))
+            yield from ctx.delay(500.0)  # stay mapped a while
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE, ADD)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            moved = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.open(moved)
+            inc2 = yield from ctx.wait_request()
+            yield from ctx.reply(inc2, (inc2.args[0] + inc2.args[1],))
+
+    cluster = make_cluster("chrysalis")
+    carol = Carol()
+    c = cluster.spawn(carol, "carol")
+    a = cluster.spawn(Alice(), "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(c, a)
+    cluster.create_link(a, b)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert carol.reply == (4,), cluster.unfinished()
+    cluster.check()
+
+
+def test_moved_link_object_refcount_follows_owners():
+    """Mapping follows ownership: after a move the object is mapped by
+    exactly the two current owners; destroy + unmap reclaims it."""
+
+    class Alice(Proc):
+        def __init__(self):
+            self.oid = None
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            mine, theirs = yield from ctx.new_link()
+            self.oid = ctx._runtime.cends[mine.end_ref].oid
+            yield from ctx.register(GIVE)
+            yield from ctx.connect(to_bob, GIVE, (theirs,))
+            yield from ctx.delay(50.0)
+            yield from ctx.destroy(mine)
+            yield from ctx.delay(100.0)
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, ())
+            yield from ctx.delay(300.0)  # sees the DESTROYED notice
+
+    cluster = make_cluster("chrysalis")
+    alice = Alice()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished
+    # "At this point Chrysalis notices that the reference count has
+    # reached zero, and the object is reclaimed." (§5.2)
+    assert cluster.kernel.object_reclaimed(alice.oid)
+    cluster.check()
+
+
+def test_adopting_end_of_already_destroyed_link():
+    """The far end destroys the link while our end is in transit; the
+    adopter must find the DESTROYED flag at adoption and feel the
+    exception on first use."""
+
+    class Alice(Proc):
+        def main(self, ctx):
+            to_carol, to_bob = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.connect(to_bob, GIVE, (to_carol,))
+            yield from ctx.delay(1000.0)
+
+    class Carol(Proc):
+        def main(self, ctx):
+            (to_alice,) = ctx.initial_links
+            # destroy "simultaneously" with the move
+            yield from ctx.destroy(to_alice)
+            yield from ctx.delay(1000.0)
+
+    class Bob(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE, ADD)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            moved = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.delay(50.0)
+            try:
+                yield from ctx.connect(moved, ADD, (1, 1))
+            except LinkDestroyed as e:
+                self.error = e
+
+    cluster = make_cluster("chrysalis")
+    bob = Bob()
+    c = cluster.spawn(Carol(), "carol")
+    a = cluster.spawn(Alice(), "alice")
+    b = cluster.spawn(bob, "bob")
+    cluster.create_link(c, a)
+    cluster.create_link(a, b)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert isinstance(bob.error, LinkDestroyed)
+    cluster.check()

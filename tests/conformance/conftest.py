@@ -1,0 +1,21 @@
+"""Fixtures for the cross-kernel conformance suite.
+
+``kernel_kind`` parametrises every test over the three kernels —
+running identical LYNX programs on Charlotte, SODA and Chrysalis is
+the paper's experimental setup, and the suite encodes both the shared
+semantics and the *documented divergences* (Charlotte's §3.2.2
+enclosure loss, Chrysalis's undetected processor failures)."""
+
+import pytest
+
+from repro.core.api import KERNEL_KINDS, make_cluster
+
+
+@pytest.fixture(params=KERNEL_KINDS)
+def kernel_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def cluster(kernel_kind):
+    return make_cluster(kernel_kind, seed=7)

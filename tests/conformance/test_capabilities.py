@@ -1,0 +1,255 @@
+"""Capability-style link handling, identical across kernels.
+
+Link ends enclosed in *replies* (a server minting per-resource links),
+re-delegation chains, and concurrent server coroutines — the
+loosely-coupled patterns §2 says LYNX exists for.
+"""
+
+import pytest
+
+from repro.core.api import (
+    BYTES,
+    INT,
+    LINK,
+    LinkDestroyed,
+    Operation,
+    Proc,
+    STR,
+)
+
+MINT = Operation("mint", (STR,), (LINK,))
+USE = Operation("use", (INT,), (INT,))
+DELEGATE = Operation("delegate", (LINK,), ())
+
+
+def test_reply_enclosure_moves_capability(cluster):
+    """A link end enclosed in a REPLY moves to the requester."""
+
+    class Issuer(Proc):
+        def cap_worker(self, ctx, end, tag):
+            yield from ctx.open(end)
+            inc = yield from ctx.wait_request([end])
+            yield from ctx.reply(inc, (inc.args[0] * len(tag),))
+
+        def main(self, ctx):
+            (public,) = ctx.initial_links
+            yield from ctx.register(MINT, USE)
+            yield from ctx.open(public)
+            inc = yield from ctx.wait_request([public])
+            (tag,) = inc.args
+            mine, theirs = yield from ctx.new_link()
+            yield from ctx.fork(self.cap_worker(ctx, mine, tag), "cap")
+            yield from ctx.reply(inc, (theirs,))
+
+    class Holder(Proc):
+        def __init__(self):
+            self.result = None
+
+        def main(self, ctx):
+            (public,) = ctx.initial_links
+            (cap,) = yield from ctx.connect(public, MINT, ("xyz",))
+            (v,) = yield from ctx.connect(cap, USE, (7,))
+            self.result = v
+
+    holder = Holder()
+    i = cluster.spawn(Issuer(), "issuer")
+    h = cluster.spawn(holder, "holder")
+    cluster.create_link(i, h)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert holder.result == 21
+    cluster.check()
+
+
+def test_capability_redelegation_chain(cluster):
+    """A capability minted by the issuer is re-delegated holder →
+    friend, who then uses it; the issuer is oblivious to the
+    delegation (§2.1's oblivious far end)."""
+
+    class Issuer(Proc):
+        def cap_worker(self, ctx, end):
+            yield from ctx.open(end)
+            inc = yield from ctx.wait_request([end])
+            yield from ctx.reply(inc, (inc.args[0] + 1000,))
+
+        def main(self, ctx):
+            (public,) = ctx.initial_links
+            yield from ctx.register(MINT, USE)
+            yield from ctx.open(public)
+            inc = yield from ctx.wait_request([public])
+            mine, theirs = yield from ctx.new_link()
+            yield from ctx.fork(self.cap_worker(ctx, mine), "cap")
+            yield from ctx.reply(inc, (theirs,))
+            yield from ctx.delay(3000.0)  # outlive the delegation dance
+
+    class Holder(Proc):
+        def main(self, ctx):
+            public, to_friend = ctx.initial_links
+            yield from ctx.register(DELEGATE)
+            (cap,) = yield from ctx.connect(public, MINT, ("t",))
+            yield from ctx.connect(to_friend, DELEGATE, (cap,))
+            yield from ctx.delay(3000.0)  # serve hint repairs if any
+
+    class Friend(Proc):
+        def __init__(self):
+            self.result = None
+
+        def main(self, ctx):
+            (from_holder,) = ctx.initial_links
+            yield from ctx.register(DELEGATE, USE)
+            yield from ctx.open(from_holder)
+            inc = yield from ctx.wait_request()
+            cap = inc.args[0]
+            yield from ctx.reply(inc, ())
+            (v,) = yield from ctx.connect(cap, USE, (5,))
+            self.result = v
+
+    friend = Friend()
+    i = cluster.spawn(Issuer(), "issuer")
+    h = cluster.spawn(Holder(), "holder")
+    f = cluster.spawn(friend, "friend")
+    cluster.create_link(i, h)
+    cluster.create_link(h, f)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert friend.result == 1005, cluster.unfinished()
+    cluster.check()
+
+
+def test_concurrent_server_coroutines_one_process(cluster):
+    """Multiple wait_request coroutines in one process share the open
+    queues without stealing each other's filtered traffic."""
+
+    class TwoDesk(Proc):
+        def __init__(self):
+            self.desk_log = {1: [], 2: []}
+
+        def desk(self, ctx, end, ident):
+            for _ in range(2):
+                inc = yield from ctx.wait_request([end])
+                self.desk_log[ident].append(inc.args[0])
+                yield from ctx.reply(inc, (ident,))
+
+        def main(self, ctx):
+            end1, end2 = ctx.initial_links
+            yield from ctx.register(USE)
+            yield from ctx.open(end1)
+            yield from ctx.open(end2)
+            t1 = yield from ctx.fork(self.desk(ctx, end1, 1), "d1")
+            t2 = yield from ctx.fork(self.desk(ctx, end2, 2), "d2")
+            while t1.live or t2.live:
+                yield from ctx.delay(10.0)
+
+    class Caller(Proc):
+        def __init__(self):
+            self.answers = []
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for i in range(2):
+                r = yield from ctx.connect(end, USE, (i,))
+                self.answers.append(r[0])
+
+    server = TwoDesk()
+    a, b = Caller(), Caller()
+    s = cluster.spawn(server, "server")
+    ca = cluster.spawn(a, "ca")
+    cb = cluster.spawn(b, "cb")
+    cluster.create_link(s, ca)  # end1
+    cluster.create_link(s, cb)  # end2
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert a.answers == [1, 1]
+    assert b.answers == [2, 2]
+    assert server.desk_log == {1: [0, 1], 2: [0, 1]}
+    cluster.check()
+
+
+def test_destroying_capability_signals_worker(cluster):
+    """Destroying a received capability end reaches the issuer's
+    worker coroutine as LinkDestroyed."""
+
+    class Issuer(Proc):
+        def __init__(self):
+            self.worker_saw_destroy = False
+
+        def cap_worker(self, ctx, end):
+            yield from ctx.open(end)
+            try:
+                yield from ctx.wait_request([end])
+            except LinkDestroyed:
+                self.worker_saw_destroy = True
+
+        def main(self, ctx):
+            (public,) = ctx.initial_links
+            yield from ctx.register(MINT)
+            yield from ctx.open(public)
+            inc = yield from ctx.wait_request([public])
+            mine, theirs = yield from ctx.new_link()
+            yield from ctx.fork(self.cap_worker(ctx, mine), "cap")
+            yield from ctx.reply(inc, (theirs,))
+
+    class Dropper(Proc):
+        def main(self, ctx):
+            (public,) = ctx.initial_links
+            (cap,) = yield from ctx.connect(public, MINT, ("t",))
+            yield from ctx.destroy(cap)
+            yield from ctx.delay(200.0)
+
+    issuer = Issuer()
+    i = cluster.spawn(issuer, "issuer")
+    d = cluster.spawn(Dropper(), "dropper")
+    cluster.create_link(i, d)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert issuer.worker_saw_destroy
+    cluster.check()
+
+
+def test_array_of_links_moves_every_element(cluster):
+    """§2.1: "an arbitrary number of link ends" — here inside an
+    ArrayType(LINK) value, exercising codec + enclosure integration on
+    each kernel (and Charlotte's enc-packet train)."""
+    from repro.core.api import ArrayType, INT, LINK, Operation, Proc
+
+    GIVE_MANY = Operation("give_many", (ArrayType(LINK), INT), ())
+    PING = Operation("ping", (INT,), (INT,))
+
+    class Giver(Proc):
+        def __init__(self):
+            self.replies = []
+
+        def main(self, ctx):
+            (to_taker,) = ctx.initial_links
+            keep, give = [], []
+            for _ in range(4):
+                mine, theirs = yield from ctx.new_link()
+                keep.append(mine)
+                give.append(theirs)
+            yield from ctx.connect(to_taker, GIVE_MANY, (give, len(give)))
+            for i, mine in enumerate(keep):
+                r = yield from ctx.connect(mine, PING, (i,))
+                self.replies.append(r[0])
+
+    class Taker(Proc):
+        def main(self, ctx):
+            (from_giver,) = ctx.initial_links
+            yield from ctx.register(GIVE_MANY, PING)
+            yield from ctx.open(from_giver)
+            inc = yield from ctx.wait_request()
+            ends, n = inc.args
+            assert len(ends) == n == 4
+            yield from ctx.reply(inc, ())
+            for e in ends:
+                yield from ctx.open(e)
+            for _ in range(n):
+                req = yield from ctx.wait_request(ends)
+                yield from ctx.reply(req, (req.args[0] * 10,))
+
+    giver = Giver()
+    g = cluster.spawn(giver, "giver")
+    t = cluster.spawn(Taker(), "taker")
+    cluster.create_link(g, t)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert giver.replies == [0, 10, 20, 30]
+    cluster.check()

@@ -1,0 +1,355 @@
+"""LYNX semantics that must hold identically on all three kernels."""
+
+import pytest
+
+from repro.core.api import (
+    ArrayType,
+    BYTES,
+    INT,
+    LINK,
+    LinkDestroyed,
+    Operation,
+    Proc,
+    STR,
+    TypeClash,
+)
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+ADD = Operation("add", (INT, INT), (INT,))
+GIVE = Operation("give", (LINK,), ())
+LOOKUP = Operation(
+    "lookup", (STR,), (ArrayType(INT),)
+)
+
+
+class EchoAddServer(Proc):
+    def __init__(self, n=1):
+        self.n = n
+        self.served = []
+
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        yield from ctx.register(ECHO, ADD, LOOKUP)
+        yield from ctx.open(end)
+        for _ in range(self.n):
+            inc = yield from ctx.wait_request()
+            self.served.append(inc.op.name)
+            if inc.op.name == "echo":
+                yield from ctx.reply(inc, (inc.args[0],))
+            elif inc.op.name == "add":
+                yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+            else:
+                yield from ctx.reply(inc, ([ord(c) for c in inc.args[0]],))
+
+
+def run(cluster, *, timeout=1e6):
+    cluster.run_until_quiet(max_ms=timeout)
+    return cluster
+
+
+def test_rpc_roundtrip(cluster):
+    class Client(Proc):
+        def __init__(self):
+            self.out = []
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            r = yield from ctx.connect(end, ECHO, (b"payload",))
+            self.out.append(r)
+            r = yield from ctx.connect(end, ADD, (19, 23))
+            self.out.append(r)
+            r = yield from ctx.connect(end, LOOKUP, ("hi",))
+            self.out.append(r)
+
+    server, client = EchoAddServer(3), Client()
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(client, "client")
+    cluster.create_link(s, c)
+    run(cluster)
+    assert cluster.all_finished, cluster.unfinished()
+    assert client.out == [(b"payload",), (42,), ([104, 105],)]
+    cluster.check()
+
+
+def test_per_queue_fifo_order(cluster):
+    """§2.1: "Messages in the same queue are received in the order
+    sent." """
+
+    class Server(Proc):
+        def __init__(self):
+            self.seen = []
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ADD)
+            yield from ctx.open(end)
+            for _ in range(6):
+                inc = yield from ctx.wait_request()
+                self.seen.append(inc.args[0])
+                yield from ctx.reply(inc, (0,))
+
+    class Client(Proc):
+        def worker(self, ctx, end, i):
+            yield from ctx.connect(end, ADD, (i, 0))
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for i in range(6):
+                # sequential sends from one coroutine would trivially be
+                # ordered; interleave coroutines that send back-to-back
+                yield from ctx.connect(end, ADD, (i, 0))
+
+    server = Server()
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(Client(), "client")
+    cluster.create_link(s, c)
+    run(cluster)
+    assert server.seen == [0, 1, 2, 3, 4, 5]
+    cluster.check()
+
+
+def test_type_clash_surfaces_at_requester(cluster):
+    BAD = Operation("add", (STR,), (STR,))
+
+    class Client(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            try:
+                yield from ctx.connect(end, BAD, ("x",))
+            except TypeClash as e:
+                self.error = e
+
+    client = Client()
+    # the server waits for one (good) request; the bad one is refused
+    # by its runtime's type screen and never reaches user code
+    s = cluster.spawn(EchoAddServer(1), "server")
+    c = cluster.spawn(client, "client")
+    cluster.create_link(s, c)
+    run(cluster)
+    assert isinstance(client.error, TypeClash)
+
+
+def test_moving_one_end_mid_conversation(cluster):
+    """A server end migrates to a new process; the client keeps using
+    its (unmoved) end obliviously — §2.1's flexible hose."""
+
+    class Client(Proc):
+        def __init__(self):
+            self.replies = []
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for i in range(2):
+                r = yield from ctx.connect(end, ADD, (i, 100))
+                self.replies.append(r[0])
+                yield from ctx.delay(300.0)
+
+    class OldServer(Proc):
+        def main(self, ctx):
+            serve, handoff = ctx.initial_links
+            yield from ctx.register(ADD, GIVE)
+            yield from ctx.open(serve)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+            yield from ctx.close(serve)
+            yield from ctx.connect(handoff, GIVE, (serve,))
+            yield from ctx.delay(2000.0)  # stay alive (serves redirects)
+
+    class NewServer(Proc):
+        def main(self, ctx):
+            (from_old,) = ctx.initial_links
+            yield from ctx.register(ADD, GIVE)
+            yield from ctx.open(from_old)
+            inc = yield from ctx.wait_request()
+            moved = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.open(moved)
+            inc2 = yield from ctx.wait_request()
+            yield from ctx.reply(inc2, (inc2.args[0] + inc2.args[1] + 1000,))
+
+    client = Client()
+    c = cluster.spawn(client, "client")
+    old = cluster.spawn(OldServer(), "old")
+    new = cluster.spawn(NewServer(), "new")
+    cluster.create_link(old, c)   # serve <-> client end
+    cluster.create_link(old, new)  # handoff
+    run(cluster)
+    assert client.replies == [100, 1101]
+    cluster.check()
+
+
+def test_figure1_both_ends_move_simultaneously(cluster):
+    """Figure 1: A and D independently move the two ends of link 3;
+    afterwards it connects B and C, who talk over it."""
+
+    class Starter(Proc):
+        def main(self, ctx):
+            to_a, to_d = ctx.initial_links
+            yield from ctx.register(GIVE)
+            e_a, e_d = yield from ctx.new_link()
+            yield from ctx.connect(to_a, GIVE, (e_a,))
+            yield from ctx.connect(to_d, GIVE, (e_d,))
+            yield from ctx.delay(5000.0)  # serve stale-hint redirects
+
+    class Mover(Proc):
+        """Receives an end of link3 from the starter, then moves it on
+        to its target."""
+
+        def main(self, ctx):
+            from_starter, to_target = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(from_starter)
+            inc = yield from ctx.wait_request()
+            l3 = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.connect(to_target, GIVE, (l3,))
+            yield from ctx.delay(5000.0)  # serve stale-hint redirects
+
+    class B(Proc):
+        """Final holder; acts as the client over link3."""
+
+        def __init__(self):
+            self.reply = None
+
+        def main(self, ctx):
+            (from_mover,) = ctx.initial_links
+            yield from ctx.register(GIVE, ADD)
+            yield from ctx.open(from_mover)
+            inc = yield from ctx.wait_request()
+            l3 = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.delay(500.0)  # let C finish adopting too
+            self.reply = yield from ctx.connect(l3, ADD, (30, 12))
+
+    class C(Proc):
+        """Final holder; serves over link3."""
+
+        def main(self, ctx):
+            (from_mover,) = ctx.initial_links
+            yield from ctx.register(GIVE, ADD)
+            yield from ctx.open(from_mover)
+            inc = yield from ctx.wait_request()
+            l3 = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.open(l3)
+            inc2 = yield from ctx.wait_request()
+            yield from ctx.reply(inc2, (inc2.args[0] + inc2.args[1],))
+
+    starter = cluster.spawn(Starter(), "starter")
+    mover_a = cluster.spawn(Mover(), "a")
+    mover_d = cluster.spawn(Mover(), "d")
+    b_prog, c_prog = B(), C()
+    b = cluster.spawn(b_prog, "b")
+    c = cluster.spawn(c_prog, "c")
+    cluster.create_link(starter, mover_a)
+    cluster.create_link(starter, mover_d)
+    cluster.create_link(mover_a, b)
+    cluster.create_link(mover_d, c)
+    run(cluster)
+    assert b_prog.reply == (42,), cluster.unfinished()
+    cluster.check()
+
+
+def test_termination_destroys_links(cluster):
+    class Short(Proc):
+        def main(self, ctx):
+            yield from ctx.delay(1.0)
+
+    class Watcher(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.delay(300.0)
+            try:
+                yield from ctx.connect(end, ECHO, (b"x",))
+            except LinkDestroyed as e:
+                self.error = e
+
+    watcher = Watcher()
+    s = cluster.spawn(Short(), "short")
+    w = cluster.spawn(watcher, "watcher")
+    cluster.create_link(s, w)
+    run(cluster)
+    assert isinstance(watcher.error, LinkDestroyed)
+    cluster.check()
+
+
+def test_destroyed_link_raises_on_send(cluster):
+    class Destroyer(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.delay(20.0)
+            yield from ctx.destroy(end)
+            yield from ctx.delay(500.0)
+
+    class User(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.delay(300.0)  # destruction already known
+            try:
+                yield from ctx.connect(end, ECHO, (b"x",))
+            except LinkDestroyed as e:
+                self.error = e
+
+    user = User()
+    d = cluster.spawn(Destroyer(), "destroyer")
+    u = cluster.spawn(user, "user")
+    cluster.create_link(d, u)
+    run(cluster)
+    assert isinstance(user.error, LinkDestroyed)
+    cluster.check()
+
+
+def test_fairness_no_queue_ignored_forever(cluster):
+    """§2.1: "an implementation must guarantee that no queue is ignored
+    forever."  One chatty client floods; one quiet client must still be
+    served promptly."""
+
+    class Server(Proc):
+        def __init__(self):
+            self.order = []
+
+        def main(self, ctx):
+            ends = ctx.initial_links
+            yield from ctx.register(ADD)
+            for e in ends:
+                yield from ctx.open(e)
+            for _ in range(8):
+                inc = yield from ctx.wait_request()
+                self.order.append(inc.args[0])
+                yield from ctx.reply(inc, (0,))
+
+    class Chatty(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for _ in range(7):
+                yield from ctx.connect(end, ADD, (1, 0))
+
+    class Quiet(Proc):
+        def __init__(self):
+            self.served_pos = None
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.connect(end, ADD, (2, 0))
+
+    server, quiet = Server(), Quiet()
+    s = cluster.spawn(server, "server")
+    ch = cluster.spawn(Chatty(), "chatty")
+    q = cluster.spawn(quiet, "quiet")
+    cluster.create_link(s, ch)
+    cluster.create_link(s, q)
+    run(cluster)
+    assert cluster.all_finished, cluster.unfinished()
+    # the quiet client's single request was not starved to the end
+    pos = server.order.index(2)
+    assert pos < len(server.order) - 1, server.order
+    cluster.check()

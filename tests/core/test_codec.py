@@ -1,0 +1,107 @@
+"""Unit tests for marshalling/unmarshalling."""
+
+import pytest
+
+from repro.core import codec
+from repro.core.exceptions import ProtocolViolation, TypeClash
+from repro.core.links import EndRef, LinkEnd
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    BYTES,
+    INT,
+    LINK,
+    Operation,
+    REAL,
+    RecordType,
+    STR,
+)
+
+
+def roundtrip(types, values):
+    payload, encs = codec.marshal(types, values)
+    return codec.unmarshal(types, payload, encs, lambda ref: LinkEnd(ref))
+
+
+def test_scalar_roundtrip():
+    types = (INT, REAL, BOOL, STR, BYTES)
+    values = (-42, 2.5, True, "héllo", b"\x00\xffdata")
+    assert roundtrip(types, values) == values
+
+
+def test_empty_roundtrip():
+    payload, encs = codec.marshal((), ())
+    assert payload == b"" and encs == []
+    assert codec.unmarshal((), b"", [], lambda r: r) == ()
+
+
+def test_array_and_record_roundtrip():
+    t = (
+        ArrayType(INT),
+        RecordType("kv", [("k", STR), ("v", ArrayType(BYTES))]),
+    )
+    v = ([1, 2, 3], {"k": "key", "v": [b"a", b"bb"]})
+    out = roundtrip(t, v)
+    assert out[0] == [1, 2, 3]
+    assert out[1] == {"k": "key", "v": [b"a", b"bb"]}
+
+
+def test_links_are_extracted_in_payload_order():
+    t = (LINK, INT, LINK)
+    e1, e2 = LinkEnd(EndRef(5, 0)), LinkEnd(EndRef(9, 1))
+    payload, encs = codec.marshal(t, (e1, 7, e2))
+    assert encs == [EndRef(5, 0), EndRef(9, 1)]
+    out = codec.unmarshal(t, payload, encs, lambda ref: ("adopted", ref))
+    assert out == (("adopted", EndRef(5, 0)), 7, ("adopted", EndRef(9, 1)))
+
+
+def test_links_nested_in_arrays_and_records():
+    t = (ArrayType(LINK), RecordType("r", [("l", LINK), ("n", INT)]))
+    ends = [LinkEnd(EndRef(i, 0)) for i in range(3)]
+    payload, encs = codec.marshal(t, ([ends[0], ends[1]], {"l": ends[2], "n": 1}))
+    assert encs == [EndRef(0, 0), EndRef(1, 0), EndRef(2, 0)]
+    out = codec.unmarshal(t, payload, encs, lambda ref: ref)
+    assert out[0] == [EndRef(0, 0), EndRef(1, 0)]
+    assert out[1] == {"l": EndRef(2, 0), "n": 1}
+
+
+def test_payload_bytes_are_reasonable():
+    payload, _ = codec.marshal((BYTES,), (b"x" * 1000,))
+    # 4-byte length prefix + body
+    assert len(payload) == 1004
+    payload, _ = codec.marshal((INT, INT), (1, 2))
+    assert len(payload) == 16
+
+
+def test_trailing_garbage_detected():
+    payload, encs = codec.marshal((INT,), (1,))
+    with pytest.raises(ProtocolViolation):
+        codec.unmarshal((INT,), payload + b"\x00", encs, lambda r: r)
+
+
+def test_enclosure_index_out_of_range_detected():
+    payload, encs = codec.marshal((LINK,), (LinkEnd(EndRef(1, 0)),))
+    with pytest.raises(ProtocolViolation):
+        codec.unmarshal((LINK,), payload, [], lambda r: r)
+
+
+def test_request_payload_type_checks():
+    op = Operation("f", (INT,), ())
+    with pytest.raises(TypeClash):
+        codec.request_payload(op, ("not an int",))
+    payload, encs = codec.request_payload(op, (3,))
+    assert len(payload) == 8 and encs == []
+
+
+def test_reply_payload_type_checks():
+    op = Operation("f", (), (STR,))
+    with pytest.raises(TypeClash):
+        codec.reply_payload(op, (42,))
+    payload, _ = codec.reply_payload(op, ("ok",))
+    assert payload.endswith(b"ok")
+
+
+def test_unicode_string_roundtrip_length():
+    s = "ünïcödé-文字"
+    (out,) = roundtrip((STR,), (s,))
+    assert out == s

@@ -1,0 +1,343 @@
+"""Link-moving and abort semantics of the runtime base (fake kernel).
+
+These pin the §2.1 rules: enclosing ends moves them, the far end is
+oblivious, moves are forbidden with unreceived messages or owed
+replies, and aborted connects restore or lose enclosures depending on
+whether the transport could withdraw the message.
+"""
+
+import pytest
+
+from repro.core.api import (
+    BYTES,
+    INT,
+    LINK,
+    LinkMoved,
+    MoveRestricted,
+    Operation,
+    Proc,
+    RequestAborted,
+    ThreadAborted,
+)
+from repro.core.registry import EndDisposition
+from tests.core.fakes import FakeCluster
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+GIVE = Operation("give", (LINK,), ())
+GIVE2 = Operation("give2", (LINK, LINK), ())
+ADD = Operation("add", (INT, INT), (INT,))
+
+
+def test_enclosed_end_moves_to_receiver():
+    """A sends B one end of a fresh link; B can then serve traffic on
+    it while A uses the retained end."""
+
+    class Alice(Proc):
+        def __init__(self):
+            self.reply = None
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            a_end, b_end = yield from ctx.new_link()
+            yield from ctx.connect(to_bob, GIVE, (b_end,))
+            self.reply = yield from ctx.connect(a_end, ADD, (1, 2))
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE, ADD)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            moved_end = inc.args[0]
+            yield from ctx.reply(inc, ())
+            yield from ctx.open(moved_end)
+            inc2 = yield from ctx.wait_request()
+            yield from ctx.reply(inc2, (inc2.args[0] + inc2.args[1],))
+
+    alice = Alice()
+    cluster = FakeCluster()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert cluster.all_finished
+    assert alice.reply == (3,)
+    cluster.check()
+
+
+def test_sender_loses_moved_end():
+    class Alice(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            a_end, b_end = yield from ctx.new_link()
+            yield from ctx.connect(to_bob, GIVE, (b_end,))
+            try:
+                yield from ctx.connect(b_end, ADD, (1, 2))  # moved away!
+            except LinkMoved as e:
+                self.error = e
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, ())
+
+    alice = Alice()
+    cluster = FakeCluster()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert isinstance(alice.error, LinkMoved)
+
+
+def test_cannot_enclose_end_of_transport_link():
+    """§2.2: never "enclose an end on itself"."""
+
+    class Alice(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            try:
+                yield from ctx.connect(to_bob, GIVE, (to_bob,))
+            except MoveRestricted as e:
+                self.error = e
+
+    alice = Alice()
+    cluster = FakeCluster()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(_IdleProc(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert isinstance(alice.error, MoveRestricted)
+
+
+class _IdleProc(Proc):
+    def main(self, ctx):
+        if False:
+            yield
+
+
+def test_cannot_move_end_with_owed_reply():
+    """§2.1: a process may not move a link on which it owes a reply."""
+
+    class Server(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            serve_end, give_end = ctx.initial_links
+            yield from ctx.register(ADD, GIVE)
+            yield from ctx.open(serve_end)
+            inc = yield from ctx.wait_request()
+            # owes a reply on serve_end now; try to move it
+            try:
+                yield from ctx.connect(give_end, GIVE, (serve_end,))
+            except MoveRestricted as e:
+                self.error = e
+            yield from ctx.reply(inc, (0,))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.connect(end, ADD, (1, 1))
+
+    class Sink(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(end)
+            # nothing should ever arrive; exit after a while
+            yield from ctx.delay(1000.0)
+
+    server = Server()
+    cluster = FakeCluster()
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(Client(), "client")
+    k = cluster.spawn(Sink(), "sink")
+    cluster.create_link(s, c)   # serve_end
+    cluster.create_link(s, k)   # give_end
+    cluster.run_until_quiet()
+    assert isinstance(server.error, MoveRestricted)
+    cluster.check()
+
+
+def test_multiple_enclosures_in_one_message():
+    class Alice(Proc):
+        def __init__(self):
+            self.replies = []
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            keep = []
+            give = []
+            for _ in range(2):
+                mine, theirs = yield from ctx.new_link()
+                keep.append(mine)
+                give.append(theirs)
+            yield from ctx.connect(to_bob, GIVE2, tuple(give))
+            for mine in keep:
+                r = yield from ctx.connect(mine, ADD, (5, 6))
+                self.replies.append(r[0])
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE2, ADD)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            e1, e2 = inc.args
+            yield from ctx.reply(inc, ())
+            yield from ctx.open(e1)
+            yield from ctx.open(e2)
+            for _ in range(2):
+                r = yield from ctx.wait_request()
+                yield from ctx.reply(r, (r.args[0] + r.args[1],))
+
+    alice = Alice()
+    cluster = FakeCluster()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert alice.replies == [11, 11]
+    cluster.check()
+
+
+def test_registry_tracks_adoption():
+    cluster = FakeCluster()
+
+    class Alice(Proc):
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            a_end, b_end = yield from ctx.new_link()
+            self.kept_ref = a_end.end_ref
+            self.given_ref = b_end.end_ref
+            yield from ctx.connect(to_bob, GIVE, (b_end,))
+
+    class Bob(Proc):
+        def main(self, ctx):
+            (from_alice,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            yield from ctx.open(from_alice)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, ())
+
+    alice = Alice()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(Bob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert cluster.registry.owner_of(alice.given_ref) == "bob"
+    assert cluster.registry.disposition_of(alice.given_ref) is EndDisposition.OWNED
+
+
+def test_abort_of_blocked_connect_before_receipt_restores_enclosure():
+    """The request never reached the server (its queue stays closed);
+    aborting the connecting coroutine withdraws it and the enclosed end
+    is usable again."""
+
+    class Alice(Proc):
+        def __init__(self):
+            self.thread_error = None
+            self.end_ok = None
+
+        def requester(self, ctx, to_bob, enc):
+            try:
+                yield from ctx.connect(to_bob, GIVE, (enc,))
+            except ThreadAborted as e:
+                self.thread_error = e
+
+        def main(self, ctx):
+            (to_bob,) = ctx.initial_links
+            mine, theirs = yield from ctx.new_link()
+            self.given_ref = theirs.end_ref
+            t = yield from ctx.fork(self.requester(ctx, to_bob, theirs), "req")
+            yield from ctx.delay(2.0)  # the request reached Bob's node
+            yield from ctx.abort(t)
+            yield from ctx.delay(10.0)
+            # the enclosed end must be ours again (movable => owned)
+            try:
+                yield from ctx.connect(theirs, ADD, (0, 0))
+            except Exception as e:  # noqa: BLE001 - LinkMoved would mean loss
+                self.end_ok = type(e).__name__
+            else:
+                self.end_ok = "usable"
+
+    class DeafBob(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links  # noqa: F841 - queue never opened
+            yield from ctx.delay(500.0)
+
+    alice = Alice()
+    cluster = FakeCluster()
+    a = cluster.spawn(alice, "alice")
+    b = cluster.spawn(DeafBob(), "bob")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet()
+    assert isinstance(alice.thread_error, ThreadAborted)
+    # connecting on the restored end blocks forever (both ends are
+    # Alice's; 'theirs' peer is 'mine' whose queue is closed) — so we
+    # only check it did not raise LinkMoved *immediately*; to keep the
+    # test terminating, accept either usable-but-blocked or usable.
+    assert alice.end_ok in (None, "usable")
+    # ...and the registry agrees the end never left Alice
+    assert (
+        cluster.registry.disposition_of(alice.given_ref) is EndDisposition.OWNED
+    )
+
+
+def test_server_feels_request_aborted_on_late_reply():
+    """Client aborts after the server received the request; when the
+    server replies, it feels `RequestAborted` (the fake transport is
+    SODA/Chrysalis-grade here; Charlotte's inability is tested in the
+    Charlotte suite)."""
+
+    class Client(Proc):
+        def __init__(self):
+            self.aborted = False
+
+        def requester(self, ctx, end):
+            try:
+                yield from ctx.connect(end, ECHO, (b"x",))
+            except ThreadAborted:
+                self.aborted = True
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            t = yield from ctx.fork(self.requester(ctx, end), "req")
+            yield from ctx.delay(100.0)  # server has received by now
+            yield from ctx.abort(t)
+            yield from ctx.delay(500.0)
+
+    class SlowServer(Proc):
+        def __init__(self):
+            self.error = None
+
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            inc = yield from ctx.wait_request()
+            yield from ctx.delay(200.0)  # client aborts meanwhile
+            try:
+                yield from ctx.reply(inc, (inc.args[0],))
+            except RequestAborted as e:
+                self.error = e
+
+    client, server = Client(), SlowServer()
+    cluster = FakeCluster()
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(client, "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet()
+    assert client.aborted
+    assert isinstance(server.error, RequestAborted)
+    cluster.check()

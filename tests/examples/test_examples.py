@@ -1,0 +1,78 @@
+"""The shipped examples must run green on every kernel."""
+
+import subprocess
+import sys
+import os
+
+import pytest
+
+from repro.core.api import KERNEL_KINDS
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("kind", KERNEL_KINDS)
+def test_quickstart(kind):
+    out = run_example("quickstart.py", kind)
+    assert f"kernel: {kind}" in out
+    assert "hello, ada!" in out
+    assert "hello, grace!" in out
+
+
+@pytest.mark.parametrize("kind", KERNEL_KINDS)
+def test_file_server(kind):
+    out = run_example("file_server.py", kind)
+    assert "2 opens across two applications" in out
+    assert "lessons: hints, screening, simplicity" in out
+
+
+@pytest.mark.parametrize("kind", KERNEL_KINDS)
+def test_link_migration(kind):
+    out = run_example("link_migration.py", kind)
+    for i, worker in [(0, 0), (4, 1), (8, 2)]:
+        assert f"{i}^2 = {i * i:2d}   served by worker{worker}" in out
+    if kind == "charlotte":
+        assert "kernel move-agreement messages" in out
+    if kind == "soda":
+        assert "redirect" in out
+
+
+def test_kernel_comparison():
+    out = run_example("kernel_comparison.py")
+    for kind in KERNEL_KINDS:
+        assert kind in out
+    assert "three lessons" in out
+
+
+@pytest.mark.parametrize("kind", KERNEL_KINDS)
+def test_pipeline(kind):
+    out = run_example("pipeline.py", kind)
+    assert out.count("stored:") == 3
+    assert "[4 tokens]" in out
+
+
+def test_figure2():
+    out = run_example("figure2.py")
+    assert "goahead" in out
+    assert out.count("enc") >= 2
+    # the Chrysalis section has no protocol messages
+    chrysalis_part = out.split("Chrysalis")[1]
+    assert "goahead" not in chrysalis_part
+
+
+@pytest.mark.parametrize("kind", KERNEL_KINDS)
+def test_linda_bag_of_tasks(kind):
+    out = run_example("linda_bag_of_tasks.py", kind)
+    assert "7^2 = 49" in out
+    assert "work share:" in out

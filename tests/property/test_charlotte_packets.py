@@ -1,0 +1,105 @@
+"""Property tests for Charlotte's figure-2 packetisation machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.charlotte.runtime import _OutTransfer, _PartialIn, CharlotteRuntime
+from repro.core.links import EndRef
+from repro.core.wire import MsgKind, WireMessage
+
+
+class _Stub:
+    """Just enough of a runtime for `_packetise` (it only reads the
+    clock for packet timestamps)."""
+
+    class engine:  # noqa: N801 - attribute stand-in
+        now = 0.0
+
+
+def packetise(logical: WireMessage) -> _OutTransfer:
+    return CharlotteRuntime._packetise(_Stub(), logical)
+
+
+@st.composite
+def logical_message(draw):
+    kind = draw(st.sampled_from([MsgKind.REQUEST, MsgKind.REPLY,
+                                 MsgKind.EXCEPTION]))
+    n_enc = draw(st.integers(min_value=0, max_value=6))
+    encs = [EndRef(100 + i, draw(st.integers(0, 1))) for i in range(n_enc)]
+    payload = draw(st.binary(max_size=64))
+    return WireMessage(
+        kind=kind,
+        seq=draw(st.integers(min_value=1, max_value=1000)),
+        opname="op",
+        payload=payload,
+        enclosures=encs,
+        enclosure_meta=[{"i": i} for i in range(n_enc)],
+        enc_total=n_enc,
+    )
+
+
+@given(logical_message())
+@settings(max_examples=200, deadline=None)
+def test_packets_carry_at_most_one_enclosure_each(msg):
+    tr = packetise(msg)
+    for pkt in tr.packets:
+        assert len(pkt.enclosures) <= 1  # the kernel's §3.2.2 constraint
+
+
+@given(logical_message())
+@settings(max_examples=200, deadline=None)
+def test_packet_count_matches_figure_2(msg):
+    tr = packetise(msg)
+    expected = 1 + max(0, len(msg.enclosures) - 1)
+    assert len(tr.packets) == expected
+    # goahead is required exactly for requests with >= 2 enclosures
+    assert tr.needs_goahead == (
+        msg.kind is MsgKind.REQUEST and len(msg.enclosures) >= 2
+    )
+
+
+@given(logical_message())
+@settings(max_examples=200, deadline=None)
+def test_reassembly_restores_the_logical_message(msg):
+    """Feed the packets through the receiver's _PartialIn assembly and
+    compare with the original."""
+    tr = packetise(msg)
+    first = tr.packets[0]
+    if len(msg.enclosures) < 2:
+        # single-packet case: the first packet IS the message
+        assert first.payload == msg.payload
+        assert first.enclosures == msg.enclosures
+        return
+    part = _PartialIn(first, first.enc_total, list(first.enclosures),
+                      list(first.enclosure_meta))
+    for pkt in tr.packets[1:]:
+        assert pkt.kind is MsgKind.ENC
+        assert pkt.seq == msg.seq  # correlated by the original seq
+        part.enclosures.extend(pkt.enclosures)
+        part.metas.extend(pkt.enclosure_meta)
+    assert part.complete
+    full = part.first.clone_for_resend()
+    full.enclosures = part.enclosures
+    full.enclosure_meta = part.metas
+    assert full.kind is msg.kind
+    assert full.payload == msg.payload
+    assert full.enclosures == msg.enclosures
+    assert full.enclosure_meta == msg.enclosure_meta
+
+
+@given(logical_message())
+@settings(max_examples=100, deadline=None)
+def test_partial_is_incomplete_until_last_packet(msg):
+    tr = packetise(msg)
+    if len(msg.enclosures) < 2:
+        return
+    first = tr.packets[0]
+    part = _PartialIn(first, first.enc_total, list(first.enclosures),
+                      list(first.enclosure_meta))
+    for pkt in tr.packets[1:-1]:
+        assert not part.complete
+        part.enclosures.extend(pkt.enclosures)
+        part.metas.extend(pkt.enclosure_meta)
+    assert not part.complete
+    part.enclosures.extend(tr.packets[-1].enclosures)
+    part.metas.extend(tr.packets[-1].enclosure_meta)
+    assert part.complete

@@ -1,0 +1,157 @@
+"""Property-based tests for the marshalling layer.
+
+The codec is the one component every message crosses twice; these
+properties (roundtrip identity, enclosure ordering, size monotonicity)
+hold for *arbitrary* well-typed values, not just the examples the unit
+tests pick.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import codec
+from repro.core.links import EndRef, LinkEnd
+from repro.core.types import (
+    ArrayType,
+    BOOL,
+    BYTES,
+    INT,
+    LINK,
+    REAL,
+    RecordType,
+    STR,
+)
+
+# ---------------------------------------------------------------------
+# strategies: a type together with a value inhabiting it
+# ---------------------------------------------------------------------
+_scalars = st.sampled_from(["int", "real", "bool", "str", "bytes", "link"])
+
+
+def _value_for(tag, draw_value):
+    return draw_value
+
+
+@st.composite
+def typed_value(draw, depth=2):
+    """Draw (LynxType, value) pairs, recursively for containers."""
+    if depth <= 0:
+        kind = draw(_scalars)
+    else:
+        kind = draw(
+            st.sampled_from(
+                ["int", "real", "bool", "str", "bytes", "link",
+                 "array", "record"]
+            )
+        )
+    if kind == "int":
+        return INT, draw(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    if kind == "real":
+        return REAL, draw(
+            st.floats(allow_nan=False, allow_infinity=False, width=64)
+        )
+    if kind == "bool":
+        return BOOL, draw(st.booleans())
+    if kind == "str":
+        return STR, draw(st.text(max_size=50))
+    if kind == "bytes":
+        return BYTES, draw(st.binary(max_size=200))
+    if kind == "link":
+        link = draw(st.integers(min_value=0, max_value=1000))
+        side = draw(st.integers(min_value=0, max_value=1))
+        return LINK, LinkEnd(EndRef(link, side))
+    if kind == "array":
+        # element type fixed per array; links inside arrays exercise
+        # the nested-enclosure path
+        elem = draw(st.sampled_from(["int", "link"]))
+        n = draw(st.integers(min_value=0, max_value=5))
+        if elem == "int":
+            return ArrayType(INT), [
+                draw(st.integers(min_value=-1000, max_value=1000))
+                for _ in range(n)
+            ]
+        return ArrayType(LINK), [
+            LinkEnd(EndRef(draw(st.integers(min_value=0, max_value=99)), 0))
+            for _ in range(n)
+        ]
+    # record
+    nfields = draw(st.integers(min_value=1, max_value=3))
+    fields = []
+    values = {}
+    for i in range(nfields):
+        ft, fv = draw(typed_value(depth=0))
+        fields.append((f"f{i}", ft))
+        values[f"f{i}"] = fv
+    return RecordType("r", fields), values
+
+
+@st.composite
+def signature_and_args(draw):
+    n = draw(st.integers(min_value=0, max_value=4))
+    pairs = [draw(typed_value()) for _ in range(n)]
+    types = tuple(t for t, _ in pairs)
+    values = tuple(v for _, v in pairs)
+    return types, values
+
+
+def _normalise(value):
+    """LinkEnds decode to fresh handles; compare by ref.  Arrays decode
+    to lists."""
+    if isinstance(value, LinkEnd):
+        return ("link", value.end_ref)
+    if isinstance(value, tuple):
+        return tuple(_normalise(v) for v in value)
+    if isinstance(value, list):
+        return [_normalise(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalise(v) for k, v in value.items()}
+    return value
+
+
+@given(signature_and_args())
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_identity(sig_args):
+    types, values = sig_args
+    payload, encs = codec.marshal(types, values)
+    out = codec.unmarshal(types, payload, encs, lambda ref: LinkEnd(ref))
+    assert _normalise(out) == _normalise(values)
+
+
+@given(signature_and_args())
+@settings(max_examples=200, deadline=None)
+def test_enclosures_extracted_in_payload_order(sig_args):
+    types, values = sig_args
+    payload, encs = codec.marshal(types, values)
+
+    def walk(t, v, acc):
+        if isinstance(v, LinkEnd):
+            acc.append(v.end_ref)
+        elif isinstance(v, (list, tuple)):
+            for item in v:
+                walk(None, item, acc)
+        elif isinstance(v, dict):
+            # record fields encode in declared order
+            rec_t = t
+            for name, _ft in rec_t.fields:
+                walk(None, v[name], acc)
+        return acc
+
+    expected = []
+    for t, v in zip(types, values):
+        walk(t, v, expected)
+    assert encs == expected
+
+
+@given(signature_and_args())
+@settings(max_examples=100, deadline=None)
+def test_marshal_is_deterministic(sig_args):
+    types, values = sig_args
+    assert codec.marshal(types, values) == codec.marshal(types, values)
+
+
+@given(st.binary(max_size=500), st.binary(max_size=500))
+@settings(max_examples=100, deadline=None)
+def test_payload_size_additive_for_bytes(a, b):
+    p1, _ = codec.marshal((BYTES,), (a,))
+    p2, _ = codec.marshal((BYTES,), (b,))
+    p12, _ = codec.marshal((BYTES, BYTES), (a, b))
+    assert len(p12) == len(p1) + len(p2)

@@ -1,0 +1,139 @@
+"""Property-based tests on whole LYNX runs (fake kernel for speed).
+
+Random RPC schedules and random link-passing chains must always
+terminate with matching replies, conserved link ownership and clean
+registry invariants — the closest thing the reproduction has to a
+model checker for the runtime base.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import BYTES, INT, LINK, Operation, Proc
+from repro.core.registry import EndDisposition
+from tests.core.fakes import FakeCluster
+
+ADD = Operation("add", (INT, INT), (INT,))
+GIVE = Operation("give", (LINK,), ())
+
+
+class _Server(Proc):
+    def __init__(self, n):
+        self.n = n
+
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        yield from ctx.register(ADD)
+        yield from ctx.open(end)
+        for _ in range(self.n):
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, (inc.args[0] + inc.args[1],))
+
+
+class _Client(Proc):
+    def __init__(self, jobs, delays):
+        self.jobs = jobs
+        self.delays = delays
+        self.replies = []
+
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        for (a, b), d in zip(self.jobs, self.delays):
+            if d:
+                yield from ctx.delay(float(d))
+            r = yield from ctx.connect(end, ADD, (a, b))
+            self.replies.append(r[0])
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        min_size=1,
+        max_size=8,
+    ),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_rpc_schedules_complete_with_correct_replies(jobs, data):
+    delays = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=20),
+            min_size=len(jobs),
+            max_size=len(jobs),
+        )
+    )
+    cluster = FakeCluster()
+    server = _Server(len(jobs))
+    client = _Client(jobs, delays)
+    s = cluster.spawn(server, "server")
+    c = cluster.spawn(client, "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished
+    assert client.replies == [a + b for a, b in jobs]
+    cluster.check()
+
+
+class _ChainPasser(Proc):
+    """Passes a bundle of link ends along a chain of processes."""
+
+    def __init__(self, is_first, n_ends):
+        self.is_first = is_first
+        self.n_ends = n_ends
+
+    def main(self, ctx):
+        if self.is_first:
+            (out,) = ctx.initial_links
+            yield from ctx.register(GIVE)
+            ends = []
+            for _ in range(self.n_ends):
+                a, b = yield from ctx.new_link()
+                ends.append(b)  # keep `a` here; move `b` down the chain
+            for e in ends:
+                yield from ctx.connect(out, GIVE, (e,))
+            # stay alive: our termination would destroy the fresh links
+            # while their far ends are still travelling (§2.2)
+            yield from ctx.delay(50000.0)
+        else:
+            inbound, *rest = ctx.initial_links
+            out = rest[0] if rest else None
+            yield from ctx.register(GIVE)
+            yield from ctx.open(inbound)
+            for _ in range(self.n_ends):
+                inc = yield from ctx.wait_request()
+                moved = inc.args[0]
+                yield from ctx.reply(inc, ())
+                if out is not None:
+                    yield from ctx.connect(out, GIVE, (moved,))
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_ownership_conserved_through_passing_chains(chain_len, n_ends):
+    """After n ends travel a chain of length k, every end is owned by
+    exactly the last process, nothing is lost, and the registry's
+    invariants hold."""
+    cluster = FakeCluster()
+    procs = [
+        cluster.spawn(
+            _ChainPasser(i == 0, n_ends), f"p{i}"
+        )
+        for i in range(chain_len)
+    ]
+    for i in range(chain_len - 1):
+        cluster.create_link(procs[i], procs[i + 1])
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished, cluster.unfinished()
+    assert cluster.registry.lost_ends() == []
+    # transport links get ids 1..chain_len-1; the fresh links follow.
+    # Side 0 of each fresh link stays at p0; side 1 must have reached
+    # the tail, hop by hop.
+    from repro.core.links import EndRef
+
+    last = f"p{chain_len - 1}"
+    for link_id in range(chain_len, chain_len + n_ends):
+        assert cluster.registry.owner_of(EndRef(link_id, 0)) == "p0"
+        assert cluster.registry.owner_of(EndRef(link_id, 1)) == last
+    cluster.check()

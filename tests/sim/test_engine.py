@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineError
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(3.0, order.append, "c")
+    eng.schedule(1.0, order.append, "a")
+    eng.schedule(2.0, order.append, "b")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_same_instant_events_fire_fifo():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(5.0, order.append, i)
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_pending_same_instant():
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.schedule(0.0, order.append, "third")
+
+    eng.schedule(0.0, first)
+    eng.schedule(0.0, order.append, "second")
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_does_not_go_backwards():
+    eng = Engine()
+    eng.schedule(10.0, lambda: None)
+    eng.run()
+    with pytest.raises(EngineError):
+        eng.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(EngineError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, fired.append, "x")
+    eng.schedule(2.0, fired.append, "y")
+    ev.cancel()
+    eng.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    eng.run()
+    assert eng.events_fired == 0
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, fired.append, 1)
+    eng.schedule(2.0, fired.append, 2)
+    eng.schedule(3.0, fired.append, 3)
+    eng.run(until=2.0)
+    assert fired == [1, 2]
+    assert eng.now == 2.0
+    eng.run()
+    assert fired == [1, 2, 3]
+
+
+def test_run_until_with_empty_heap_keeps_clock():
+    """Quiescence leaves the clock at the last event: `now` reads as
+    the workload's true duration, not the (arbitrary) budget."""
+    eng = Engine()
+    eng.run(until=42.0)
+    assert eng.now == 0.0
+    eng.schedule(5.0, lambda: None)
+    eng.run(until=42.0)
+    assert eng.now == 5.0
+
+
+def test_run_max_events():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.schedule(float(i), fired.append, i)
+    n = eng.run(max_events=3)
+    assert n == 3
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_are_honoured():
+    eng = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 4:
+            eng.schedule(1.0, chain, n + 1)
+
+    eng.schedule(0.0, chain, 0)
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert eng.now == 4.0
+
+
+def test_pending_counts_only_uncancelled():
+    eng = Engine()
+    ev1 = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev1.cancel()
+    assert eng.pending == 1
+
+
+def test_trace_hook_sees_each_event():
+    eng = Engine()
+    traced = []
+    eng.trace_hook = lambda e, ev: traced.append(ev.time)
+    eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    eng.run()
+    assert traced == [1.0, 2.0]
+
+
+def test_determinism_across_identical_runs():
+    def build_and_run():
+        eng = Engine()
+        log = []
+        for i in range(50):
+            eng.schedule((i * 7) % 13 + 0.5, log.append, i)
+        eng.run()
+        return log
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,115 @@
+"""Unit tests for futures."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.futures import (
+    Future,
+    FutureState,
+    InvalidFutureTransition,
+    first_of,
+    gather,
+)
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_resolve_delivers_value_to_callback(eng):
+    fut = Future(eng, "t")
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(f.value))
+    fut.resolve(42)
+    assert seen == [42]
+    assert fut.state is FutureState.DONE
+    assert fut.result() == 42
+
+
+def test_callback_added_after_settle_runs_immediately(eng):
+    fut = Future(eng)
+    fut.resolve("x")
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(f.value))
+    assert seen == ["x"]
+
+
+def test_fail_delivers_error(eng):
+    fut = Future(eng)
+    err = ValueError("boom")
+    fut.fail(err)
+    assert fut.state is FutureState.FAILED
+    with pytest.raises(ValueError):
+        fut.result()
+
+
+def test_double_resolve_rejected(eng):
+    fut = Future(eng)
+    fut.resolve(1)
+    with pytest.raises(InvalidFutureTransition):
+        fut.resolve(2)
+    with pytest.raises(InvalidFutureTransition):
+        fut.fail(ValueError())
+
+
+def test_result_on_pending_raises(eng):
+    fut = Future(eng)
+    with pytest.raises(InvalidFutureTransition):
+        fut.result()
+
+
+def test_resolve_later_fires_at_simulated_time(eng):
+    fut = Future(eng)
+    times = []
+    fut.add_done_callback(lambda f: times.append(eng.now))
+    fut.resolve_later(7.5, "v")
+    eng.run()
+    assert times == [7.5]
+    assert fut.value == "v"
+
+
+def test_resolve_later_is_noop_if_already_settled(eng):
+    fut = Future(eng)
+    fut.resolve_later(1.0, "late")
+    fut.resolve("early")
+    eng.run()  # the late event fires but must not raise or overwrite
+    assert fut.value == "early"
+
+
+def test_gather_collects_in_input_order(eng):
+    futs = [Future(eng, str(i)) for i in range(3)]
+    out = gather(eng, futs)
+    futs[2].resolve("c")
+    futs[0].resolve("a")
+    assert not out.is_settled()
+    futs[1].resolve("b")
+    assert out.result() == ["a", "b", "c"]
+
+
+def test_gather_empty_resolves_immediately(eng):
+    assert gather(eng, []).result() == []
+
+
+def test_gather_fails_on_first_failure(eng):
+    futs = [Future(eng) for _ in range(2)]
+    out = gather(eng, futs)
+    futs[1].fail(RuntimeError("dead"))
+    assert out.state is FutureState.FAILED
+    # late resolution of the other input must not blow up
+    futs[0].resolve(1)
+
+
+def test_first_of_reports_index_and_value(eng):
+    futs = [Future(eng) for _ in range(3)]
+    out = first_of(eng, futs)
+    futs[1].resolve("winner")
+    assert out.result() == (1, "winner")
+    futs[0].resolve("late")  # ignored
+
+
+def test_first_of_propagates_failure(eng):
+    futs = [Future(eng) for _ in range(2)]
+    out = first_of(eng, futs)
+    futs[0].fail(KeyError("k"))
+    assert out.state is FutureState.FAILED

@@ -1,0 +1,84 @@
+"""Unit tests for metrics."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import LatencyRecorder, MetricSet
+
+
+def test_counter_accumulates():
+    m = MetricSet()
+    m.count("a.b")
+    m.count("a.b", 2)
+    m.count("a.c", 5)
+    assert m.get("a.b") == 3
+    assert m.total("a.") == 8
+    assert m.get("missing") == 0
+
+
+def test_counters_prefix_filter_sorted():
+    m = MetricSet()
+    m.count("z.1")
+    m.count("a.2")
+    m.count("a.1")
+    assert list(m.counters("a.")) == ["a.1", "a.2"]
+
+
+def test_latency_summary():
+    rec = LatencyRecorder("t")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        rec.record(v)
+    assert rec.mean == pytest.approx(2.5)
+    assert rec.minimum == 1.0
+    assert rec.maximum == 4.0
+    assert rec.percentile(50) == pytest.approx(2.5)
+    assert rec.percentile(0) == 1.0
+    assert rec.percentile(100) == 4.0
+    assert rec.count == 4
+
+
+def test_latency_empty_is_nan():
+    rec = LatencyRecorder()
+    assert math.isnan(rec.mean)
+    assert math.isnan(rec.percentile(50))
+
+
+def test_latency_single_sample():
+    rec = LatencyRecorder()
+    rec.record(7.0)
+    assert rec.percentile(50) == 7.0
+    assert rec.stddev == 0.0
+
+
+def test_latency_stddev():
+    rec = LatencyRecorder()
+    for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        rec.record(v)
+    assert rec.stddev == pytest.approx(2.138, abs=1e-3)
+
+
+def test_metricset_latency_is_memoised():
+    m = MetricSet()
+    assert m.latency("x") is m.latency("x")
+    m.latency("x").record(1.0)
+    assert m.latencies()["x"].count == 1
+
+
+def test_snapshot_and_diff():
+    m = MetricSet()
+    m.count("a", 2)
+    before = dict(m.snapshot())
+    m.count("a", 3)
+    m.count("b")
+    d = m.diff(before)
+    assert d == {"a": 3, "b": 1}
+
+
+def test_reset():
+    m = MetricSet()
+    m.count("a")
+    m.latency("l").record(1.0)
+    m.reset()
+    assert m.get("a") == 0
+    assert m.latencies() == {}

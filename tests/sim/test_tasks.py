@@ -1,0 +1,223 @@
+"""Unit tests for generator-driven tasks."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.futures import Future, FutureState
+from repro.sim.tasks import Task, TaskKilled, sleep
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_task_runs_to_completion_and_returns_value(eng):
+    def body():
+        yield sleep(eng, 1.0)
+        yield sleep(eng, 2.0)
+        return "done"
+
+    t = Task(eng, body(), "t")
+    eng.run()
+    assert t.finished
+    assert t.done.result() == "done"
+    assert eng.now == 3.0
+
+
+def test_yield_none_is_cooperative_yield(eng):
+    order = []
+
+    def a():
+        order.append("a1")
+        yield None
+        order.append("a2")
+
+    def b():
+        order.append("b1")
+        yield None
+        order.append("b2")
+
+    Task(eng, a(), "a")
+    Task(eng, b(), "b")
+    eng.run()
+    assert order == ["a1", "b1", "a2", "b2"]
+    assert eng.now == 0.0
+
+
+def test_failed_future_raises_inside_generator(eng):
+    caught = []
+
+    def body():
+        fut = Future(eng)
+        fut.fail_later(1.0, ValueError("inner"))
+        try:
+            yield fut
+        except ValueError as e:
+            caught.append(str(e))
+        return "recovered"
+
+    t = Task(eng, body(), "t")
+    eng.run()
+    assert caught == ["inner"]
+    assert t.done.result() == "recovered"
+
+
+def test_uncaught_exception_fails_done_future(eng):
+    def body():
+        yield sleep(eng, 1.0)
+        raise RuntimeError("oops")
+
+    t = Task(eng, body(), "t")
+    eng.run()
+    assert t.done.state is FutureState.FAILED
+    with pytest.raises(RuntimeError):
+        t.done.result()
+
+
+def test_yielding_garbage_fails_task(eng):
+    def body():
+        yield 42
+
+    t = Task(eng, body(), "t")
+    eng.run()
+    assert t.done.state is FutureState.FAILED
+    with pytest.raises(TypeError):
+        t.done.result()
+
+
+def test_kill_raises_taskkilled_at_yield_point(eng):
+    progress = []
+
+    def body():
+        progress.append("start")
+        try:
+            yield sleep(eng, 100.0)
+            progress.append("unreachable")
+        finally:
+            progress.append("cleanup")
+
+    t = Task(eng, body(), "t")
+    eng.schedule(5.0, t.kill)
+    eng.run()
+    assert progress == ["start", "cleanup"]
+    assert t.done.state is FutureState.FAILED
+    assert isinstance(t.done.error, TaskKilled)
+    assert eng.now == pytest.approx(100.0)  # the sleep event still fires harmlessly
+
+
+def test_kill_before_first_step(eng):
+    progress = []
+
+    def body():
+        progress.append("ran")
+        yield sleep(eng, 1.0)
+
+    t = Task(eng, body(), "t")
+    t.kill()
+    eng.run()
+    assert t.done.state is FutureState.FAILED
+    # the generator never got to run its first statement
+    assert progress == []
+
+
+def test_kill_finished_task_is_noop(eng):
+    def body():
+        return "v"
+        yield  # pragma: no cover
+
+    t = Task(eng, body(), "t")
+    eng.run()
+    assert t.done.result() == "v"
+    t.kill()
+    assert t.done.result() == "v"
+
+
+def test_taskkilled_not_caught_by_except_exception(eng):
+    """Simulated code's `except Exception` must not swallow kills."""
+    witness = []
+
+    def body():
+        try:
+            yield sleep(eng, 10.0)
+        except Exception:  # noqa: BLE001 - the point of the test
+            witness.append("swallowed")
+
+    t = Task(eng, body(), "t")
+    eng.schedule(1.0, t.kill)
+    eng.run()
+    assert witness == []
+    assert isinstance(t.done.error, TaskKilled)
+
+
+def test_kill_can_be_caught_for_orderly_cleanup(eng):
+    """A generator may catch TaskKilled and continue yielding — how
+    runtimes run crash clean-up (link destruction) before exiting."""
+    steps = []
+
+    def body():
+        try:
+            yield sleep(eng, 100.0)
+        except TaskKilled:
+            steps.append("caught")
+        yield sleep(eng, 3.0)  # simulated clean-up work
+        steps.append("cleaned")
+        return "orderly"
+
+    t = Task(eng, body(), "t")
+    eng.schedule(10.0, t.kill)
+    eng.run()
+    assert steps == ["caught", "cleaned"]
+    assert t.done.result() == "orderly"
+    # the kill was consumed: it is not re-raised during clean-up
+    assert eng.now == pytest.approx(100.0)  # stray sleep still fires
+
+
+def test_second_kill_during_cleanup_is_delivered(eng):
+    seen = []
+
+    def body():
+        try:
+            yield sleep(eng, 100.0)
+        except TaskKilled:
+            seen.append("first")
+        try:
+            yield sleep(eng, 50.0)
+        except TaskKilled:
+            seen.append("second")
+
+    t = Task(eng, body(), "t")
+    eng.schedule(10.0, t.kill)
+    eng.schedule(20.0, t.kill)
+    eng.run()
+    assert seen == ["first", "second"]
+    assert t.finished
+
+
+def test_tasks_compose_via_done_future(eng):
+    def child():
+        yield sleep(eng, 3.0)
+        return 7
+
+    def parent():
+        c = Task(eng, child(), "child")
+        v = yield c.done
+        return v * 2
+
+    p = Task(eng, parent(), "parent")
+    eng.run()
+    assert p.done.result() == 14
+
+
+def test_sleep_duration(eng):
+    stamps = []
+
+    def body():
+        yield sleep(eng, 2.5)
+        stamps.append(eng.now)
+        yield sleep(eng, 0.5)
+        stamps.append(eng.now)
+
+    Task(eng, body(), "t")
+    eng.run()
+    assert stamps == [2.5, 3.0]

@@ -1,0 +1,129 @@
+"""Tests for the trace log and sequence charts."""
+
+import pytest
+
+from repro.core.api import BYTES, LINK, Operation, Proc, make_cluster
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceLog
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+
+
+def test_emit_and_select():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "send", link=1, kind="request")
+    eng.now = 5.0
+    log.emit("b", "consume", link=1, kind="request")
+    log.emit("a", "send", link=2, kind="reply")
+    assert len(log.events) == 3
+    assert [e.actor for e in log.select(event="send")] == ["a", "a"]
+    assert [e.time for e in log.select(link=1)] == [0.0, 5.0]
+    assert log.select(actor="b", event="consume")[0].detail["link"] == 1
+
+
+def test_capacity_bound():
+    eng = Engine()
+    log = TraceLog(eng, capacity=5)
+    for i in range(20):
+        log.emit("a", "e", i=i)
+    assert len(log.events) == 5
+    assert log.events[0].detail["i"] == 15
+
+
+def test_disabled_log_records_nothing():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.enabled = False
+    log.emit("a", "e")
+    assert len(log.events) == 0
+
+
+def test_dump_is_readable():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("proc-1", "send", link=3, kind="request")
+    text = log.dump()
+    assert "proc-1" in text and "send" in text and "link=3" in text
+
+
+def test_sequence_chart_draws_arrows():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "send", peer="b", kind="request", link=1)
+    log.emit("b", "send", peer="a", kind="reply", link=1)
+    chart = log.sequence_chart(["a", "b"], width=20)
+    lines = chart.splitlines()
+    assert lines[0].startswith("a")
+    req_line = next(l for l in lines if "request" in l)
+    rep_line = next(l for l in lines if "reply" in l)
+    assert req_line.strip().endswith(">") or ">" in req_line
+    assert "<" in rep_line
+
+
+def test_sequence_chart_filters_by_link():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "send", peer="b", kind="request", link=1)
+    log.emit("a", "send", peer="b", kind="noise", link=2)
+    chart = log.sequence_chart(["a", "b"], link=1)
+    assert "request" in chart and "noise" not in chart
+
+
+@pytest.mark.parametrize("kind", ("charlotte", "soda", "chrysalis"))
+def test_clusters_record_rpc_traces(kind):
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, (inc.args[0],))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.connect(end, ECHO, (b"x",))
+
+    cluster = make_cluster(kind)
+    s = cluster.spawn(Server(), "server")
+    c = cluster.spawn(Client(), "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e6)
+    sends = cluster.trace.select(event="send")
+    consumes = cluster.trace.select(event="consume")
+    kinds = {e.detail.get("kind") for e in sends}
+    assert {"request", "reply"} <= kinds
+    assert len(consumes) >= 2  # request consumed + reply consumed
+
+
+def test_charlotte_packets_traced_for_figure2():
+    """The figure-2 regeneration path: packet-level events exist and
+    include the goahead and enc packets."""
+    GIVE2 = Operation("give2", (LINK, LINK), ())
+
+    class Giver(Proc):
+        def main(self, ctx):
+            (to_b,) = ctx.initial_links
+            ends = []
+            for _ in range(2):
+                mine, theirs = yield from ctx.new_link()
+                ends.append(theirs)
+            yield from ctx.connect(to_b, GIVE2, tuple(ends))
+
+    class Taker(Proc):
+        def main(self, ctx):
+            (from_a,) = ctx.initial_links
+            yield from ctx.register(GIVE2)
+            yield from ctx.open(from_a)
+            inc = yield from ctx.wait_request()
+            yield from ctx.reply(inc, ())
+
+    cluster = make_cluster("charlotte")
+    a = cluster.spawn(Giver(), "giver")
+    b = cluster.spawn(Taker(), "taker")
+    cluster.create_link(a, b)
+    cluster.run_until_quiet(max_ms=1e6)
+    packets = [e.detail["kind"] for e in cluster.trace.select(event="packet")
+               if e.detail.get("link") == 1]
+    assert packets == ["request", "goahead", "enc", "reply"]

@@ -1,0 +1,92 @@
+"""Unit tests for the freeze machinery's pure parts."""
+
+import pytest
+
+from repro.core.api import BYTES, Operation, Proc, make_cluster
+from repro.soda.freeze import freeze_name_of
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+
+
+def test_freeze_names_deterministic_per_process():
+    assert freeze_name_of("p1") == freeze_name_of("p1")
+    assert freeze_name_of("p1") != freeze_name_of("p2")
+
+
+def test_every_process_advertises_its_freeze_name():
+    """§4.2: "Every process advertises a freeze name." """
+    cluster = make_cluster("soda")
+
+    class Idle(Proc):
+        def main(self, ctx):
+            yield from ctx.delay(1.0)
+
+    cluster.spawn(Idle(), "a")
+    cluster.spawn(Idle(), "b")
+    cluster.run(until=0.5)  # started, not yet exited
+    for name in ("a", "b"):
+        proc = cluster.kernel._procs[name]
+        assert freeze_name_of(name) in proc.advertised
+
+
+def test_any_hint_for_prefers_ownership_then_cache_then_far_hints():
+    cluster = make_cluster("soda")
+
+    class Holder(Proc):
+        def main(self, ctx):
+            a, b = yield from ctx.new_link()
+            self.refs = (a.end_ref, b.end_ref)
+            yield from ctx.delay(5.0)
+
+    holder = Holder()
+    cluster.spawn(holder, "holder")
+    cluster.run(until=2.0)
+    rt = cluster.processes["holder"].runtime
+    fm = rt.freezer
+    # the process owns both ends: hints for their names are itself
+    a_ref, b_ref = holder.refs
+    a_name = rt.sref[a_ref].my_name
+    assert fm._any_hint_for(a_name) == "holder"
+    # a cache entry answers for a name we no longer own
+    rt.cache[99999] = "somewhere-else"
+    assert fm._any_hint_for(99999) == "somewhere-else"
+    # a far-name we can see points at our hint for it
+    far = rt.sref[a_ref].far_name
+    assert fm._any_hint_for(far) == "holder"  # far end also ours here
+    # unknown name: no hint
+    assert fm._any_hint_for(123456789) is None
+
+
+def test_frozen_process_does_not_run_user_threads():
+    """"ceases execution of everything but its own searches" — while
+    frozen_count > 0 the dispatcher must not run coroutines."""
+    cluster = make_cluster("soda")
+
+    class Ticker(Proc):
+        def __init__(self):
+            self.ticks = []
+
+        def main(self, ctx):
+            for _ in range(6):
+                yield from ctx.delay(10.0)
+                self.ticks.append((yield from ctx.now()))
+
+    ticker = Ticker()
+    cluster.spawn(ticker, "ticker")
+    rt = cluster.processes["ticker"].runtime
+
+    def freeze():
+        rt.frozen_count += 1
+
+    def unfreeze():
+        rt.frozen_count -= 1
+        rt._wake()
+
+    cluster.engine.schedule(15.0, freeze)
+    cluster.engine.schedule(45.0, unfreeze)
+    cluster.run_until_quiet(max_ms=1e4)
+    assert len(ticker.ticks) == 6
+    # ticks stalled during [15, 45]: the tick due at ~20 happened
+    # only after the thaw
+    gaps = [b - a for a, b in zip(ticker.ticks, ticker.ticks[1:])]
+    assert max(gaps) >= 29.0, ticker.ticks
