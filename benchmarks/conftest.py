@@ -2,30 +2,44 @@
 
 Every bench module regenerates one of the paper's tables/figures (see
 DESIGN.md §3).  Benches print a paper-vs-measured table and save it
-under ``benchmarks/out/`` so EXPERIMENTS.md can reference exact runs.
+under ``benchmarks/out/`` — both the human-readable ``.txt`` and a
+machine-readable ``.json`` (schema "repro.table") so the perf
+trajectory can be diffed across PRs (docs/OBSERVABILITY.md).
 
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
 """
 
+import json
 import os
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+os.makedirs(OUT_DIR, exist_ok=True)
 
 
 @pytest.fixture
 def save_table():
-    """Print a rendered table and persist it for EXPERIMENTS.md."""
+    """Print a rendered table and persist it (txt + json) for
+    EXPERIMENTS.md."""
 
     def _save(name: str, table) -> None:
         text = table.render() if hasattr(table, "render") else str(table)
         print()
         print(text)
-        os.makedirs(OUT_DIR, exist_ok=True)
+        if not text.endswith("\n"):
+            text += "\n"
         with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
-            fh.write(text + "\n")
+            fh.write(text)
+        doc = {"schema": "repro.table", "schema_version": 1, "name": name}
+        if hasattr(table, "to_dict"):
+            doc.update(table.to_dict())
+        else:
+            doc["text"] = text
+        with open(os.path.join(OUT_DIR, f"{name}.json"), "w") as fh:
+            json.dump(doc, fh, indent=2, allow_nan=False)
+            fh.write("\n")
 
     return _save

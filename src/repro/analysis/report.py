@@ -34,13 +34,27 @@ class Table:
         self.title = title
         self.columns = list(columns)
         self.rows: List[List[str]] = []
+        #: unformatted cells, kept so tables export losslessly to JSON
+        self.raw_rows: List[List[Cell]] = []
 
     def add(self, *cells: Cell) -> None:
         if len(cells) != len(self.columns):
             raise ValueError(
                 f"row has {len(cells)} cells for {len(self.columns)} columns"
             )
+        self.raw_rows.append(list(cells))
         self.rows.append([_fmt(c) for c in cells])
+
+    def to_dict(self) -> dict:
+        """The table as a JSON-safe dict: ``{"title", "columns",
+        "rows"}`` with raw (unformatted) cells; NaN becomes null."""
+        from repro.obs.jsonl import json_safe
+
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [json_safe(row) for row in self.raw_rows],
+        }
 
     def render(self) -> str:
         widths = [len(c) for c in self.columns]

@@ -28,10 +28,12 @@ class CharlotteCluster(ClusterBase):
     KIND = "charlotte"
 
     def __init__(self, seed=0, costmodel=None, nodes: int = 20,
-                 reply_acks: bool = False, no_forbid: bool = False) -> None:
+                 reply_acks: bool = False, no_forbid: bool = False,
+                 profile: bool = False) -> None:
         self.reply_acks = reply_acks
         self.no_forbid = no_forbid
-        super().__init__(seed=seed, costmodel=costmodel, nodes=nodes)
+        super().__init__(seed=seed, costmodel=costmodel, nodes=nodes,
+                         profile=profile)
 
     def _setup_hardware(self) -> None:
         costs = self.costmodel.charlotte

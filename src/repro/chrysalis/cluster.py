@@ -23,9 +23,10 @@ class ChrysalisCluster(ClusterBase):
     KIND = "chrysalis"
 
     def __init__(self, seed=0, costmodel=None, nodes: int = 128,
-                 tuned: bool = False) -> None:
+                 tuned: bool = False, profile: bool = False) -> None:
         self.tuned = tuned
-        super().__init__(seed=seed, costmodel=costmodel, nodes=nodes)
+        super().__init__(seed=seed, costmodel=costmodel, nodes=nodes,
+                         profile=profile)
 
     def _setup_hardware(self) -> None:
         costs = self.costmodel.chrysalis

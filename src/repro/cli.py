@@ -6,9 +6,13 @@
     python -m repro figure2                 # live figure-2 chart
     python -m repro migrate --kernel soda --hops 8 --loss 0.5
     python -m repro sizes                   # the E2 code-size table
+    python -m repro bench                   # E1/E4/E5/S1 -> BENCH_*.json
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
+``bench`` is the exception: it is the canonical producer of the
+machine-readable ``BENCH_*.json`` regression baseline (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.analysis.complexity import (
 )
 from repro.analysis.report import Table
 from repro.core.api import KERNEL_KINDS
+from repro.obs.bench import BENCH_IDS
 
 
 def _cmd_rpc(args) -> int:
@@ -173,6 +178,26 @@ def _cmd_linda(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.obs.bench import run_benches, write_bench_json
+
+    results = run_benches(bench_ids=args.only, seed=args.seed,
+                          quick=args.quick)
+    doc, path = write_bench_json(results, path=args.out, seed=args.seed,
+                                 quick=args.quick)
+    t = Table(
+        f"benchmark export (seed={args.seed}"
+        f"{', quick' if args.quick else ''})",
+        ["bench", "metric", "value"],
+    )
+    for bid, metrics in results.items():
+        for metric, value in metrics.items():
+            t.add(bid, metric, value)
+    t.show()
+    print(f"wrote {path} (git_rev={doc['git_rev']})")
+    return 0
+
+
 def _cmd_sizes(args) -> int:
     t = Table(
         "LYNX runtime package sizes (kernel-specific half)",
@@ -239,6 +264,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sizes", help="runtime package complexity (E2)")
     p.set_defaults(fn=_cmd_sizes)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the E1/E4/E5/S1 workloads and write BENCH_*.json",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smoke-test iteration counts (same schema)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="output path (default: BENCH_PR1.json at the "
+                        "repo root)")
+    p.add_argument("--only", nargs="+", metavar="BENCH",
+                   type=str.upper, choices=BENCH_IDS,
+                   help="subset of E1 E4 E5 S1")
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -66,8 +66,9 @@ class ClusterBase:
         seed: int = 0,
         costmodel: Optional[CostModel] = None,
         nodes: int = 16,
+        profile: bool = False,
     ) -> None:
-        self.engine = Engine()
+        self.engine = Engine(profile=profile)
         self.metrics = MetricSet()
         self.registry = LinkRegistry()
         self.trace = TraceLog(self.engine)

@@ -1,0 +1,42 @@
+"""repro.obs — the structured observability layer.
+
+The simulation substrate already *collects* everything the paper's
+argument needs (`repro.sim.trace.TraceLog`, `repro.sim.metrics.
+MetricSet`, `Engine(profile=True)`); this package makes it *machine
+readable* so the perf trajectory of the repository can be tracked
+across PRs:
+
+* `JsonlTraceWriter` / `load_trace` — stream or round-trip traces as
+  JSON Lines (`TraceLog.to_jsonl` / `TraceLog.from_jsonl`);
+* `prometheus_text` — render a `MetricSet` in the Prometheus text
+  exposition format;
+* `run_benches` / `write_bench_json` — the unified benchmark runner
+  behind ``python -m repro bench``, producing the ``BENCH_*.json``
+  regression baseline;
+* `json_safe` — NaN/Infinity-free JSON value sanitising shared by all
+  exporters.
+
+Formats and vocabularies are documented in docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.bench import (
+    BENCH_IDS,
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_BENCH_FILENAME,
+    run_benches,
+    write_bench_json,
+)
+from repro.obs.jsonl import JsonlTraceWriter, json_safe, load_trace
+from repro.obs.prom import prometheus_text
+
+__all__ = [
+    "BENCH_IDS",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_FILENAME",
+    "JsonlTraceWriter",
+    "json_safe",
+    "load_trace",
+    "prometheus_text",
+    "run_benches",
+    "write_bench_json",
+]

@@ -1,0 +1,245 @@
+"""The unified benchmark runner behind ``python -m repro bench``.
+
+Re-runs the headline workloads — E1 (Charlotte latency), E4 (the SODA
+crossover sweep), E5 (Chrysalis latency + tuning) and S1 (simulator
+wall-clock throughput) — and writes one machine-readable
+``BENCH_*.json`` so the performance trajectory of the repository is
+tracked across PRs.  The authoritative assertion-carrying harness
+remains ``pytest benchmarks/ --benchmark-only``; this runner trades its
+tables for a stable schema::
+
+    {"schema": "repro.bench", "schema_version": 1,
+     "seed": 0, "git_rev": "<rev|unknown>",
+     "timestamp": "<UTC ISO-8601>", "quick": false,
+     "benches": {bench_id: {metric: value}}}
+
+Simulated quantities are deterministic for a seed; the ``s1.*`` wall
+clock metrics are real time and machine-dependent by design.
+``--quick`` shrinks iteration counts so the whole run is test-suite
+cheap (the schema is unchanged).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from time import perf_counter
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.obs.jsonl import json_safe
+
+BENCH_SCHEMA_VERSION = 1
+DEFAULT_BENCH_FILENAME = "BENCH_PR1.json"
+
+E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
+E4_SWEEP_QUICK = (0, 1024, 2048)
+
+
+def bench_e1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E1 — §3.3 Charlotte latencies, LYNX vs raw kernel calls."""
+    from repro.workloads.rpc import raw_charlotte_rpc, run_rpc_workload
+
+    count = 2 if quick else 5
+    raw0 = raw_charlotte_rpc(0, count=count, seed=seed)
+    raw1000 = raw_charlotte_rpc(1000, count=count, seed=seed)
+    lynx0 = run_rpc_workload("charlotte", 0, count=count, seed=seed)
+    lynx1000 = run_rpc_workload("charlotte", 1000, count=count, seed=seed)
+    return {
+        "raw_rpc0_ms": raw0.mean_ms,
+        "raw_rpc1000_ms": raw1000.mean_ms,
+        "lynx_rpc0_ms": lynx0.mean_ms,
+        "lynx_rpc1000_ms": lynx1000.mean_ms,
+        "lynx_rpc0_wire_msgs": lynx0.messages,
+        "lynx_rpc0_wire_bytes": lynx0.wire_bytes,
+    }
+
+
+def bench_e4(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E4 — §4.3 fn.2: the Charlotte/SODA payload sweep and crossover."""
+    from repro.workloads.rpc import run_rpc_workload
+
+    sweep = E4_SWEEP_QUICK if quick else E4_SWEEP
+    count = 2 if quick else 3
+    out: Dict[str, float] = {}
+    crossover = None
+    prev_winner = None
+    for nbytes in sweep:
+        c = run_rpc_workload("charlotte", nbytes, count=count, seed=seed)
+        s = run_rpc_workload("soda", nbytes, count=count, seed=seed)
+        out[f"charlotte_rpc{nbytes}_ms"] = c.mean_ms
+        out[f"soda_rpc{nbytes}_ms"] = s.mean_ms
+        winner = "soda" if s.mean_ms < c.mean_ms else "charlotte"
+        if prev_winner == "soda" and winner == "charlotte":
+            crossover = nbytes
+        prev_winner = winner
+    out["small_msg_speedup"] = out["charlotte_rpc0_ms"] / out["soda_rpc0_ms"]
+    out["crossover_bytes"] = crossover  # None when the sweep never flips
+    return out
+
+
+def bench_e5(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E5 — §5.3 Chrysalis latencies, the tuned profile, and the
+    order-of-magnitude Charlotte ratio."""
+    from repro.workloads.rpc import run_rpc_workload
+
+    count = 2 if quick else 5
+    c0 = run_rpc_workload("chrysalis", 0, count=count, seed=seed).mean_ms
+    c1000 = run_rpc_workload("chrysalis", 1000, count=count, seed=seed).mean_ms
+    t0 = run_rpc_workload("chrysalis", 0, count=count, seed=seed,
+                          tuned=True).mean_ms
+    t1000 = run_rpc_workload("chrysalis", 1000, count=count, seed=seed,
+                             tuned=True).mean_ms
+    char0 = run_rpc_workload("charlotte", 0, count=count, seed=seed).mean_ms
+    return {
+        "lynx_rpc0_ms": c0,
+        "lynx_rpc1000_ms": c1000,
+        "tuned_rpc0_ms": t0,
+        "tuned_rpc1000_ms": t1000,
+        "tuned_improvement_rpc0": (c0 - t0) / c0,
+        "charlotte_ratio_rpc0": char0 / c0,
+    }
+
+
+def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """S1 — substrate wall-clock throughput: bare engine dispatch plus
+    a full RPC conversation simulated on each kernel.  Real seconds, so
+    these values are machine-dependent (unlike everything else here)."""
+    from repro.core.api import BYTES, Operation, Proc, make_cluster
+    from repro.sim.engine import Engine
+
+    ticks = 2_000 if quick else 20_000
+    eng = Engine()
+    fired = {"n": 0}
+
+    def tick():
+        fired["n"] += 1
+        if fired["n"] < ticks:
+            eng.schedule(0.5, tick)
+
+    t0 = perf_counter()
+    eng.schedule(0.0, tick)
+    eng.run()
+    engine_wall = perf_counter() - t0
+
+    out: Dict[str, float] = {
+        "engine_events": float(fired["n"]),
+        "engine_events_per_sec": fired["n"] / engine_wall if engine_wall else 0.0,
+    }
+
+    ECHO = Operation("echo", (BYTES,), (BYTES,))
+    rounds = 10 if quick else 50
+
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            for _ in range(rounds):
+                inc = yield from ctx.wait_request()
+                yield from ctx.reply(inc, (inc.args[0],))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for _ in range(rounds):
+                yield from ctx.connect(end, ECHO, (b"x" * 64,))
+
+    for kind in ("charlotte", "soda", "chrysalis"):
+        cluster = make_cluster(kind, seed=seed)
+        s = cluster.spawn(Server(), "server")
+        c = cluster.spawn(Client(), "client")
+        cluster.create_link(s, c)
+        t0 = perf_counter()
+        cluster.run_until_quiet(max_ms=1e7)
+        wall = perf_counter() - t0
+        if not cluster.all_finished:
+            raise RuntimeError(f"S1 rpc conversation hung on {kind}")
+        out[f"rpc_sim_wall_ms_{kind}"] = wall * 1e3
+        out[f"rpc_sim_events_{kind}"] = float(cluster.engine.events_fired)
+    return out
+
+
+_BENCHES: Dict[str, Callable[[int, bool], Dict[str, float]]] = {
+    "E1": bench_e1,
+    "E4": bench_e4,
+    "E5": bench_e5,
+    "S1": bench_s1,
+}
+
+BENCH_IDS: Tuple[str, ...] = tuple(_BENCHES)
+
+
+def run_benches(
+    bench_ids: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Run the selected benches (all four by default) and return
+    ``{bench_id: {metric: value}}``."""
+    ids = list(bench_ids) if bench_ids else list(BENCH_IDS)
+    results = {}
+    for bid in ids:
+        key = bid.upper()
+        if key not in _BENCHES:
+            raise ValueError(
+                f"unknown bench {bid!r}; expected one of {BENCH_IDS}"
+            )
+        results[key] = _BENCHES[key](seed=seed, quick=quick)
+    return results
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except OSError:  # no git binary
+        return "unknown"
+
+
+def repo_root() -> str:
+    """The repository root (nearest ancestor of this file holding a
+    pyproject.toml), falling back to the current directory when the
+    package is installed outside its checkout."""
+    path = os.path.dirname(os.path.abspath(__file__))
+    while True:
+        if os.path.exists(os.path.join(path, "pyproject.toml")):
+            return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return os.getcwd()
+        path = parent
+
+
+def write_bench_json(
+    results: Dict[str, Dict[str, float]],
+    path: Optional[str] = None,
+    seed: int = 0,
+    quick: bool = False,
+) -> Tuple[Dict[str, object], str]:
+    """Wrap ``results`` in the versioned envelope and write it (default:
+    ``BENCH_PR1.json`` at the repo root).  Returns (document, path)."""
+    if path is None:
+        path = os.path.join(repo_root(), DEFAULT_BENCH_FILENAME)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    doc = {
+        "schema": "repro.bench",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": seed,
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": quick,
+        "benches": json_safe(results),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return doc, path

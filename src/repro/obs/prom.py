@@ -1,0 +1,53 @@
+"""Prometheus text-format rendering of a `MetricSet`.
+
+The simulator's dotted counter names (``kernel.calls.Send``) map onto
+Prometheus metric names by replacing every character outside
+``[a-zA-Z0-9_:]`` with ``_`` and prefixing a namespace, so::
+
+    kernel.calls.Send       ->  repro_kernel_calls_Send
+    rpc.roundtrip (latency) ->  repro_rpc_roundtrip_ms summary
+
+Counters render as ``counter`` samples; latency recorders render as
+``summary`` metrics in milliseconds with p50/p99 quantiles plus the
+conventional ``_sum`` and ``_count`` series.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sim.metrics import MetricSet
+
+_UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """A dotted counter name as a legal Prometheus metric-name part."""
+    out = _UNSAFE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _sample(value: float) -> str:
+    return f"{value:g}"
+
+
+def prometheus_text(metrics: MetricSet, namespace: str = "repro") -> str:
+    """Render every counter and latency recorder in the Prometheus
+    text exposition format (version 0.0.4)."""
+    lines = []
+    for name, value in metrics.counters().items():
+        metric = f"{namespace}_{sanitize_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_sample(value)}")
+    for name, rec in sorted(metrics.latencies().items()):
+        metric = f"{namespace}_{sanitize_name(name)}_ms"
+        lines.append(f"# TYPE {metric} summary")
+        for q in (0.5, 0.99):
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {_sample(rec.percentile(q * 100))}'
+            )
+        lines.append(f"{metric}_sum {_sample(rec.total)}")
+        lines.append(f"{metric}_count {rec.count}")
+    return "\n".join(lines) + "\n"

@@ -18,11 +18,66 @@ units of the paper's tables (57 ms, 2.4 ms, ...).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class EngineError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+def _callback_key(fn: Callable[..., Any]) -> str:
+    """A stable aggregation key for an event callback: the qualified
+    name for functions and bound methods, the type name otherwise
+    (partials, callables)."""
+    key = getattr(fn, "__qualname__", None)
+    if key is None:
+        key = type(fn).__name__
+    return key
+
+
+class DispatchProfile:
+    """Per-callback dispatch counts and wall-clock cost.
+
+    Populated by `Engine.step` only when the engine was built with
+    ``profile=True`` — the default hot path never touches it.  Keys are
+    callback qualified names (``CharlotteKernel._deliver``, ...); wall
+    time is real seconds spent *inside* the callback, which for a
+    simulator measures the cost of simulating, not simulated time.
+    """
+
+    __slots__ = ("counts", "wall_s")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.wall_s: Dict[str, float] = {}
+
+    def record(self, key: str, seconds: float) -> None:
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.wall_s[key] = self.wall_s.get(key, 0.0) + seconds
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """``(key, count, wall_ms)`` rows, most expensive first."""
+        return sorted(
+            ((k, self.counts[k], self.wall_s[k] * 1e3) for k in self.counts),
+            key=lambda row: row[2],
+            reverse=True,
+        )
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            k: {"count": self.counts[k], "wall_ms": self.wall_s[k] * 1e3}
+            for k in sorted(self.counts)
+        }
+
+    def render(self, limit: int = 20) -> str:
+        lines = [f"{'callback':<44} {'count':>8} {'wall ms':>10}"]
+        for key, count, wall_ms in self.rows()[:limit]:
+            lines.append(f"{key:<44} {count:>8} {wall_ms:>10.3f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DispatchProfile kinds={len(self.counts)}>"
 
 
 class Event:
@@ -68,7 +123,7 @@ class Engine:
     `repro.sim.tasks.Task` for coroutine driving.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profile: bool = False) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq: int = 0
@@ -76,6 +131,10 @@ class Engine:
         self._running: bool = False
         #: optional hook called as trace(engine, event) before each event
         self.trace_hook: Optional[Callable[["Engine", Event], None]] = None
+        #: per-callback dispatch statistics; None unless ``profile=True``
+        self.profile: Optional[DispatchProfile] = (
+            DispatchProfile() if profile else None
+        )
 
     # ------------------------------------------------------------------
     # scheduling
@@ -124,7 +183,12 @@ class Engine:
             if self.trace_hook is not None:
                 self.trace_hook(self, ev)
             self._events_fired += 1
-            ev.fn(*ev.args)
+            if self.profile is None:
+                ev.fn(*ev.args)
+            else:
+                t0 = perf_counter()
+                ev.fn(*ev.args)
+                self.profile.record(_callback_key(ev.fn), perf_counter() - t0)
             return True
         return False
 

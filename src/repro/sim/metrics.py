@@ -11,7 +11,11 @@ Counter names are plain dotted strings, e.g.::
     wire.messages.request      LYNX-level requests put on the wire
     wire.bytes                 total payload+header bytes transmitted
     runtime.unwanted           messages received and bounced (§3.2.1)
-    move.kernel_messages       inter-kernel messages for link moves
+    charlotte.move_msgs        inter-kernel messages for link moves
+
+The full vocabulary and the export formats (JSONL traces, Prometheus
+text) are documented in docs/OBSERVABILITY.md; `repro.obs` holds the
+exporters.
 """
 
 from __future__ import annotations
@@ -135,19 +139,56 @@ class MetricSet:
         self._counters.clear()
         self._latencies.clear()
 
-    def snapshot(self) -> Dict[str, float]:
-        """Counters plus ``<name>.mean`` for each latency recorder."""
-        snap = dict(self._counters)
-        for name, rec in self._latencies.items():
-            snap[f"{name}.mean"] = rec.mean
-            snap[f"{name}.count"] = float(rec.count)
-        return snap
+    def snapshot(self) -> Dict[str, object]:
+        """A nested point-in-time view of the whole set::
 
-    def diff(self, before: Dict[str, float]) -> Dict[str, float]:
-        """Counter deltas relative to an earlier `snapshot` of counters."""
+            {"counters":  {dotted-name: value, ...},        # sorted
+             "latencies": {name: {count, mean, min,
+                                  p50, p99, max}, ...}}     # sorted
+
+        The shape is stable (it is what `repro.obs` serialises) and
+        equality-comparable across same-seed runs.
+        """
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "latencies": {
+                name: rec.summary()
+                for name, rec in sorted(self._latencies.items())
+            },
+        }
+
+    def tree(self) -> Dict[str, object]:
+        """Counters expanded along their dots into a nested dict::
+
+            kernel.calls.Send = 5  ->  {"kernel": {"calls": {"Send": 5}}}
+
+        When a name is both a leaf and a prefix (``a`` and ``a.b``),
+        the leaf value moves under the empty key: ``{"a": {"": v, "b": w}}``.
+        """
+        root: Dict[str, object] = {}
+        for name, value in sorted(self._counters.items()):
+            parts = name.split(".")
+            node = root
+            for part in parts[:-1]:
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    child = {} if child is None else {"": child}
+                    node[part] = child
+                node = child
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return root
+
+    def diff(self, before: Dict[str, object]) -> Dict[str, float]:
+        """Counter deltas relative to an earlier `snapshot` (either the
+        nested form or a bare ``{name: value}`` counter dict)."""
+        base = before.get("counters", before)
         out = {}
         for k, v in self._counters.items():
-            d = v - before.get(k, 0.0)
+            d = v - base.get(k, 0.0)
             if d:
                 out[k] = d
         return out

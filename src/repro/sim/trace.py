@@ -8,15 +8,28 @@ rather than from the model.
 
 Tracing is always on (appending a tuple is cheap at simulation scale)
 but bounded; the log keeps the most recent ``capacity`` events.
+
+For offline analysis the log exports to JSON Lines (`to_jsonl`) and
+reloads (`from_jsonl`) into a detached log that renders the same
+charts; `repro.obs.JsonlTraceWriter` streams events to disk as they
+are emitted, escaping the capacity bound.  The record schema is
+documented in docs/OBSERVABILITY.md and versioned by
+`TRACE_SCHEMA_VERSION`.
 """
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Callable, Deque, Dict, Iterable, List, Optional, Sequence, Union,
+)
 
 from repro.sim.engine import Engine
+
+#: bumped whenever the exported JSONL record shape changes
+TRACE_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -31,22 +44,122 @@ class TraceEvent:
         bits = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
         return f"[{self.time:10.3f}] {self.actor:<12} {self.event:<16} {bits}"
 
+    # JSONL record conversion ------------------------------------------
+    def to_record(self) -> Dict[str, object]:
+        """The stable export shape: ``{"t", "actor", "event", "detail"}``."""
+        return {
+            "t": self.time,
+            "actor": self.actor,
+            "event": self.event,
+            "detail": dict(self.detail),
+        }
+
+    def to_json(self) -> str:
+        # non-JSON detail values (enums, objects) degrade to repr so an
+        # export never fails mid-run
+        return json.dumps(self.to_record(), sort_keys=True, default=repr)
+
+    @classmethod
+    def from_record(cls, rec: Dict[str, object]) -> "TraceEvent":
+        return cls(
+            time=float(rec["t"]),
+            actor=str(rec["actor"]),
+            event=str(rec["event"]),
+            detail=dict(rec.get("detail", {})),
+        )
+
+
+def trace_header(capacity: Optional[int] = None) -> Dict[str, object]:
+    """The JSONL stream header record (first line of every export)."""
+    head: Dict[str, object] = {
+        "schema": "repro.trace",
+        "version": TRACE_SCHEMA_VERSION,
+    }
+    if capacity is not None:
+        head["capacity"] = capacity
+    return head
+
 
 class TraceLog:
-    """A bounded, append-only log of simulation events."""
+    """A bounded, append-only log of simulation events.
 
-    def __init__(self, engine: Engine, capacity: int = 100_000) -> None:
+    ``engine`` may be None for a *detached* log (one rebuilt by
+    `from_jsonl`): it can be queried and rendered but not emitted to.
+    """
+
+    def __init__(self, engine: Optional[Engine], capacity: int = 100_000) -> None:
         self.engine = engine
         self.capacity = capacity
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.enabled = True
+        #: streaming subscribers, called with each TraceEvent as it is
+        #: recorded (see `repro.obs.JsonlTraceWriter`)
+        self._sinks: List[Callable[[TraceEvent], None]] = []
 
     def emit(self, actor: str, event: str, **detail: object) -> None:
         if not self.enabled:
             return
-        self.events.append(
-            TraceEvent(self.engine.now, actor, event, detail)
-        )
+        if self.engine is None:
+            raise ValueError("cannot emit into a detached (replayed) TraceLog")
+        ev = TraceEvent(self.engine.now, actor, event, detail)
+        self.events.append(ev)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(ev)
+
+    # ------------------------------------------------------------------
+    # streaming subscription
+    # ------------------------------------------------------------------
+    def attach(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Subscribe ``sink`` to every future event."""
+        self._sinks.append(sink)
+
+    def detach(self, sink: Callable[[TraceEvent], None]) -> None:
+        self._sinks.remove(sink)
+
+    # ------------------------------------------------------------------
+    # JSONL export / import
+    # ------------------------------------------------------------------
+    def to_jsonl(self, header: bool = True) -> str:
+        """The whole log as JSON Lines, one event per line, newest last.
+
+        The first line (when ``header`` is true) is a stream header
+        carrying the schema version; every other line is an event
+        record (`TraceEvent.to_record`).
+        """
+        lines = []
+        if header:
+            lines.append(json.dumps(trace_header(self.capacity),
+                                    sort_keys=True))
+        lines.extend(ev.to_json() for ev in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(
+        cls,
+        source: Union[str, Iterable[str]],
+        capacity: int = 100_000,
+    ) -> "TraceLog":
+        """Rebuild a detached log from `to_jsonl` output (a string or an
+        iterable of lines).  Header lines are recognised and skipped;
+        a header with an unknown schema version raises ValueError."""
+        if isinstance(source, str):
+            source = source.splitlines()
+        log = cls(engine=None, capacity=capacity)
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if "schema" in rec:
+                if rec.get("version") != TRACE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"unsupported trace schema {rec.get('schema')!r} "
+                        f"v{rec.get('version')!r}"
+                    )
+                continue
+            log.events.append(TraceEvent.from_record(rec))
+        return log
 
     # ------------------------------------------------------------------
     # queries

@@ -1,0 +1,27 @@
+"""Tier-1 smoke of ``python -m repro bench --quick`` — keeps the
+benchmark-export path from silently rotting (ISSUE 1 CI satellite)."""
+
+import json
+
+from repro.cli import main
+
+
+def test_bench_quick_writes_valid_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_smoke.json"
+    assert main(["bench", "--quick", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "benchmark export" in printed
+    assert str(out) in printed
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.bench"
+    assert doc["quick"] is True
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "S1"}
+    assert "seed" in doc and "git_rev" in doc and "timestamp" in doc
+
+
+def test_bench_only_subset(tmp_path, capsys):
+    out = tmp_path / "BENCH_sub.json"
+    assert main(["bench", "--quick", "--only", "S1", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert list(doc["benches"]) == ["S1"]
+    assert doc["benches"]["S1"]["engine_events_per_sec"] > 0

@@ -1,0 +1,83 @@
+"""The unified benchmark runner: schema golden file and sanity of the
+exported values (quick mode, so the whole module stays tier-1 cheap)."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_IDS,
+    BENCH_SCHEMA_VERSION,
+    run_benches,
+    write_bench_json,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_bench_schema.json")
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    return run_benches(quick=True, seed=0)
+
+
+def test_bench_ids():
+    assert BENCH_IDS == ("E1", "E4", "E5", "S1")
+
+
+def test_document_schema_matches_golden_file(quick_results, tmp_path):
+    """Golden-file guard: the BENCH_*.json key structure may only
+    change together with this file (and a schema-version bump)."""
+    doc, path = write_bench_json(
+        quick_results, path=str(tmp_path / "BENCH_test.json"),
+        seed=0, quick=True,
+    )
+    with open(path) as fh:
+        loaded = json.load(fh)
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    assert sorted(loaded) == golden["top_level"]
+    assert loaded["schema"] == golden["schema"]
+    assert loaded["schema_version"] == golden["schema_version"] \
+        == BENCH_SCHEMA_VERSION
+    assert {k: sorted(v) for k, v in loaded["benches"].items()} \
+        == golden["benches"]
+    assert loaded == json.loads(json.dumps(doc))  # file == returned doc
+
+
+def test_exported_values_are_json_numbers(quick_results):
+    for bid, metrics in quick_results.items():
+        for name, value in metrics.items():
+            assert value is None or isinstance(value, (int, float)), \
+                f"{bid}.{name} = {value!r}"
+
+
+def test_quick_values_keep_the_paper_shape(quick_results):
+    """Even at smoke counts the simulated quantities reproduce the
+    paper's ordering claims (wall-clock S1 values are only positive)."""
+    e1, e4, e5, s1 = (quick_results[k] for k in ("E1", "E4", "E5", "S1"))
+    assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
+    assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
+    assert e4["small_msg_speedup"] > 2.0                   # §4.3 "3x"
+    assert e4["crossover_bytes"] == 2048                   # quick sweep grid
+    assert 0.2 < e5["tuned_improvement_rpc0"] < 0.5        # §5.3 "30-40%"
+    assert e5["charlotte_ratio_rpc0"] > 10.0               # order of magnitude
+    for kind in ("charlotte", "soda", "chrysalis"):
+        assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
+        assert s1[f"rpc_sim_events_{kind}"] > 0
+
+
+def test_simulated_metrics_are_seed_deterministic():
+    a = run_benches(bench_ids=["E1"], quick=True, seed=3)
+    b = run_benches(bench_ids=["E1"], quick=True, seed=3)
+    assert a == b
+
+
+def test_unknown_bench_id_rejected():
+    with pytest.raises(ValueError):
+        run_benches(bench_ids=["E99"], quick=True)
+
+
+def test_subset_and_lowercase_ids():
+    out = run_benches(bench_ids=["e5"], quick=True)
+    assert list(out) == ["E5"]

@@ -1,0 +1,128 @@
+"""JSONL trace export: round-trips, streaming, schema stability."""
+
+import json
+
+import pytest
+
+from repro.core.api import BYTES, Operation, Proc, make_cluster
+from repro.obs import JsonlTraceWriter, load_trace
+from repro.sim.engine import Engine
+from repro.sim.trace import TRACE_SCHEMA_VERSION, TraceEvent, TraceLog
+
+ECHO = Operation("echo", (BYTES,), (BYTES,))
+
+
+class _Server(Proc):
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        yield from ctx.register(ECHO)
+        yield from ctx.open(end)
+        inc = yield from ctx.wait_request()
+        yield from ctx.reply(inc, (inc.args[0],))
+
+
+class _Client(Proc):
+    def main(self, ctx):
+        (end,) = ctx.initial_links
+        yield from ctx.connect(end, ECHO, (b"x",))
+
+
+def _run_cluster(kind="charlotte", **kw):
+    cluster = make_cluster(kind, **kw)
+    s = cluster.spawn(_Server(), "server")
+    c = cluster.spawn(_Client(), "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e6)
+    assert cluster.all_finished
+    return cluster
+
+
+def test_event_record_round_trip():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "send", link=1, kind="request", peer="b")
+    rec = log.events[0].to_record()
+    assert rec == {"t": 0.0, "actor": "a", "event": "send",
+                   "detail": {"link": 1, "kind": "request", "peer": "b"}}
+    assert TraceEvent.from_record(json.loads(log.events[0].to_json())) \
+        == log.events[0]
+
+
+def test_to_jsonl_header_carries_schema_version():
+    eng = Engine()
+    log = TraceLog(eng, capacity=77)
+    log.emit("a", "e")
+    lines = log.to_jsonl().splitlines()
+    head = json.loads(lines[0])
+    assert head["schema"] == "repro.trace"
+    assert head["version"] == TRACE_SCHEMA_VERSION
+    assert head["capacity"] == 77
+    assert len(lines) == 2
+
+
+def test_unknown_schema_version_rejected():
+    bad = json.dumps({"schema": "repro.trace", "version": 999})
+    with pytest.raises(ValueError):
+        TraceLog.from_jsonl(bad)
+
+
+def test_round_trip_renders_identical_sequence_chart():
+    """The satellite-task guarantee: export + reload reproduces the
+    same figure-2-style chart as the live log."""
+    cluster = _run_cluster("charlotte")
+    replayed = TraceLog.from_jsonl(cluster.trace.to_jsonl())
+    for events in (None, {"packet"}, {"send"}):
+        live = cluster.trace.sequence_chart(
+            ["server", "client"], events=events, link=1
+        )
+        offline = replayed.sequence_chart(
+            ["server", "client"], events=events, link=1
+        )
+        assert live == offline
+
+
+def test_detached_log_refuses_emit():
+    replayed = TraceLog.from_jsonl("")
+    with pytest.raises(ValueError):
+        replayed.emit("a", "e")
+
+
+def test_streaming_writer_matches_snapshot_export(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    cluster = make_cluster("chrysalis")
+    with JsonlTraceWriter(path, cluster.trace) as w:
+        s = cluster.spawn(_Server(), "server")
+        c = cluster.spawn(_Client(), "client")
+        cluster.create_link(s, c)
+        cluster.run_until_quiet(max_ms=1e6)
+    assert w.lines_written == len(cluster.trace.events) > 0
+    streamed = load_trace(path)
+    assert [e.to_record() for e in streamed.events] \
+        == [e.to_record() for e in cluster.trace.events]
+    # detached after close: further events are not written
+    before = path.read_text()
+    cluster.trace.emit("x", "late")
+    assert path.read_text() == before
+
+
+def test_streaming_writer_sees_past_capacity(tmp_path):
+    """The writer's purpose: events evicted from the bounded deque are
+    still on disk."""
+    eng = Engine()
+    log = TraceLog(eng, capacity=5)
+    path = tmp_path / "t.jsonl"
+    with JsonlTraceWriter(path, log):
+        for i in range(20):
+            log.emit("a", "e", i=i)
+    streamed = load_trace(path)
+    assert len(log.events) == 5
+    assert len(streamed.events) == 20
+    assert streamed.events[0].detail["i"] == 0
+
+
+def test_non_json_detail_degrades_to_repr():
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "e", obj={1, 2})
+    rec = json.loads(log.events[0].to_json())
+    assert "1" in rec["detail"]["obj"]  # repr of the set

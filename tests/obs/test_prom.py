@@ -1,0 +1,52 @@
+"""Prometheus text rendering of MetricSet."""
+
+from repro.obs import prometheus_text
+from repro.obs.prom import sanitize_name
+from repro.sim.metrics import MetricSet
+
+
+def test_sanitize_name():
+    assert sanitize_name("kernel.calls.Send") == "kernel_calls_Send"
+    assert sanitize_name("wire.frames.soda-request") == "wire_frames_soda_request"
+    assert sanitize_name("9lives") == "_9lives"
+
+
+def test_counters_render_with_type_lines():
+    m = MetricSet()
+    m.count("kernel.calls.Send", 3)
+    m.count("wire.bytes", 2048)
+    text = prometheus_text(m)
+    assert "# TYPE repro_kernel_calls_Send counter" in text
+    assert "repro_kernel_calls_Send 3" in text
+    assert "repro_wire_bytes 2048" in text
+    assert text.endswith("\n")
+
+
+def test_latencies_render_as_summaries():
+    m = MetricSet()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        m.latency("rpc.roundtrip").record(v)
+    text = prometheus_text(m)
+    assert "# TYPE repro_rpc_roundtrip_ms summary" in text
+    assert 'repro_rpc_roundtrip_ms{quantile="0.5"} 2.5' in text
+    assert 'repro_rpc_roundtrip_ms{quantile="0.99"}' in text
+    assert "repro_rpc_roundtrip_ms_sum 10" in text
+    assert "repro_rpc_roundtrip_ms_count 4" in text
+
+
+def test_custom_namespace():
+    m = MetricSet()
+    m.count("a.b")
+    assert "lynx_a_b 1" in prometheus_text(m, namespace="lynx")
+
+
+def test_every_line_is_sample_or_comment():
+    m = MetricSet()
+    m.count("kernel.calls.Send", 3)
+    m.count("wire.frames.soda-request")
+    m.latency("rpc.roundtrip").record(1.5)
+    for line in prometheus_text(m).strip().splitlines():
+        assert line.startswith("# TYPE ") or " " in line
+        if not line.startswith("#"):
+            name = line.split("{")[0].split(" ")[0]
+            assert name.startswith("repro_")

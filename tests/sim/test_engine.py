@@ -149,3 +149,59 @@ def test_determinism_across_identical_runs():
         return log
 
     assert build_and_run() == build_and_run()
+
+
+def test_profile_off_by_default():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.profile is None
+
+
+def test_profile_records_counts_and_wall_clock():
+    from repro.sim.engine import DispatchProfile
+
+    eng = Engine(profile=True)
+    assert isinstance(eng.profile, DispatchProfile)
+
+    def slow():
+        sum(range(1000))
+
+    def fast():
+        pass
+
+    for _ in range(3):
+        eng.schedule(1.0, slow)
+    eng.schedule(2.0, fast)
+    eng.run()
+    d = eng.profile.as_dict()
+    slow_key = next(k for k in d if "slow" in k)
+    fast_key = next(k for k in d if "fast" in k)
+    assert d[slow_key]["count"] == 3
+    assert d[fast_key]["count"] == 1
+    assert d[slow_key]["wall_ms"] >= 0.0
+    rows = eng.profile.rows()
+    assert {r[0] for r in rows} == {slow_key, fast_key}
+    assert rows == sorted(rows, key=lambda r: r[2], reverse=True)
+    rendered = eng.profile.render()
+    assert "count" in rendered and slow_key in rendered
+
+
+def test_profile_key_for_non_function_callables():
+    import functools
+
+    from repro.sim.engine import _callback_key
+
+    assert "test_profile_key" in _callback_key(
+        test_profile_key_for_non_function_callables
+    )
+    assert _callback_key(functools.partial(print, 1)) == "partial"
+
+
+def test_cluster_threads_profile_flag_through():
+    from repro.core.api import make_cluster
+
+    for kind in ("charlotte", "soda", "chrysalis"):
+        assert make_cluster(kind).engine.profile is None
+        cluster = make_cluster(kind, profile=True)
+        assert cluster.engine.profile is not None

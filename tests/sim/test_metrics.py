@@ -75,6 +75,56 @@ def test_snapshot_and_diff():
     assert d == {"a": 3, "b": 1}
 
 
+def test_diff_accepts_bare_counter_dict():
+    m = MetricSet()
+    m.count("a", 5)
+    assert m.diff({"a": 2}) == {"a": 3}
+
+
+def test_snapshot_is_nested_and_matches_live_reads():
+    m = MetricSet()
+    m.count("kernel.calls.Send", 3)
+    m.count("wire.bytes", 128)
+    m.latency("rpc.roundtrip").record(2.0)
+    m.latency("rpc.roundtrip").record(4.0)
+    snap = m.snapshot()
+    assert set(snap) == {"counters", "latencies"}
+    assert snap["counters"] == {
+        "kernel.calls.Send": m.get("kernel.calls.Send"),
+        "wire.bytes": m.get("wire.bytes"),
+    }
+    lat = snap["latencies"]["rpc.roundtrip"]
+    rec = m.latency("rpc.roundtrip")
+    assert lat["mean"] == rec.mean
+    assert lat["count"] == rec.count
+    assert lat["p99"] == rec.percentile(99)
+    # a snapshot is a copy: later counts do not leak into it
+    m.count("kernel.calls.Send")
+    assert snap["counters"]["kernel.calls.Send"] == 3
+
+
+def test_tree_expands_dotted_names():
+    m = MetricSet()
+    m.count("kernel.calls.Send", 2)
+    m.count("kernel.calls.Wait", 4)
+    m.count("wire.bytes", 100)
+    assert m.tree() == {
+        "kernel": {"calls": {"Send": 2.0, "Wait": 4.0}},
+        "wire": {"bytes": 100.0},
+    }
+
+
+def test_tree_handles_leaf_prefix_collision():
+    m = MetricSet()
+    m.count("a", 1)
+    m.count("a.b", 2)
+    assert m.tree() == {"a": {"": 1.0, "b": 2.0}}
+    m2 = MetricSet()
+    m2.count("a.b", 2)
+    m2.count("a", 1)
+    assert m2.tree() == {"a": {"": 1.0, "b": 2.0}}
+
+
 def test_reset():
     m = MetricSet()
     m.count("a")
