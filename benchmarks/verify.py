@@ -1,0 +1,48 @@
+"""One-command observability smoke check (make-verify style):
+
+    PYTHONPATH=src python benchmarks/verify.py [--out DIR]
+
+Runs ``python -m repro trace --selftest`` (span trees, critical-path
+coverage and the Chrome export on all three kernels) followed by
+``python -m repro bench --quick`` (the full BENCH_*.json export at
+smoke counts), failing on the first non-zero step.  Tier-1 covers the
+same ground piecewise; this script is the single command to confirm
+the whole observability pipeline works in a fresh checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.cli import main as repro_main
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default=None,
+                    help="directory for BENCH_verify.json "
+                         "(default: a fresh temp dir)")
+    args = ap.parse_args(argv)
+    out_dir = args.out or tempfile.mkdtemp(prefix="repro-verify-")
+
+    rc = repro_main(["trace", "--selftest"])
+    if rc != 0:
+        print("verify: trace --selftest FAILED", file=sys.stderr)
+        return rc
+
+    bench_path = os.path.join(out_dir, "BENCH_verify.json")
+    rc = repro_main(["bench", "--quick", "--out", bench_path])
+    if rc != 0:
+        print("verify: bench --quick FAILED", file=sys.stderr)
+        return rc
+
+    print(f"verify: ok ({bench_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

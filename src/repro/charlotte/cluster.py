@@ -46,7 +46,8 @@ class CharlotteCluster(ClusterBase):
             stations=self.nodes,
         )
         self.kernel = CharlotteKernel(
-            self.engine, self.metrics, costs, self.ring, self.registry
+            self.engine, self.metrics, costs, self.ring, self.registry,
+            spans=self.spans,
         )
 
     def make_runtime(self, handle: ProcessHandle) -> CharlotteRuntime:

@@ -128,12 +128,17 @@ class CharlotteKernel:
         costs: CharlotteCosts,
         ring: TokenRing,
         registry,
+        spans=None,
     ) -> None:
         self.engine = engine
         self.metrics = metrics
         self.costs = costs
         self.ring = ring
         self.registry = registry
+        #: causal SpanTracker of the owning cluster (None for bare
+        #: kernel tests); transfers of span-carrying messages open
+        #: kernel/network child spans (repro.obs.causal)
+        self.spans = spans
         self.links: Dict[int, _KLink] = {}
         #: per-process completion queues and parked Wait futures
         self._completions: Dict[str, Deque[Completion]] = {}
@@ -404,6 +409,22 @@ class CharlotteKernel:
         msg: WireMessage,
         delay: float,
     ) -> None:
+        if msg.span is not None and self.spans is not None:
+            # split the transfer delay into kernel CPU (fixed +
+            # per-byte + any move-agreement extra) and ring transit;
+            # TokenRing.transit_time is deterministic, so recomputing
+            # it here perturbs nothing
+            net = min(self.ring.transit_time(msg.wire_size), delay)
+            now = self.engine.now
+            self.spans.emit(
+                msg.span, "kernel", f"transfer:{msg.kind.value}",
+                sender.owner, now, now + delay - net,
+            )
+            self.spans.emit(
+                msg.span, "network", "ring", "ring",
+                now + delay - net, now + delay,
+            )
+
         def complete() -> None:
             if klink.destroyed:
                 # destruction already produced failure completions; make

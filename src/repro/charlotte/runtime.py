@@ -136,7 +136,8 @@ class CharlotteRuntime(LynxRuntimeBase):
     def _control(self, es: EndState, kind: MsgKind, reply_to: int,
                  enclosures: Optional[List[EndRef]] = None,
                  metas: Optional[List[dict]] = None,
-                 error: Optional[ExceptionCode] = None) -> WireMessage:
+                 error: Optional[ExceptionCode] = None,
+                 span=None) -> WireMessage:
         return WireMessage(
             kind=kind,
             seq=es.alloc_seq(),
@@ -146,6 +147,7 @@ class CharlotteRuntime(LynxRuntimeBase):
             enc_total=len(enclosures or []),
             error=error,
             sent_at=self.engine.now,
+            span=span,
         )
 
     def _packetise(self, logical: WireMessage) -> _OutTransfer:
@@ -170,6 +172,7 @@ class CharlotteRuntime(LynxRuntimeBase):
                     enclosure_meta=[meta],
                     enc_total=len(logical.enclosures),
                     sent_at=self.engine.now,
+                    span=logical.span,
                 )
             )
         needs_goahead = (
@@ -483,7 +486,9 @@ class CharlotteRuntime(LynxRuntimeBase):
                 list(msg.enclosure_meta),
             )
             self._enqueue(
-                es, self._control(es, MsgKind.GOAHEAD, msg.seq), control=True
+                es,
+                self._control(es, MsgKind.GOAHEAD, msg.seq, span=msg.span),
+                control=True,
             )
             self.metrics.count("charlotte.goahead_sent")
             yield from self._pump(es)
@@ -500,11 +505,12 @@ class CharlotteRuntime(LynxRuntimeBase):
             # a plain retry would bounce forever: forbid instead
             ce.forbid_sent = True
             ctl = self._control(
-                es, MsgKind.FORBID, msg.seq, returned, metas
+                es, MsgKind.FORBID, msg.seq, returned, metas, span=msg.span
             )
             self.metrics.count("charlotte.forbid_sent")
         else:
-            ctl = self._control(es, MsgKind.RETRY, msg.seq, returned, metas)
+            ctl = self._control(es, MsgKind.RETRY, msg.seq, returned, metas,
+                                span=msg.span)
             self.metrics.count("charlotte.retry_sent")
         self._enqueue(es, ctl, control=True)
         yield from self._pump(es)
@@ -527,7 +533,8 @@ class CharlotteRuntime(LynxRuntimeBase):
             err = None
             if waiter is None or waiter.aborted:
                 err = ExceptionCode.REQUEST_ABORTED
-            ack = self._control(es, MsgKind.ACK, msg.seq, error=err)
+            ack = self._control(es, MsgKind.ACK, msg.seq, error=err,
+                                span=msg.span)
             self._enqueue(es, ack, control=True)
             self.metrics.count("charlotte.ack_sent")
             yield from self._pump(es)
@@ -551,6 +558,7 @@ class CharlotteRuntime(LynxRuntimeBase):
                 msg.seq,
                 list(msg.enclosures),
                 list(msg.enclosure_meta),
+                span=msg.span,
             )
             self._enqueue(es, ctl, control=True)
             yield from self._pump(es)

@@ -146,7 +146,9 @@ class ChrysalisRuntime(LynxRuntimeBase):
                 if pre is not None:
                     yield self.port.unmap_object(pre[0])
         # gather: block copy through the switch
+        copy_t0 = self.engine.now
         yield self.port.copy(msg.wire_size)
+        copy_t1 = self.engine.now
 
         def write() -> None:
             obj.buffers[(kind, side)] = msg
@@ -164,6 +166,15 @@ class ChrysalisRuntime(LynxRuntimeBase):
                    NoticeCode.NEW_REQ if kind == "req" else NoticeCode.NEW_REP,
                    side, msg.seq),
         )
+        if msg.span is not None:
+            self.cluster.spans.emit(
+                msg.span, "network", "switch-copy", self.name,
+                copy_t0, copy_t1,
+            )
+            self.cluster.spans.emit(
+                msg.span, "kernel", "flag-enqueue", self.name,
+                copy_t1, self.engine.now,
+            )
 
     def _destroyed_error(self, obj: LinkObject):
         reason = obj.destroy_reason or "link destroyed"
@@ -185,7 +196,9 @@ class ChrysalisRuntime(LynxRuntimeBase):
             return None
         msg = obj.buffers[("req", nside)]
         # scatter: block copy out of the shared buffer
+        copy_t0 = self.engine.now
         yield self.port.copy(msg.wire_size)
+        copy_t1 = self.engine.now
         yield from self._premap_enclosures(msg)
 
         def clear() -> None:
@@ -198,6 +211,15 @@ class ChrysalisRuntime(LynxRuntimeBase):
             Notice(ce.oid, es.ref.link, NoticeCode.CONSUMED_REQ,
                    es.ref.side, msg.seq),
         )
+        if msg.span is not None:
+            self.cluster.spans.emit(
+                msg.span, "network", "switch-copy", self.name,
+                copy_t0, copy_t1,
+            )
+            self.cluster.spans.emit(
+                msg.span, "kernel", "flag-dequeue", self.name,
+                copy_t1, self.engine.now,
+            )
         return msg
 
     def _premap_enclosures(self, msg: WireMessage):
@@ -277,7 +299,9 @@ class ChrysalisRuntime(LynxRuntimeBase):
             return
         obj, nside = ce.obj, notice.side
         msg = obj.buffers[("rep", nside)]
+        copy_t0 = self.engine.now
         yield self.port.copy(msg.wire_size)
+        copy_t1 = self.engine.now
         yield from self._premap_enclosures(msg)
 
         def clear() -> None:
@@ -290,6 +314,15 @@ class ChrysalisRuntime(LynxRuntimeBase):
             Notice(ce.oid, my_ref.link, NoticeCode.CONSUMED_REP,
                    my_ref.side, msg.seq),
         )
+        if msg.span is not None:
+            self.cluster.spans.emit(
+                msg.span, "network", "switch-copy", self.name,
+                copy_t0, copy_t1,
+            )
+            self.cluster.spans.emit(
+                msg.span, "kernel", "flag-dequeue", self.name,
+                copy_t1, self.engine.now,
+            )
         self.deliver_reply(my_ref, msg)
 
     def _on_consumed(self, notice: Notice, kind: str):

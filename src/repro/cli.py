@@ -6,7 +6,8 @@
     python -m repro figure2                 # live figure-2 chart
     python -m repro migrate --kernel soda --hops 8 --loss 0.5
     python -m repro sizes                   # the E2 code-size table
-    python -m repro bench                   # E1/E4/E5/S1 -> BENCH_*.json
+    python -m repro bench                   # E1..E13/S1 -> BENCH_*.json
+    python -m repro trace --kernel soda --by-layer --critical-path
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
@@ -181,10 +182,16 @@ def _cmd_linda(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.obs.bench import run_benches, write_bench_json
 
-    results = run_benches(bench_ids=args.only, seed=args.seed,
-                          quick=args.quick)
+    try:
+        results = run_benches(bench_ids=args.only, seed=args.seed,
+                              quick=args.quick)
+    except ValueError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
     doc, path = write_bench_json(results, path=args.out, seed=args.seed,
                                  quick=args.quick)
+    if path == "-":
+        return 0  # the JSON document *is* the stdout output
     t = Table(
         f"benchmark export (seed={args.seed}"
         f"{', quick' if args.quick else ''})",
@@ -195,6 +202,107 @@ def _cmd_bench(args) -> int:
             t.add(bid, metric, value)
     t.show()
     print(f"wrote {path} (git_rev={doc['git_rev']})")
+    return 0
+
+
+def _trace_graph(args):
+    """The (CausalGraph, descriptive label) for the trace command."""
+    from repro.obs.causal import CausalGraph
+
+    if args.jsonl:
+        from repro.sim.trace import TraceLog
+
+        with open(args.jsonl) as fh:
+            log = TraceLog.from_jsonl(fh)
+        return CausalGraph.from_trace(log), args.jsonl
+    from repro.workloads.rpc import run_rpc_workload
+
+    r = run_rpc_workload(args.kernel, payload_bytes=args.payload,
+                         count=args.count, seed=args.seed)
+    label = (f"{args.kernel} rpc payload={args.payload} "
+             f"count={args.count} seed={args.seed}")
+    return CausalGraph.from_trace(r.trace), label
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.causal import chrome_trace_json, waterfall
+
+    if args.selftest:
+        return _trace_selftest()
+    graph, label = _trace_graph(args)
+    tids = graph.traces()
+    if not tids:
+        print("repro trace: no spans in this trace", file=sys.stderr)
+        return 2
+    if args.chrome:
+        payload = chrome_trace_json(graph)
+        if args.chrome == "-":
+            print(payload)
+        else:
+            with open(args.chrome, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.chrome} ({len(tids)} traces)")
+    if args.critical_path:
+        print(waterfall(graph, tids[-1]))
+        print()
+        t = Table(
+            f"critical path of trace {tids[-1]} ({label})",
+            ["t0 ms", "t1 ms", "layer", "segment", "host"],
+        )
+        for seg in graph.critical_path(tids[-1]):
+            t.add(seg.t0, seg.t1, seg.layer, seg.name, seg.host)
+        t.show()
+    if args.by_layer or not (args.chrome or args.critical_path):
+        per = graph.by_layer(tids)
+        total = graph.total_ms(tids)
+        t = Table(
+            f"critical-path latency by layer ({label}; "
+            f"{len(tids)} traces incl. warm-up)",
+            ["layer", "total ms", "ms per rpc", "share"],
+        )
+        for layer, ms in sorted(per.items(), key=lambda kv: -kv[1]):
+            t.add(layer, ms, ms / len(tids),
+                  ms / total if total else 0.0)
+        t.add("(total)", total, total / len(tids), 1.0)
+        t.show()
+    return 0
+
+
+def _trace_selftest() -> int:
+    """Smoke-check the whole causal pipeline on all three kernels."""
+    import json as _json
+
+    from repro.obs.causal import CausalGraph, chrome_trace_json, waterfall
+    from repro.workloads.rpc import run_rpc_workload
+
+    failures = []
+    for kind in KERNEL_KINDS:
+        r = run_rpc_workload(kind, 64, count=3, seed=0)
+        graph = CausalGraph.from_trace(r.trace)
+        tids = graph.traces()
+        if len(tids) != 4:  # 3 measured + 1 warm-up
+            failures.append(f"{kind}: expected 4 traces, got {len(tids)}")
+            continue
+        for tid in tids:
+            if not graph.is_tree(tid):
+                failures.append(f"{kind}: trace {tid} is not a tree")
+            segs = graph.critical_path(tid)
+            root = graph.root(tid)
+            covered = sum(s.duration for s in segs)
+            if abs(covered - root.duration) > 1e-9:
+                failures.append(
+                    f"{kind}: trace {tid} critical path covers "
+                    f"{covered} != rtt {root.duration}"
+                )
+        _json.loads(chrome_trace_json(graph))
+        waterfall(graph, tids[-1])
+        print(f"trace selftest: {kind} ok "
+              f"({len(graph.spans)} spans, {len(tids)} traces)")
+    if failures:
+        for f in failures:
+            print(f"trace selftest FAILED: {f}", file=sys.stderr)
+        return 1
+    print("trace selftest: all kernels ok")
     return 0
 
 
@@ -267,18 +375,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the E1/E4/E5/S1 workloads and write BENCH_*.json",
+        help="run the E1/E4/E5/E13/S1 workloads and write BENCH_*.json",
     )
     p.add_argument("--quick", action="store_true",
                    help="smoke-test iteration counts (same schema)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output path (default: BENCH_PR1.json at the "
-                        "repo root)")
-    p.add_argument("--only", nargs="+", metavar="BENCH",
-                   type=str.upper, choices=BENCH_IDS,
-                   help="subset of E1 E4 E5 S1")
+                        "repo root; '-' writes the JSON to stdout)")
+    p.add_argument("--only", nargs="+", metavar="BENCH", type=str.upper,
+                   help=f"subset of {' '.join(BENCH_IDS)} "
+                        "(unknown names exit 2)")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="causal span tracing: critical-path latency attribution",
+    )
+    p.add_argument("--kernel", choices=KERNEL_KINDS, default="charlotte")
+    p.add_argument("--payload", type=int, default=0,
+                   help="bytes each way for the traced RPC workload")
+    p.add_argument("--count", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="analyse a saved TraceLog JSONL instead of "
+                        "running the RPC workload")
+    p.add_argument("--chrome", default=None, metavar="OUT",
+                   help="write Chrome trace-event JSON (Perfetto / "
+                        "chrome://tracing; '-' for stdout)")
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the waterfall + critical path of the "
+                        "last trace")
+    p.add_argument("--by-layer", action="store_true",
+                   help="print the per-layer attribution table "
+                        "(default when no other output is selected)")
+    p.add_argument("--selftest", action="store_true",
+                   help="smoke-check span trees, critical-path "
+                        "coverage and the Chrome export on all kernels")
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

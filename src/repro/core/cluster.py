@@ -21,6 +21,7 @@ from typing import Any, Dict, Optional
 from repro.analysis.costmodel import CostModel
 from repro.core.program import Proc
 from repro.core.registry import LinkRegistry
+from repro.obs.causal import SpanTracker
 from repro.sim.engine import Engine
 from repro.sim.failure import CrashMode
 from repro.sim.futures import FutureState
@@ -72,6 +73,9 @@ class ClusterBase:
         self.metrics = MetricSet()
         self.registry = LinkRegistry()
         self.trace = TraceLog(self.engine)
+        #: causal-span minting authority, shared by runtimes and kernels
+        #: (created before `_setup_hardware` so kernels can take it)
+        self.spans = SpanTracker(self.trace)
         self.rng = SimRandom(seed, f"cluster/{self.KIND}")
         self.costmodel = costmodel if costmodel is not None else CostModel.default()
         self.nodes = nodes

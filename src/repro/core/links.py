@@ -34,6 +34,7 @@ from typing import Any, Deque, Dict, Optional, Set, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.threads import LynxThread
     from repro.core.wire import WireMessage
+    from repro.obs.causal import SpanContext
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,11 @@ class ConnectWaiter:
     aborted: bool = False
     #: simulated time the request was sent, for RPC latency metrics
     sent_at: float = 0.0
+    #: causal root context of this RPC (None when tracing is off)
+    span: Optional["SpanContext"] = None
+    #: simulated time the root span opened (connect entry, before
+    #: marshalling — earlier than ``sent_at``)
+    span_t0: float = 0.0
 
 
 @dataclass
@@ -120,6 +126,12 @@ class EndState:
     next_seq: int = 1
     #: why the link died, for exception messages
     destroy_reason: str = ""
+    #: causal contexts of requests we owe replies to, by request seq
+    #: (lets the reply leg rejoin the request's trace)
+    request_spans: Dict[int, "SpanContext"] = field(default_factory=dict)
+    #: simulated time each owed request was delivered to a server
+    #: thread, for the ``app`` serve span
+    request_span_t0: Dict[int, float] = field(default_factory=dict)
 
     def alloc_seq(self) -> int:
         s = self.next_seq

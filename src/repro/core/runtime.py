@@ -410,7 +410,14 @@ class LynxRuntimeBase:
         except LynxError as err:
             t.pending_error = err
             return
+        # mint the causal root of this RPC; it rides on every message of
+        # the conversation (see repro.obs.causal)
+        root = self.cluster.spans.new_trace()
+        root_t0 = self.engine.now
         yield self._charge_gather(payload, encs)
+        self.cluster.spans.emit(
+            root, "runtime", "marshal", self.name, root_t0, self.engine.now
+        )
         seq = es.alloc_seq()
         msg = WireMessage(
             kind=MsgKind.REQUEST,
@@ -421,11 +428,14 @@ class LynxRuntimeBase:
             enclosures=encs,
             enc_total=len(encs),
             sent_at=self.engine.now,
+            span=root,
         )
         self._stage_enclosures(msg)
         es.outgoing[seq] = msg
         es.unreceived_sent += 1
-        waiter = ConnectWaiter(t, seq, op.op, sent_at=self.engine.now)
+        waiter = ConnectWaiter(
+            t, seq, op.op, sent_at=self.engine.now, span=root, span_t0=root_t0
+        )
         es.connect_waiters.append(waiter)
         t.block(f"connect:{op.op.name}")
         self.metrics.count("runtime.connects")
@@ -445,6 +455,17 @@ class LynxRuntimeBase:
         if es.outgoing.pop(msg.seq, None) is not None:
             es.unreceived_sent = max(0, es.unreceived_sent - 1)
         self._restore_enclosures(msg)
+        self._finish_root_span(waiter)
+
+    def _finish_root_span(self, waiter: ConnectWaiter) -> None:
+        """Close the RPC's root span (at most once) — the trace covers
+        connect entry to this instant, however the connect ended."""
+        if waiter.span is not None:
+            self.cluster.spans.emit_root(
+                waiter.span, f"connect:{waiter.op.name}", self.name,
+                waiter.span_t0, self.engine.now,
+            )
+            waiter.span = None
 
     # -- wait_request -----------------------------------------------------
     def _op_wait_request(self, t: LynxThread, op: _ops.WaitRequestOp) -> None:
@@ -468,7 +489,21 @@ class LynxRuntimeBase:
         except LynxError as err:
             t.pending_error = err
             return
+        root = es.request_spans.pop(inc.seq, None)
+        serve_t0 = es.request_span_t0.pop(inc.seq, None)
+        gather_t0 = self.engine.now
+        if root is not None and serve_t0 is not None:
+            # the server's application time: request delivery -> reply
+            self.cluster.spans.emit(
+                root, "app", f"serve:{inc.op.name}", self.name,
+                serve_t0, gather_t0,
+            )
         yield self._charge_gather(payload, encs)
+        if root is not None:
+            self.cluster.spans.emit(
+                root, "runtime", "marshal", self.name, gather_t0,
+                self.engine.now,
+            )
         seq = es.alloc_seq()
         msg = WireMessage(
             kind=MsgKind.REPLY,
@@ -480,6 +515,7 @@ class LynxRuntimeBase:
             enclosures=encs,
             enc_total=len(encs),
             sent_at=self.engine.now,
+            span=root,
         )
         self._stage_enclosures(msg)
         es.outgoing[seq] = msg
@@ -668,15 +704,23 @@ class LynxRuntimeBase:
             # client already gave up; drop silently (Charlotte cannot
             # tell the server — §3.2; capable kernels told it earlier)
             self.metrics.count("runtime.replies_dropped_aborted")
+            self._finish_root_span(waiter)
             return
         yield from self.rt_sync_interest(es)
         if msg.kind is MsgKind.EXCEPTION:
             # enclosures of the refused request come home with it
             yield from self._adopt_enclosures(msg)
             err = self._exception_from_code(msg.error, es)
+            self._finish_root_span(waiter)
             self._resume_error(waiter.thread, err)
             return
+        scatter_t0 = self.engine.now
         yield self._charge_scatter(msg)
+        if waiter.span is not None:
+            self.cluster.spans.emit(
+                waiter.span, "runtime", "unmarshal", self.name,
+                scatter_t0, self.engine.now,
+            )
         try:
             results = codec.unmarshal(
                 waiter.op.reply,
@@ -685,11 +729,13 @@ class LynxRuntimeBase:
                 self._adopt_link_factory(msg),
             )
         except LynxError as err:
+            self._finish_root_span(waiter)
             self._resume_error(waiter.thread, err)
             return
         yield from self._adopt_enclosures(msg)
         self.metrics.latency("rpc.roundtrip").record(self.engine.now - waiter.sent_at)
         self.cluster.trace_msg(self.name, "consume", es.ref, msg)
+        self._finish_root_span(waiter)
         self._resume(waiter.thread, results)
 
     def _consume_request(
@@ -705,7 +751,13 @@ class LynxRuntimeBase:
             yield from self._auto_exception_reply(es, msg, code)
             self.metrics.count("runtime.type_clashes")
             return False
+        scatter_t0 = self.engine.now
         yield self._charge_scatter(msg)
+        if msg.span is not None:
+            self.cluster.spans.emit(
+                msg.span, "runtime", "unmarshal", self.name,
+                scatter_t0, self.engine.now,
+            )
         try:
             args = codec.unmarshal(
                 op.request, msg.payload, msg.enclosures, self._adopt_link_factory(msg)
@@ -716,6 +768,10 @@ class LynxRuntimeBase:
             return False
         yield from self._adopt_enclosures(msg)
         es.owed_replies.add(msg.seq)
+        if msg.span is not None:
+            # remember the request's trace so the reply leg rejoins it
+            es.request_spans[msg.seq] = msg.span
+            es.request_span_t0[msg.seq] = self.engine.now
         incoming = Incoming(LinkEnd(es.ref, self.name), op, args, msg.seq)
         self.metrics.count("runtime.requests_served")
         self.cluster.trace_msg(self.name, "consume", es.ref, msg, op=op.name)
@@ -736,6 +792,7 @@ class LynxRuntimeBase:
             enclosure_meta=list(msg.enclosure_meta),
             enc_total=len(msg.enclosures),
             sent_at=self.engine.now,
+            span=msg.span,
         )
         es.outgoing[exc.seq] = exc
         es.unreceived_sent += 1
@@ -866,6 +923,7 @@ class LynxRuntimeBase:
             if w.seq in pending_replies:
                 continue
             es.connect_waiters.remove(w)
+            self._finish_root_span(w)
             if not w.aborted:
                 self._resume_error(w.thread, err_cls(es.destroy_reason))
         for seq, t in list(es.send_waiters.items()):
@@ -890,6 +948,8 @@ class LynxRuntimeBase:
         es.outgoing.clear()
         es.unreceived_sent = 0
         es.owed_replies.clear()
+        es.request_spans.clear()
+        es.request_span_t0.clear()
 
     def _resume(self, t: LynxThread, value: Any) -> None:
         if t.state is ThreadState.BLOCKED:

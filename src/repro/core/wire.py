@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.links import EndRef
+from repro.obs.causal import SpanContext
 
 #: bytes of fixed header on every wire message (kind, seq, reply_to,
 #: sighash, lengths) — mirrors the "self-descriptive information
@@ -89,6 +90,10 @@ class WireMessage:
     error: Optional[ExceptionCode] = None
     #: simulated send timestamp, for latency accounting
     sent_at: float = 0.0
+    #: causal root context of the RPC this message belongs to (the
+    #: piggyback that lets kernels and the peer runtime open child
+    #: spans of the same trace; see repro.obs.causal)
+    span: Optional[SpanContext] = None
 
     @property
     def wire_size(self) -> int:
@@ -112,6 +117,7 @@ class WireMessage:
             enc_total=self.enc_total,
             error=self.error,
             sent_at=self.sent_at,
+            span=self.span,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -13,6 +13,10 @@ across PRs:
 * `run_benches` / `write_bench_json` — the unified benchmark runner
   behind ``python -m repro bench``, producing the ``BENCH_*.json``
   regression baseline;
+* `SpanContext` / `SpanTracker` / `CausalGraph` / `chrome_trace` /
+  `waterfall` — causal span tracing with critical-path latency
+  attribution across the three kernels (``python -m repro trace``,
+  docs/CAUSALITY.md);
 * `json_safe` — NaN/Infinity-free JSON value sanitising shared by all
   exporters.
 
@@ -26,17 +30,39 @@ from repro.obs.bench import (
     run_benches,
     write_bench_json,
 )
+from repro.obs.causal import (
+    GAP_LAYER,
+    LAYERS,
+    CausalGraph,
+    PathSegment,
+    Span,
+    SpanContext,
+    SpanTracker,
+    chrome_trace,
+    chrome_trace_json,
+    waterfall,
+)
 from repro.obs.jsonl import JsonlTraceWriter, json_safe, load_trace
 from repro.obs.prom import prometheus_text
 
 __all__ = [
     "BENCH_IDS",
     "BENCH_SCHEMA_VERSION",
+    "CausalGraph",
     "DEFAULT_BENCH_FILENAME",
+    "GAP_LAYER",
     "JsonlTraceWriter",
+    "LAYERS",
+    "PathSegment",
+    "Span",
+    "SpanContext",
+    "SpanTracker",
+    "chrome_trace",
+    "chrome_trace_json",
     "json_safe",
     "load_trace",
     "prometheus_text",
     "run_benches",
+    "waterfall",
     "write_bench_json",
 ]

@@ -1,14 +1,15 @@
 """The unified benchmark runner behind ``python -m repro bench``.
 
 Re-runs the headline workloads — E1 (Charlotte latency), E4 (the SODA
-crossover sweep), E5 (Chrysalis latency + tuning) and S1 (simulator
+crossover sweep), E5 (Chrysalis latency + tuning), E13 (causal
+critical-path layer attribution, repro.obs.causal) and S1 (simulator
 wall-clock throughput) — and writes one machine-readable
 ``BENCH_*.json`` so the performance trajectory of the repository is
 tracked across PRs.  The authoritative assertion-carrying harness
 remains ``pytest benchmarks/ --benchmark-only``; this runner trades its
 tables for a stable schema::
 
-    {"schema": "repro.bench", "schema_version": 1,
+    {"schema": "repro.bench", "schema_version": 2,
      "seed": 0, "git_rev": "<rev|unknown>",
      "timestamp": "<UTC ISO-8601>", "quick": false,
      "benches": {bench_id: {metric: value}}}
@@ -24,13 +25,14 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import sys
 from datetime import datetime, timezone
 from time import perf_counter
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.jsonl import json_safe
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 DEFAULT_BENCH_FILENAME = "BENCH_PR1.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
@@ -161,10 +163,47 @@ def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     return out
 
 
+def bench_e13(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E13 — causal critical-path layer attribution (figure 2, §6):
+    where does one round trip of the 0-byte RPC spend its time on each
+    kernel?  Reports per-layer critical-path milliseconds per RPC and
+    the runtime/kernel shares of the round trip.
+
+    The paper's claim machine-checked here: Charlotte's high-level
+    primitives force the most work into the *runtime* layer — its
+    runtime milliseconds strictly exceed SODA's and Chrysalis's.
+    (Shares run the other way: Chrysalis is so fast that its small
+    runtime cost dominates its tiny total.)
+    """
+    from repro.obs.causal import CausalGraph
+    from repro.workloads.rpc import run_rpc_workload
+
+    count = 2 if quick else 5
+    out: Dict[str, float] = {}
+    for kind in ("charlotte", "soda", "chrysalis"):
+        r = run_rpc_workload(kind, 0, count=count, seed=seed)
+        graph = CausalGraph.from_trace(r.trace)
+        tids = graph.traces()[1:]  # drop the workload's warm-up trip
+        layers = graph.by_layer(tids)
+        total = graph.total_ms(tids)
+        n = max(len(tids), 1)
+        for layer in ("runtime", "kernel", "network", "app"):
+            out[f"{kind}_{layer}_ms"] = layers.get(layer, 0.0) / n
+        out[f"{kind}_total_ms"] = total / n
+        out[f"{kind}_runtime_share"] = (
+            layers.get("runtime", 0.0) / total if total else 0.0
+        )
+        out[f"{kind}_kernel_share"] = (
+            layers.get("kernel", 0.0) / total if total else 0.0
+        )
+    return out
+
+
 _BENCHES: Dict[str, Callable[[int, bool], Dict[str, float]]] = {
     "E1": bench_e1,
     "E4": bench_e4,
     "E5": bench_e5,
+    "E13": bench_e13,
     "S1": bench_s1,
 }
 
@@ -224,12 +263,10 @@ def write_bench_json(
     quick: bool = False,
 ) -> Tuple[Dict[str, object], str]:
     """Wrap ``results`` in the versioned envelope and write it (default:
-    ``BENCH_PR1.json`` at the repo root).  Returns (document, path)."""
+    ``BENCH_PR1.json`` at the repo root; ``"-"`` writes to stdout).
+    Returns (document, path)."""
     if path is None:
         path = os.path.join(repo_root(), DEFAULT_BENCH_FILENAME)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
     doc = {
         "schema": "repro.bench",
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -239,6 +276,13 @@ def write_bench_json(
         "quick": quick,
         "benches": json_safe(results),
     }
+    if path == "-":
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True, allow_nan=False)
+        sys.stdout.write("\n")
+        return doc, path
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True, allow_nan=False)
         fh.write("\n")

@@ -29,7 +29,10 @@ from typing import (
 from repro.sim.engine import Engine
 
 #: bumped whenever the exported JSONL record shape changes
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+#: schema versions `from_jsonl` still understands (v1 records are v2
+#: records without the optional ``span`` field)
+SUPPORTED_TRACE_SCHEMA_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -39,20 +42,36 @@ class TraceEvent:
     event: str
     #: free-form details (message kind, link, seq, peer, ...)
     detail: Dict[str, object]
+    #: optional causal-span payload (schema v2; see repro.obs.causal)
+    span: Optional[Dict[str, object]] = None
 
-    def describe(self) -> str:
+    def describe(
+        self,
+        time_width: int = 10,
+        actor_width: int = 12,
+        event_width: int = 16,
+    ) -> str:
         bits = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
-        return f"[{self.time:10.3f}] {self.actor:<12} {self.event:<16} {bits}"
+        stamp = f"{self.time:.3f}"
+        return (
+            f"[{stamp:>{max(time_width, len(stamp))}}] "
+            f"{self.actor:<{max(actor_width, len(self.actor))}} "
+            f"{self.event:<{max(event_width, len(self.event))}} {bits}"
+        )
 
     # JSONL record conversion ------------------------------------------
     def to_record(self) -> Dict[str, object]:
-        """The stable export shape: ``{"t", "actor", "event", "detail"}``."""
-        return {
+        """The stable export shape: ``{"t", "actor", "event", "detail"}``
+        plus ``"span"`` when (and only when) the event carries one."""
+        rec: Dict[str, object] = {
             "t": self.time,
             "actor": self.actor,
             "event": self.event,
             "detail": dict(self.detail),
         }
+        if self.span is not None:
+            rec["span"] = dict(self.span)
+        return rec
 
     def to_json(self) -> str:
         # non-JSON detail values (enums, objects) degrade to repr so an
@@ -61,11 +80,13 @@ class TraceEvent:
 
     @classmethod
     def from_record(cls, rec: Dict[str, object]) -> "TraceEvent":
+        span = rec.get("span")
         return cls(
             time=float(rec["t"]),
             actor=str(rec["actor"]),
             event=str(rec["event"]),
             detail=dict(rec.get("detail", {})),
+            span=dict(span) if span is not None else None,
         )
 
 
@@ -96,12 +117,18 @@ class TraceLog:
         #: recorded (see `repro.obs.JsonlTraceWriter`)
         self._sinks: List[Callable[[TraceEvent], None]] = []
 
-    def emit(self, actor: str, event: str, **detail: object) -> None:
+    def emit(
+        self,
+        actor: str,
+        event: str,
+        span: Optional[Dict[str, object]] = None,
+        **detail: object,
+    ) -> None:
         if not self.enabled:
             return
         if self.engine is None:
             raise ValueError("cannot emit into a detached (replayed) TraceLog")
-        ev = TraceEvent(self.engine.now, actor, event, detail)
+        ev = TraceEvent(self.engine.now, actor, event, detail, span=span)
         self.events.append(ev)
         if self._sinks:
             for sink in self._sinks:
@@ -152,7 +179,7 @@ class TraceLog:
                 continue
             rec = json.loads(line)
             if "schema" in rec:
-                if rec.get("version") != TRACE_SCHEMA_VERSION:
+                if rec.get("version") not in SUPPORTED_TRACE_SCHEMA_VERSIONS:
                     raise ValueError(
                         f"unsupported trace schema {rec.get('schema')!r} "
                         f"v{rec.get('version')!r}"
@@ -182,7 +209,18 @@ class TraceLog:
         return out
 
     def dump(self, limit: int = 200) -> str:
-        lines = [ev.describe() for ev in list(self.events)[-limit:]]
+        events = list(self.events)[-limit:]
+        if not events:
+            return ""
+        # columns grow with the data so long actor names or 6+ digit
+        # timestamps never shear the layout
+        time_width = max(10, *(len(f"{ev.time:.3f}") for ev in events))
+        actor_width = max(12, *(len(ev.actor) for ev in events))
+        event_width = max(16, *(len(ev.event) for ev in events))
+        lines = [
+            ev.describe(time_width, actor_width, event_width)
+            for ev in events
+        ]
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

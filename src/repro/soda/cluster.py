@@ -65,7 +65,8 @@ class SodaCluster(ClusterBase):
             broadcast_loss=self.broadcast_loss,
         )
         self.kernel = SodaKernel(
-            self.engine, self.metrics, costs, self.bus, self.registry
+            self.engine, self.metrics, costs, self.bus, self.registry,
+            spans=self.spans,
         )
 
     def make_runtime(self, handle: ProcessHandle) -> SodaRuntime:

@@ -121,12 +121,19 @@ class SodaKernel:
         costs: SodaCosts,
         bus: CSMABus,
         registry,
+        spans=None,
     ) -> None:
         self.engine = engine
         self.metrics = metrics
         self.costs = costs
         self.bus = bus
         self.registry = registry
+        #: causal SpanTracker of the owning cluster (None for bare
+        #: kernel tests); span-carrying transfers open kernel/network
+        #: child spans.  NOTE: ``bus.transit_time`` draws from the rng,
+        #: so every instrumented site calls it exactly once and reuses
+        #: the bound value for both the delay and the span boundaries.
+        self.spans = spans
         self._procs: Dict[str, _SodaProc] = {}
         self._requests: Dict[int, _Request] = {}
         self._next_rid = 1
@@ -286,9 +293,17 @@ class SodaKernel:
             nsend=req.nsend,
             nrecv=req.nrecv,
         )
-        delay = self.bus.transit_time(CONTROL_FRAME_BYTES) + self.costs.interrupt_ms
+        net = self.bus.transit_time(CONTROL_FRAME_BYTES)
+        delay = net + self.costs.interrupt_ms
         self.metrics.count("wire.frames.soda-request")
         self.metrics.count("wire.bytes", CONTROL_FRAME_BYTES)
+        span = getattr(req.data, "span", None)
+        if span is not None and self.spans is not None:
+            now = self.engine.now
+            self.spans.emit(span, "network", "bus:request", "bus",
+                            now, now + net)
+            self.spans.emit(span, "kernel", "interrupt", req.to,
+                            now + net, now + delay)
         self.engine.schedule(delay, self._interrupt_now, req.to, intr)
 
     def _release_pair(self, req: _Request) -> None:
@@ -337,15 +352,24 @@ class SodaKernel:
         to_accepter = req.data if min(req.nsend, nrecv) > 0 else None
         to_requester = data if min(nsend, req.nrecv) > 0 else None
         moved = min(req.nsend, nrecv) + min(nsend, req.nrecv)
+        net = self.bus.transit_time(moved + CONTROL_FRAME_BYTES)
         delay = (
             self.costs.accept_syscall_ms
             + self.costs.transfer_fixed_ms
             + self.costs.transfer_per_byte_ms * moved
-            + self.bus.transit_time(moved + CONTROL_FRAME_BYTES)
+            + net
         )
         self.metrics.count("soda.accepts")
         self.metrics.count("wire.frames.soda-transfer")
         self.metrics.count("wire.bytes", moved + CONTROL_FRAME_BYTES)
+        span = (getattr(req.data, "span", None)
+                or getattr(data, "span", None))
+        if span is not None and self.spans is not None:
+            now = self.engine.now
+            self.spans.emit(span, "kernel", "accept-transfer", caller,
+                            now, now + delay - net)
+            self.spans.emit(span, "network", "bus:transfer", "bus",
+                            now + delay - net, now + delay)
 
         def finish() -> None:
             fut.resolve((AcceptStatus.OK, to_accepter))
@@ -387,9 +411,17 @@ class SodaKernel:
     # interrupts
     # ------------------------------------------------------------------
     def _interrupt(self, to: str, intr: Interrupt) -> None:
-        delay = self.bus.transit_time(CONTROL_FRAME_BYTES) + self.costs.interrupt_ms
+        net = self.bus.transit_time(CONTROL_FRAME_BYTES)
+        delay = net + self.costs.interrupt_ms
         self.metrics.count("wire.frames.soda-interrupt")
         self.metrics.count("wire.bytes", CONTROL_FRAME_BYTES)
+        span = getattr(intr.data, "span", None)
+        if span is not None and self.spans is not None:
+            now = self.engine.now
+            self.spans.emit(span, "network", "bus:interrupt", "bus",
+                            now, now + net)
+            self.spans.emit(span, "kernel", "interrupt", to,
+                            now + net, now + delay)
         self.engine.schedule(delay, self._interrupt_now, to, intr)
 
     def _interrupt_now(self, to: str, intr: Interrupt) -> None:

@@ -139,6 +139,7 @@ def run_migration_churn(
         "wire_messages": m.total("wire.messages."),
         "wire_bytes": m.get("wire.bytes"),
         "sim_time_ms": cluster.engine.now,
+        "trace": cluster.trace,
     }
 
 
@@ -275,4 +276,5 @@ def run_dormant_migration(
         "stale_notices": m.get("chrysalis.stale_notices"),
         "wire_messages": m.total("wire.messages."),
         "sim_time_ms": cluster.engine.now,
+        "trace": cluster.trace,
     }

@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.core.api import BYTES, Operation, Proc, make_cluster
 from repro.core.links import EndRef
 from repro.core.wire import MsgKind, WireMessage
+from repro.sim.trace import TraceLog
 
 PING = Operation("ping", (BYTES,), (BYTES,))
 
@@ -65,6 +66,8 @@ class RPCResult:
     rtts: List[float]
     messages: float
     wire_bytes: float
+    #: the cluster's TraceLog — carries the causal spans (repro.obs.causal)
+    trace: Optional[TraceLog] = None
 
     @property
     def mean_ms(self) -> float:
@@ -96,6 +99,7 @@ def run_rpc_workload(
         rtts=client.rtts,
         messages=cluster.metrics.total("wire.messages."),
         wire_bytes=cluster.metrics.get("wire.bytes"),
+        trace=cluster.trace,
     )
 
 
@@ -173,4 +177,5 @@ def raw_charlotte_rpc(
         rtts=rtts,
         messages=cluster.metrics.total("wire.messages."),
         wire_bytes=cluster.metrics.get("wire.bytes"),
+        trace=cluster.trace,
     )

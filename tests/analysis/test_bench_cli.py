@@ -15,7 +15,7 @@ def test_bench_quick_writes_valid_json(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["schema"] == "repro.bench"
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "S1"}
     assert "seed" in doc and "git_rev" in doc and "timestamp" in doc
 
 
@@ -25,3 +25,17 @@ def test_bench_only_subset(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert list(doc["benches"]) == ["S1"]
     assert doc["benches"]["S1"]["engine_events_per_sec"] > 0
+
+
+def test_bench_out_dash_writes_json_to_stdout(capsys):
+    assert main(["bench", "--quick", "--only", "E5", "--out", "-"]) == 0
+    printed = capsys.readouterr().out
+    doc = json.loads(printed)  # stdout is exactly one JSON document
+    assert list(doc["benches"]) == ["E5"]
+    assert "benchmark export" not in printed  # no table mixed in
+
+
+def test_bench_unknown_only_name_exits_nonzero(capsys):
+    assert main(["bench", "--quick", "--only", "E99"]) == 2
+    err = capsys.readouterr().err
+    assert "E99" in err

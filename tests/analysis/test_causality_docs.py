@@ -1,0 +1,61 @@
+"""docs/CAUSALITY.md is a contract: the span vocabulary and layer
+names it documents must appear in the codebase, the layer table must
+cover repro.obs.causal.LAYERS exactly, and the docs that advertise it
+must actually link it — so the doc cannot drift from the
+instrumentation."""
+
+import re
+from pathlib import Path
+
+from repro.obs.causal import GAP_LAYER, LAYERS
+
+ROOT = Path(__file__).resolve().parents[2]
+DOC = ROOT / "docs" / "CAUSALITY.md"
+CODE_DIRS = ("src", "tests", "examples", "benchmarks")
+
+
+def _codebase_blob() -> str:
+    chunks = []
+    for d in CODE_DIRS:
+        for path in (ROOT / d).rglob("*.py"):
+            chunks.append(path.read_text())
+    return "\n".join(chunks)
+
+
+def _documented_names() -> set:
+    """Backticked tokens from the first column of every table row."""
+    names = set()
+    for line in DOC.read_text().splitlines():
+        if not line.startswith("| `"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(re.findall(r"`([^`]+)`", first_cell))
+    return names
+
+
+def test_doc_exists_with_span_vocabulary():
+    assert DOC.exists()
+    names = _documented_names()
+    assert "SpanContext" in names
+    assert "CausalGraph" in names
+    for layer in LAYERS:
+        assert layer in names, f"layer {layer!r} missing from the doc"
+
+
+def test_every_documented_name_appears_in_codebase():
+    blob = _codebase_blob()
+    missing = [n for n in sorted(_documented_names()) if n not in blob]
+    assert not missing, f"documented but absent from the code: {missing}"
+
+
+def test_doc_states_the_algorithm_and_gap_layer():
+    text = DOC.read_text()
+    assert "critical-path" in text.lower()
+    assert GAP_LAYER in text
+    assert "figure 2" in text.lower() or "figure-2" in text.lower()
+    assert "E13" in text
+
+
+def test_doc_is_linked_from_observability_and_readme():
+    assert "CAUSALITY.md" in (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    assert "CAUSALITY.md" in (ROOT / "README.md").read_text()

@@ -63,3 +63,44 @@ def test_linda_command(capsys):
                   "--workers", "2"]) == 0
     out = capsys.readouterr().out
     assert "results collected" in out
+
+
+def test_trace_by_layer_default(capsys):
+    assert main(["trace", "--kernel", "chrysalis", "--count", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path latency by layer" in out
+    assert "runtime" in out and "kernel" in out and "(total)" in out
+
+
+def test_trace_critical_path_waterfall(capsys):
+    assert main(["trace", "--kernel", "charlotte", "--count", "1",
+                 "--critical-path"]) == 0
+    out = capsys.readouterr().out
+    assert "rpc:connect:ping" in out and "█" in out
+    assert "critical path of trace" in out
+
+
+def test_trace_chrome_export_and_jsonl_reload(tmp_path, capsys):
+    import json
+
+    chrome = tmp_path / "trace.json"
+    assert main(["trace", "--kernel", "soda", "--count", "2",
+                 "--chrome", str(chrome)]) == 0
+    doc = json.loads(chrome.read_text())
+    assert doc["traceEvents"]
+    # offline: export a run to JSONL, reload it through --jsonl
+    from repro.workloads.rpc import run_rpc_workload
+
+    jsonl = tmp_path / "run.jsonl"
+    r = run_rpc_workload("chrysalis", 0, count=2, seed=0)
+    jsonl.write_text(r.trace.to_jsonl())
+    capsys.readouterr()
+    assert main(["trace", "--jsonl", str(jsonl), "--by-layer"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path latency by layer" in out
+
+
+def test_trace_selftest_command(capsys):
+    assert main(["trace", "--selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "all kernels ok" in out

@@ -1,0 +1,28 @@
+"""The make-verify smoke script (benchmarks/verify.py) stays runnable:
+one command proving the trace selftest and the quick bench export both
+work."""
+
+import importlib.util
+import json
+import os
+
+ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+SCRIPT = os.path.abspath(os.path.join(ROOT, "benchmarks", "verify.py"))
+
+
+def _load_verify():
+    spec = importlib.util.spec_from_file_location("repro_verify", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_verify_script_passes_and_writes_bench_json(tmp_path, capsys):
+    mod = _load_verify()
+    assert mod.main(["--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "all kernels ok" in out
+    assert "verify: ok" in out
+    doc = json.loads((tmp_path / "BENCH_verify.json").read_text())
+    assert doc["quick"] is True
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "S1"}

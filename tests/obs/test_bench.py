@@ -22,7 +22,7 @@ def quick_results():
 
 
 def test_bench_ids():
-    assert BENCH_IDS == ("E1", "E4", "E5", "S1")
+    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "S1")
 
 
 def test_document_schema_matches_golden_file(quick_results, tmp_path):
@@ -55,13 +55,19 @@ def test_exported_values_are_json_numbers(quick_results):
 def test_quick_values_keep_the_paper_shape(quick_results):
     """Even at smoke counts the simulated quantities reproduce the
     paper's ordering claims (wall-clock S1 values are only positive)."""
-    e1, e4, e5, s1 = (quick_results[k] for k in ("E1", "E4", "E5", "S1"))
+    e1, e4, e5, e13, s1 = (
+        quick_results[k] for k in ("E1", "E4", "E5", "E13", "S1")
+    )
     assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
     assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
     assert e4["small_msg_speedup"] > 2.0                   # §4.3 "3x"
     assert e4["crossover_bytes"] == 2048                   # quick sweep grid
     assert 0.2 < e5["tuned_improvement_rpc0"] < 0.5        # §5.3 "30-40%"
     assert e5["charlotte_ratio_rpc0"] > 10.0               # order of magnitude
+    # figure 2 / §6: Charlotte's high-level primitives cost the most
+    # *runtime-layer* critical-path time per RPC, strictly
+    assert e13["charlotte_runtime_ms"] > e13["soda_runtime_ms"]
+    assert e13["charlotte_runtime_ms"] > e13["chrysalis_runtime_ms"]
     for kind in ("charlotte", "soda", "chrysalis"):
         assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
         assert s1[f"rpc_sim_events_{kind}"] > 0

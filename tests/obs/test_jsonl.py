@@ -66,6 +66,47 @@ def test_unknown_schema_version_rejected():
         TraceLog.from_jsonl(bad)
 
 
+def test_version1_stream_still_loads():
+    """v1 streams (no ``span`` field anywhere) round-trip: a v1 header
+    is accepted and the events reload identically."""
+    v1 = "\n".join([
+        json.dumps({"capacity": 50, "schema": "repro.trace", "version": 1}),
+        json.dumps({"t": 1.5, "actor": "a", "event": "send",
+                    "detail": {"link": 1}}),
+        json.dumps({"t": 2.5, "actor": "b", "event": "consume",
+                    "detail": {"link": 1}}),
+    ])
+    log = TraceLog.from_jsonl(v1)
+    assert [(e.time, e.actor, e.event) for e in log.events] \
+        == [(1.5, "a", "send"), (2.5, "b", "consume")]
+    assert all(e.span is None for e in log.events)
+    # re-exporting and reloading reproduces the same records
+    again = TraceLog.from_jsonl(log.to_jsonl())
+    assert [e.to_record() for e in again.events] \
+        == [e.to_record() for e in log.events]
+
+
+def test_version2_span_events_round_trip():
+    """v2 round-trip: span payloads survive export + reload, and
+    span-less events still serialise without a ``span`` key."""
+    eng = Engine()
+    log = TraceLog(eng)
+    payload = {"trace": 1, "id": 2, "parent": None, "layer": "kernel",
+               "name": "transfer", "host": "a", "t0": 0.0, "t1": 3.5}
+    log.emit("a", "span", span=payload)
+    log.emit("a", "send", link=1)
+    rec = json.loads(log.events[0].to_json())
+    assert rec["span"] == payload
+    assert "span" not in json.loads(log.events[1].to_json())
+    head = json.loads(log.to_jsonl().splitlines()[0])
+    assert head["version"] == TRACE_SCHEMA_VERSION == 2
+    replayed = TraceLog.from_jsonl(log.to_jsonl())
+    assert replayed.events[0].span == payload
+    assert replayed.events[1].span is None
+    assert [e.to_record() for e in replayed.events] \
+        == [e.to_record() for e in log.events]
+
+
 def test_round_trip_renders_identical_sequence_chart():
     """The satellite-task guarantee: export + reload reproduces the
     same figure-2-style chart as the live log."""

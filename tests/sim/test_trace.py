@@ -47,6 +47,43 @@ def test_dump_is_readable():
     assert "proc-1" in text and "send" in text and "link=3" in text
 
 
+def test_dump_aligns_long_actors_and_big_timestamps():
+    """Formatting regression: actor names longer than the 12-char
+    default and timestamps of 6+ digits must not shear the columns —
+    every field starts at the same offset on every line."""
+    eng = Engine()
+    log = TraceLog(eng)
+    log.emit("a", "send", link=1)
+    eng.now = 123456.789  # 10-char stamp, wider than the default field
+    log.emit("a-very-long-process-name", "send", link=2)
+    log.emit("b", "an-event-name-past-sixteen", link=3)
+    lines = log.dump().splitlines()
+    assert len(lines) == 3
+    closes = {line.index("]") for line in lines}
+    assert len(closes) == 1  # time column closes at one offset
+    details = {line.index("link=") for line in lines}
+    assert len(details) == 1  # detail column starts at one offset
+    assert "[123456.789]" in log.dump()
+
+
+def test_describe_never_truncates_wide_fields():
+    eng = Engine()
+    eng.now = 1234567.125
+    log = TraceLog(eng)
+    log.emit("name-longer-than-twelve-chars", "event-longer-than-sixteen",
+             k=1)
+    line = log.events[0].describe()
+    assert "name-longer-than-twelve-chars" in line
+    assert "event-longer-than-sixteen" in line
+    assert "[1234567.125]" in line
+    assert "k=1" in line
+    # narrow content still pads out to the default column widths
+    short = TraceLog(Engine())
+    short.emit("a", "e", k=1)
+    assert short.events[0].describe() \
+        == f"[{'0.000':>10}] {'a':<12} {'e':<16} k=1"
+
+
 def test_sequence_chart_draws_arrows():
     eng = Engine()
     log = TraceLog(eng)
