@@ -20,6 +20,7 @@ import pytest
 from repro.analysis.report import Table
 from repro.core.api import (
     BYTES,
+    KERNEL_KINDS,
     LINK,
     LinkDestroyed,
     Operation,
@@ -95,7 +96,7 @@ def test_a3_crash_window_sweep(benchmark, save_table):
     data = {}
 
     def run():
-        for kind in ("charlotte", "soda", "chrysalis"):
+        for kind in KERNEL_KINDS:
             for crash_at in CRASH_TIMES:
                 # Chrysalis is ~25x faster: scale its window
                 t = crash_at if kind != "chrysalis" else crash_at / 25.0

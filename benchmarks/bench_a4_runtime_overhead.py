@@ -20,10 +20,11 @@ Charlotte's and SODA's overheads agree within a small factor.
 import pytest
 
 from repro.analysis.report import Table
+from repro.core.api import KERNEL_KINDS
 from repro.workloads.raw import raw_rpc
 from repro.workloads.rpc import run_rpc_workload
 
-KERNELS = ("charlotte", "soda", "chrysalis")
+KERNELS = KERNEL_KINDS
 
 
 @pytest.mark.benchmark(group="a4")

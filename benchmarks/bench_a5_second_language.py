@@ -25,10 +25,11 @@ import pytest
 
 from repro.analysis.complexity import analyze_module
 from repro.analysis.report import Table
+from repro.core.api import KERNEL_KINDS
 from repro.linda import ANY, make_linda
 from repro.sim.tasks import sleep
 
-KINDS = ("charlotte", "soda", "chrysalis")
+KINDS = KERNEL_KINDS
 
 
 def measure(kind: str, block_ms: float):

@@ -12,6 +12,7 @@ services a quiet request had to sit through — which must stay bounded
 import pytest
 
 from repro.analysis.report import Table
+from repro.core.api import KERNEL_KINDS
 from repro.workloads.skew import run_skewed_load
 
 FLOODS = (8, 24)
@@ -23,7 +24,7 @@ def test_e12_no_queue_ignored_forever(benchmark, save_table):
     data = {}
 
     def run():
-        for kind in ("charlotte", "soda", "chrysalis"):
+        for kind in KERNEL_KINDS:
             for flood in FLOODS:
                 data[(kind, flood)] = run_skewed_load(
                     kind, quiet_clients=QUIET, chatty_requests=flood, seed=2
@@ -37,7 +38,7 @@ def test_e12_no_queue_ignored_forever(benchmark, save_table):
         ["kernel", "flood len", "worst chatty run", "quiet mean ms",
          "quiet max ms"],
     )
-    for kind in ("charlotte", "soda", "chrysalis"):
+    for kind in KERNEL_KINDS:
         for flood in FLOODS:
             d = data[(kind, flood)]
             lats = d["quiet_latencies_ms"]
@@ -45,7 +46,7 @@ def test_e12_no_queue_ignored_forever(benchmark, save_table):
                   sum(lats) / len(lats), max(lats))
     save_table("e12_fairness", t)
 
-    for kind in ("charlotte", "soda", "chrysalis"):
+    for kind in KERNEL_KINDS:
         for flood in FLOODS:
             d = data[(kind, flood)]
             # a quiet request never waits behind more than a handful of

@@ -7,7 +7,9 @@
 
 The bench regenerates all four numbers by running the RPC workload on
 the simulated Crystal/Charlotte stack — once through the LYNX runtime
-package, once as raw kernel calls.
+package, once as raw kernel calls — and anchors them against the
+``ideal`` reference backend, whose zero-protocol round trip is the
+floor every real kernel sits above.
 """
 
 import pytest
@@ -28,6 +30,10 @@ def test_e1_charlotte_simple_remote_operation(benchmark, save_table):
         results["lynx1000"] = run_rpc_workload(
             "charlotte", 1000, count=5
         ).mean_ms
+        results["ideal0"] = run_rpc_workload("ideal", 0, count=5).mean_ms
+        results["ideal1000"] = run_rpc_workload(
+            "ideal", 1000, count=5
+        ).mean_ms
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -39,6 +45,8 @@ def test_e1_charlotte_simple_remote_operation(benchmark, save_table):
         ("LYNX, 0 B", PAPER["charlotte.lynx.rpc0"], results["lynx0"]),
         ("LYNX, 1000 B each way", PAPER["charlotte.lynx.rpc1000"],
          results["lynx1000"]),
+        ("ideal backend (floor), 0 B", None, results["ideal0"]),
+        ("ideal backend (floor), 1000 B each way", None, results["ideal1000"]),
     ]
     save_table("e1_charlotte_latency",
                paper_vs_measured("E1: Charlotte simple remote operation (ms)",
@@ -51,3 +59,6 @@ def test_e1_charlotte_simple_remote_operation(benchmark, save_table):
     # the runtime package's overhead is visible but modest (§3.3)
     assert results["lynx0"] > results["raw0"]
     assert results["lynx1000"] > results["raw1000"]
+    # the ideal backend is strictly the fastest thing in the table
+    assert results["ideal0"] < results["raw0"]
+    assert results["ideal1000"] < results["raw1000"]

@@ -60,6 +60,8 @@ def test_e2_runtime_package_sizes(benchmark, save_table):
           cmp_["soda"]["kernel_specific_branches"], 0, 0.0)
     t.add("chrysalis", 3800, cmp_["chrysalis"]["kernel_specific_loc"],
           cmp_["chrysalis"]["kernel_specific_branches"], 0, 0.0)
+    t.add("ideal (reference)", None, cmp_["ideal"]["kernel_specific_loc"],
+          cmp_["ideal"]["kernel_specific_branches"], 0, 0.0)
     save_table("e2_code_size", t)
 
     charlotte = cmp_["charlotte"]
@@ -83,3 +85,12 @@ def test_e2_runtime_package_sizes(benchmark, save_table):
         for k in cmp_
     }
     assert density["charlotte"] >= density["chrysalis"]
+    # the ideal backend bounds the glue from below: a kernel designed
+    # for the runtime needs less glue than any real 1986 kernel did
+    ideal = cmp_["ideal"]
+    for k in ("charlotte", "soda", "chrysalis"):
+        assert ideal["kernel_specific_loc"] < cmp_[k]["kernel_specific_loc"]
+        assert (
+            ideal["kernel_specific_branches"]
+            < cmp_[k]["kernel_specific_branches"]
+        )

@@ -21,7 +21,14 @@ counts actual wire messages.
 
 import pytest
 
-from repro.core.api import INT, LINK, Operation, Proc, make_cluster
+from repro.core.api import (
+    INT,
+    KERNEL_KINDS,
+    LINK,
+    Operation,
+    Proc,
+    make_cluster,
+)
 from repro.analysis.report import Table
 
 
@@ -76,7 +83,7 @@ def test_e3_enclosure_protocol_message_counts(benchmark, save_table):
     data = {}
 
     def run():
-        for kind in ("charlotte", "soda", "chrysalis"):
+        for kind in KERNEL_KINDS:
             for n in range(6):
                 data[(kind, n)] = messages_for(kind, n)
         return data

@@ -11,6 +11,7 @@ that all received messages are wanted").
 import pytest
 
 from repro.analysis.report import Table
+from repro.core.api import KERNEL_KINDS
 from repro.workloads.adversarial import (
     run_open_close_scenario,
     run_reverse_scenario,
@@ -24,7 +25,7 @@ def test_e6_unwanted_message_traffic(benchmark, save_table):
     data = {}
 
     def run():
-        for kind in ("charlotte", "soda", "chrysalis"):
+        for kind in KERNEL_KINDS:
             data[("rev", kind)] = run_reverse_scenario(kind, rounds=ROUNDS)
             data[("oc", kind)] = run_open_close_scenario(kind, rounds=ROUNDS)
         return data
@@ -37,11 +38,11 @@ def test_e6_unwanted_message_traffic(benchmark, save_table):
          "resends", "total msgs", "useful msgs"],
     )
     for scen, label in (("rev", "reverse-request"), ("oc", "open/close race")):
-        for kind in ("charlotte", "soda", "chrysalis"):
+        for kind in KERNEL_KINDS:
             d = data[(scen, kind)]
-            t.add(label, kind, d["unwanted"], d.get("retry", 0.0),
-                  d.get("forbid", 0.0), d.get("allow", 0.0),
-                  d.get("resends", 0.0), d["messages"],
+            t.add(label, kind, d["unwanted"], d.get("retry"),
+                  d.get("forbid"), d.get("allow"),
+                  d.get("resends"), d["messages"],
                   d["useful_messages"])
     save_table("e6_unwanted", t)
 
@@ -53,10 +54,13 @@ def test_e6_unwanted_message_traffic(benchmark, save_table):
     oc_c = data[("oc", "charlotte")]
     assert oc_c["retry"] >= ROUNDS
     assert oc_c["resends"] >= ROUNDS
-    # SODA and Chrysalis: zero, structurally
+    # SODA and Chrysalis: zero, structurally — and the bounce counters
+    # do not even exist in their digests
     for scen in ("rev", "oc"):
         for kind in ("soda", "chrysalis"):
             assert data[(scen, kind)]["unwanted"] == 0
+            assert "retry" not in data[(scen, kind)]
+            assert "forbid" not in data[(scen, kind)]
             # and no overhead messages at all beyond the useful ones
             assert (
                 data[(scen, kind)]["messages"]

@@ -8,7 +8,7 @@ than a driver; everything else reports *simulated* time.
 
 import pytest
 
-from repro.core.api import BYTES, Operation, Proc, make_cluster
+from repro.core.api import BYTES, Operation, Proc, make_cluster, registered_kernels
 from repro.sim.engine import Engine
 
 ECHO = Operation("echo", (BYTES,), (BYTES,))
@@ -34,7 +34,7 @@ def test_s1_engine_event_throughput(benchmark):
 
 
 @pytest.mark.benchmark(group="s1")
-@pytest.mark.parametrize("kind", ("charlotte", "soda", "chrysalis"))
+@pytest.mark.parametrize("kind", registered_kernels())
 def test_s1_rpc_simulation_throughput(benchmark, kind):
     """Wall time to simulate a 50-operation RPC conversation."""
     N = 50

@@ -3,7 +3,9 @@
     PYTHONPATH=src python benchmarks/verify.py [--out DIR]
 
 Runs ``python -m repro trace --selftest`` (span trees, critical-path
-coverage and the Chrome export on all three kernels) followed by
+coverage and the Chrome export on every registered kernel), then one
+zero-byte RPC on every backend in the kernel registry (so a freshly
+registered backend cannot silently miss the smoke net), followed by
 ``python -m repro bench --quick`` (the full BENCH_*.json export at
 smoke counts), failing on the first non-zero step.  Tier-1 covers the
 same ground piecewise; this script is the single command to confirm
@@ -33,6 +35,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if rc != 0:
         print("verify: trace --selftest FAILED", file=sys.stderr)
         return rc
+
+    # one RPC on every backend the registry knows about — including
+    # ones registered after this script was written
+    from repro.core.api import registered_kernels
+    from repro.workloads.rpc import run_rpc_workload
+
+    for kind in registered_kernels():
+        try:
+            r = run_rpc_workload(kind, 0, count=1)
+        except Exception as exc:  # noqa: BLE001 - smoke check reports all
+            print(f"verify: rpc smoke FAILED on {kind}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if not r.rtts or r.mean_ms <= 0.0:
+            print(f"verify: rpc smoke on {kind} returned no round trip",
+                  file=sys.stderr)
+            return 1
+        print(f"verify: rpc smoke ok on {kind} ({r.mean_ms:.3f} ms)")
 
     bench_path = os.path.join(out_dir, "BENCH_verify.json")
     rc = repro_main(["bench", "--quick", "--out", bench_path])

@@ -12,11 +12,12 @@ Run:
 """
 
 from repro.analysis.complexity import runtime_package_stats
+from repro.core.api import KERNEL_KINDS
 from repro.analysis.report import Table
 from repro.workloads.adversarial import run_reverse_scenario
 from repro.workloads.rpc import run_rpc_workload
 
-KERNELS = ("charlotte", "soda", "chrysalis")
+KERNELS = KERNEL_KINDS
 PAPER_LATENCY = {"charlotte": 57.0, "soda": None, "chrysalis": 2.4}
 
 

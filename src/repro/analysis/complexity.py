@@ -20,16 +20,13 @@ those quantities by static analysis (AST) of the actual source.
 from __future__ import annotations
 
 import ast
+import importlib
 import inspect
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
-import repro.charlotte.runtime
-import repro.chrysalis.linkobject
-import repro.chrysalis.runtime
 import repro.core.runtime
-import repro.soda.freeze
-import repro.soda.runtime
+from repro.core.ports import kernel_profile, registered_kernels
 
 #: functions/classes of the Charlotte runtime that exist solely for the
 #: §3.2.1 unwanted-message machinery and the §3.2.2 multi-enclosure
@@ -49,14 +46,17 @@ CHARLOTTE_SPECIAL_CASES = frozenset(
     }
 )
 
-#: module sets making up each kernel-specific runtime half
-RUNTIME_MODULES = {
-    "charlotte": [repro.charlotte.runtime],
-    "soda": [repro.soda.runtime, repro.soda.freeze],
-    "chrysalis": [repro.chrysalis.runtime, repro.chrysalis.linkobject],
-}
 
-#: the kernel-independent half shared by all three (§2's semantics)
+def runtime_modules(kind: str) -> List:
+    """The imported module set making up one kernel-specific runtime
+    half — read from the backend's `KernelProfile` so this analyzer
+    never names a kernel package itself (and automatically covers new
+    backends such as ``ideal``)."""
+    profile = kernel_profile(kind)
+    return [importlib.import_module(m) for m in profile.runtime_modules]
+
+
+#: the kernel-independent half shared by every backend (§2's semantics)
 COMMON_MODULES = [repro.core.runtime]
 
 
@@ -156,7 +156,7 @@ def analyze_module(module) -> ModuleStats:
 def runtime_package_stats(kind: str) -> PackageStats:
     """Size up one kernel's LYNX runtime package: its kernel-specific
     modules plus the shared kernel-independent half."""
-    modules = [analyze_module(m) for m in RUNTIME_MODULES[kind]]
+    modules = [analyze_module(m) for m in runtime_modules(kind)]
     common = [analyze_module(m) for m in COMMON_MODULES]
     return PackageStats(
         kind=kind,
@@ -172,7 +172,10 @@ def charlotte_special_case_stats() -> UnitStats:
     """Aggregate size of the retry/forbid/allow + goahead/enc machinery
     in the Charlotte runtime — §3.3's "perhaps 5K for unwanted messages
     and multiple enclosures"."""
-    mod = analyze_module(repro.charlotte.runtime)
+    (mod,) = [
+        m for m in map(analyze_module, runtime_modules("charlotte"))
+        if m.module == "repro.charlotte.runtime"
+    ]
     loc = 0
     branches = 0
     for name in CHARLOTTE_SPECIAL_CASES:
@@ -191,7 +194,7 @@ def comparison() -> Dict[str, Dict[str, float]]:
     """The E2 table: per kernel, package sizes and ratios, with the
     paper's C figures alongside."""
     out: Dict[str, Dict[str, float]] = {}
-    for kind in ("charlotte", "soda", "chrysalis"):
+    for kind in registered_kernels():
         stats = runtime_package_stats(kind)
         out[kind] = {
             "kernel_specific_loc": stats.kernel_specific_loc,

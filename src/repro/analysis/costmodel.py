@@ -199,12 +199,33 @@ class ChrysalisCosts:
 
 
 @dataclass(frozen=True)
+class IdealCosts:
+    """The ``ideal`` reference backend: no protocol, no interconnect —
+    just the irreducible runtime work plus a token in-memory handoff.
+    Deliberately *not* calibrated to any paper system; it is the lower
+    bound the three real kernels are compared against in E1/E13."""
+
+    #: handing a message to the peer's mailbox (one pointer move)
+    delivery_ms: float = 0.02
+    runtime: RuntimeCosts = field(
+        default_factory=lambda: RuntimeCosts(
+            gather_fixed_ms=0.01,
+            scatter_fixed_ms=0.01,
+            per_byte_ms=0.0,
+            dispatch_ms=0.005,
+            per_enclosure_ms=0.005,
+        )
+    )
+
+
+@dataclass(frozen=True)
 class CostModel:
-    """Bundle of the three calibrated profiles; clusters pick their own."""
+    """Bundle of the calibrated profiles; clusters pick their own."""
 
     charlotte: CharlotteCosts = field(default_factory=CharlotteCosts)
     soda: SodaCosts = field(default_factory=SodaCosts)
     chrysalis: ChrysalisCosts = field(default_factory=ChrysalisCosts)
+    ideal: IdealCosts = field(default_factory=IdealCosts)
 
     @staticmethod
     def default() -> "CostModel":

@@ -53,6 +53,9 @@ class CharlotteCluster(ClusterBase):
     def make_runtime(self, handle: ProcessHandle) -> CharlotteRuntime:
         return CharlotteRuntime(handle, self)
 
+    def runtime_exited(self, runtime) -> None:
+        self.kernel.process_died(runtime.name)
+
     def create_link(self, a: ProcessHandle, b: ProcessHandle) -> None:
         link = self.registry.alloc_link(a.name, b.name)
         ref_a, ref_b = EndRef(link, 0), EndRef(link, 1)

@@ -46,7 +46,7 @@ from repro.charlotte.kernel import (
     Direction,
     KernelPort,
 )
-from repro.core.exceptions import LinkDestroyed, ProtocolViolation
+from repro.core.exceptions import ProtocolViolation
 from repro.core.links import EndLifecycle, EndRef, EndState
 from repro.core.runtime import LynxRuntimeBase
 from repro.core.wire import ExceptionCode, MsgKind, WireMessage
@@ -390,11 +390,6 @@ class CharlotteRuntime(LynxRuntimeBase):
         return
         yield  # pragma: no cover
 
-    def rt_shutdown(self):
-        self.cluster.kernel.process_died(self.name)
-        return
-        yield  # pragma: no cover
-
     # base hook override: forget bounce state when a reply lands
     def deliver_reply(self, ref: EndRef, msg: WireMessage) -> None:
         ce = self.cends.get(ref)
@@ -529,10 +524,11 @@ class CharlotteRuntime(LynxRuntimeBase):
 
     def _accept_reply(self, es: EndState, ce: _CharEnd, msg: WireMessage):
         if self.reply_acks and msg.kind is MsgKind.REPLY:
-            waiter = es.find_waiter(msg.reply_to)
-            err = None
-            if waiter is None or waiter.aborted:
-                err = ExceptionCode.REQUEST_ABORTED
+            err = (
+                None
+                if self.reply_wanted(es, msg.reply_to)
+                else ExceptionCode.REQUEST_ABORTED
+            )
             ack = self._control(es, MsgKind.ACK, msg.seq, error=err,
                                 span=msg.span)
             self._enqueue(es, ack, control=True)

@@ -37,7 +37,6 @@ from repro.chrysalis.linkobject import LinkObject, Notice, NoticeCode
 from repro.core.exceptions import (
     LinkDestroyed,
     ProtocolViolation,
-    RemoteCrash,
     RequestAborted,
 )
 from repro.core.links import EndLifecycle, EndRef, EndState
@@ -113,7 +112,7 @@ class ChrysalisRuntime(LynxRuntimeBase):
         ce = self._ce(es.ref)
         kind = _kind_of(msg)
         if ce.obj.destroyed:
-            raise self._destroyed_error(ce.obj)
+            raise self.destroyed_error(ce.obj.destroy_reason)
         side = es.ref.side
         if ce.obj.is_full(kind, side):
             # the single buffer per direction is busy: park the message;
@@ -137,7 +136,7 @@ class ChrysalisRuntime(LynxRuntimeBase):
                     f"request {msg.reply_to} on {es.ref} was aborted"
                 )
         if obj.destroyed:
-            raise self._destroyed_error(obj)
+            raise self.destroyed_error(obj.destroy_reason)
         if msg.kind is MsgKind.EXCEPTION and msg.enclosures:
             # bounced enclosures we pre-mapped but never adopted go
             # back unowned: release our mapping
@@ -175,10 +174,6 @@ class ChrysalisRuntime(LynxRuntimeBase):
                 msg.span, "kernel", "flag-enqueue", self.name,
                 copy_t1, self.engine.now,
             )
-
-    def _destroyed_error(self, obj: LinkObject):
-        reason = obj.destroy_reason or "link destroyed"
-        return RemoteCrash(reason) if "crash" in reason else LinkDestroyed(reason)
 
     # ------------------------------------------------------------------
     # receiving
@@ -394,10 +389,10 @@ class ChrysalisRuntime(LynxRuntimeBase):
             return
         obj = ce.obj
         if not obj.destroyed:
-            crash_tag = "crash: " if self._crash_mode is not None else ""
+            why = self.crash_tagged(reason)
 
             def mark() -> None:
-                obj.set_destroyed(crash_tag + reason)
+                obj.set_destroyed(why)
 
             yield self.port.atomic(mark)
             yield self.port.enqueue(

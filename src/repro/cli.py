@@ -27,8 +27,18 @@ from repro.analysis.complexity import (
     runtime_package_stats,
 )
 from repro.analysis.report import Table
-from repro.core.api import KERNEL_KINDS
+from repro.core.api import kernel_profile, kernel_profiles, registered_kernels
 from repro.obs.bench import BENCH_IDS
+
+
+def _default_kernel(command: str) -> str:
+    """The backend whose profile claims ``command`` (first registered
+    wins; the paper's own pairings: figure2/trace → charlotte,
+    migrate/linda → soda, rpc → chrysalis)."""
+    for profile in kernel_profiles():
+        if command in profile.cli_default_for:
+            return profile.name
+    return registered_kernels()[0]
 
 
 def _cmd_rpc(args) -> int:
@@ -53,11 +63,11 @@ def _cmd_compare(args) -> int:
     from repro.workloads.rpc import run_rpc_workload
 
     t = Table(
-        "one LYNX program, three kernels",
+        "one LYNX program, every registered kernel",
         ["kernel", "rpc 0B ms", "rpc 1000B ms", "runtime loc",
          "runtime branches"],
     )
-    for kind in KERNEL_KINDS:
+    for kind in registered_kernels():
         r0 = run_rpc_workload(kind, 0, count=args.count, seed=args.seed)
         r1 = run_rpc_workload(kind, 1000, count=args.count, seed=args.seed)
         stats = runtime_package_stats(kind)
@@ -111,7 +121,7 @@ def _cmd_figure2(args) -> int:
     b = cluster.spawn(Taker(), "accepter")
     cluster.create_link(a, b)
     cluster.run_until_quiet()
-    events = {"packet"} if args.kernel == "charlotte" else {"send"}
+    events = set(kernel_profile(args.kernel).trace_events)
     print(cluster.trace.sequence_chart(
         ["connector", "accepter"], events=events, link=1, width=34
     ))
@@ -121,10 +131,12 @@ def _cmd_figure2(args) -> int:
 def _cmd_migrate(args) -> int:
     from repro.workloads.migration import run_dormant_migration
 
+    profile = kernel_profile(args.kernel)
+    extras = {kwarg: getattr(args, attr)
+              for attr, kwarg in profile.cli_migrate_extras.items()}
     d = run_dormant_migration(
         args.kernel, members=args.members, hops=args.hops, seed=args.seed,
-        **({"broadcast_loss": args.loss, "cache_size": args.cache}
-           if args.kernel == "soda" else {}),
+        **extras,
     )
     t = Table(
         f"dormant-link migration on {args.kernel} "
@@ -134,7 +146,9 @@ def _cmd_migrate(args) -> int:
     for key in ("served_by", "repair_latency_ms", "redirects_served",
                 "discovers", "discover_repairs", "freeze_searches",
                 "frozen_ms", "move_msgs", "wire_messages"):
-        t.add(key, d[key])
+        # capability-conditional keys are *absent* (not None) on
+        # kernels whose digest does not produce them
+        t.add(key, d[key] if key in d else "(n/a)")
     t.show()
     return 0
 
@@ -269,14 +283,14 @@ def _cmd_trace(args) -> int:
 
 
 def _trace_selftest() -> int:
-    """Smoke-check the whole causal pipeline on all three kernels."""
+    """Smoke-check the whole causal pipeline on every registered kernel."""
     import json as _json
 
     from repro.obs.causal import CausalGraph, chrome_trace_json, waterfall
     from repro.workloads.rpc import run_rpc_workload
 
     failures = []
-    for kind in KERNEL_KINDS:
+    for kind in registered_kernels():
         r = run_rpc_workload(kind, 64, count=3, seed=0)
         graph = CausalGraph.from_trace(r.trace)
         tids = graph.traces()
@@ -311,7 +325,7 @@ def _cmd_sizes(args) -> int:
         "LYNX runtime package sizes (kernel-specific half)",
         ["kernel", "logical loc", "branches"],
     )
-    for kind in KERNEL_KINDS:
+    for kind in registered_kernels():
         stats = runtime_package_stats(kind)
         t.add(kind, stats.kernel_specific_loc,
               stats.kernel_specific_branches)
@@ -330,7 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("rpc", help="run the simple-remote-operation workload")
-    p.add_argument("--kernel", choices=KERNEL_KINDS, default="chrysalis")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("rpc"))
     p.add_argument("--payload", type=int, default=0,
                    help="bytes each way (paper used 0 and 1000)")
     p.add_argument("--count", type=int, default=10)
@@ -347,13 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("figure2", help="live message-sequence chart")
-    p.add_argument("--kernel", choices=KERNEL_KINDS, default="charlotte")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("figure2"))
     p.add_argument("--enclosures", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_figure2)
 
     p = sub.add_parser("migrate", help="dormant-link migration + repair")
-    p.add_argument("--kernel", choices=KERNEL_KINDS, default="soda")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("migrate"))
     p.add_argument("--members", type=int, default=3)
     p.add_argument("--hops", type=int, default=5)
     p.add_argument("--loss", type=float, default=0.0,
@@ -364,7 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_migrate)
 
     p = sub.add_parser("linda", help="the second language: bag of tasks")
-    p.add_argument("--kernel", choices=KERNEL_KINDS, default="soda")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("linda"))
     p.add_argument("--tasks", type=int, default=8)
     p.add_argument("--workers", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
@@ -392,7 +410,8 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="causal span tracing: critical-path latency attribution",
     )
-    p.add_argument("--kernel", choices=KERNEL_KINDS, default="charlotte")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("trace"))
     p.add_argument("--payload", type=int, default=0,
                    help="bytes each way for the traced RPC workload")
     p.add_argument("--count", type=int, default=5)

@@ -27,9 +27,11 @@ Most users need exactly this module::
     cluster.create_link(s, c)
     cluster.run_until_quiet()
 
-The ``kind`` argument of `make_cluster` selects the kernel substrate:
-``"charlotte"``, ``"soda"`` or ``"chrysalis"`` — the same program runs
-on any of them, which is the paper's experimental setup.
+The ``kind`` argument of `make_cluster` selects the kernel substrate
+from the registry in `repro.core.ports` — the paper's three kernels
+(``"charlotte"``, ``"soda"``, ``"chrysalis"``) plus the ``"ideal"``
+reference backend.  The same program runs on any of them, which is the
+paper's experimental setup.
 """
 
 from __future__ import annotations
@@ -50,6 +52,16 @@ from repro.core.exceptions import (
     TypeClash,
 )
 from repro.core.links import LinkEnd
+from repro.core.ports import (
+    KernelCapabilities,
+    KernelProfile,
+    KernelRuntimePort,
+    kernel_profile,
+    kernel_profiles,
+    paper_kernels,
+    register_kernel,
+    registered_kernels,
+)
 from repro.core.program import Incoming, Proc
 from repro.core.types import (
     BOOL,
@@ -64,8 +76,10 @@ from repro.core.types import (
 )
 from repro.sim.failure import CrashMode
 
-#: kernel substrates accepted by `make_cluster`
-KERNEL_KINDS = ("charlotte", "soda", "chrysalis")
+#: the paper's kernel substrates (the experimental setup's three
+#: systems); `registered_kernels()` additionally lists reference
+#: backends such as ``"ideal"``
+KERNEL_KINDS = paper_kernels()
 
 
 def make_cluster(
@@ -76,28 +90,26 @@ def make_cluster(
 ) -> ClusterBase:
     """Build a cluster of the requested kernel family.
 
-    Extra keyword arguments are forwarded to the cluster constructor
-    (e.g. ``broadcast_loss=`` for SODA, ``tuned=True`` for Chrysalis,
+    ``kind`` is any backend registered in `repro.core.ports`.  Extra
+    keyword arguments are forwarded to the cluster constructor (e.g.
+    ``broadcast_loss=`` for SODA, ``tuned=True`` for Chrysalis,
     ``reply_acks=True`` for Charlotte's E7 ablation).
     """
-    if kind == "charlotte":
-        from repro.charlotte.cluster import CharlotteCluster
-
-        return CharlotteCluster(seed=seed, costmodel=costmodel, **kwargs)
-    if kind == "soda":
-        from repro.soda.cluster import SodaCluster
-
-        return SodaCluster(seed=seed, costmodel=costmodel, **kwargs)
-    if kind == "chrysalis":
-        from repro.chrysalis.cluster import ChrysalisCluster
-
-        return ChrysalisCluster(seed=seed, costmodel=costmodel, **kwargs)
-    raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
+    cluster_cls = kernel_profile(kind).load_cluster()
+    return cluster_cls(seed=seed, costmodel=costmodel, **kwargs)
 
 
 __all__ = [
     "make_cluster",
     "KERNEL_KINDS",
+    "KernelRuntimePort",
+    "KernelCapabilities",
+    "KernelProfile",
+    "register_kernel",
+    "registered_kernels",
+    "paper_kernels",
+    "kernel_profile",
+    "kernel_profiles",
     "CostModel",
     "ClusterBase",
     "ProcessHandle",

@@ -107,6 +107,11 @@ class ClusterBase:
     def on_crash(self, handle: ProcessHandle, mode: CrashMode) -> None:
         """Kernel-side consequences of a process/node death."""
 
+    def runtime_exited(self, runtime) -> None:
+        """A runtime finished its orderly shutdown (the base
+        ``rt_shutdown`` calls this).  Clusters whose kernels track
+        per-process liveness deregister the process here."""
+
     # ------------------------------------------------------------------
     # process management
     # ------------------------------------------------------------------

@@ -122,7 +122,10 @@ class LynxRuntimeBase:
         return True
 
     def rt_shutdown(self) -> Generator:
-        """Orderly teardown after all links have been destroyed."""
+        """Orderly teardown after all links have been destroyed.  The
+        default tells the cluster, which informs kernels that track
+        per-process liveness (crash interrupts, name tables)."""
+        self.cluster.runtime_exited(self)
         return
         yield
 
@@ -214,10 +217,9 @@ class LynxRuntimeBase:
         es = self.ends.get(ref)
         if es is None:
             return
-        msg = es.outgoing.pop(seq, None)
+        msg = self._retract_outgoing(es, seq)
         if msg is None:
             return
-        es.unreceived_sent = max(0, es.unreceived_sent - 1)
         self._finalise_enclosures(msg)
         waiter_thread = es.send_waiters.pop(seq, None)
         if waiter_thread is not None:
@@ -234,10 +236,9 @@ class LynxRuntimeBase:
         es = self.ends.get(ref)
         if es is None:
             return
-        msg = es.outgoing.pop(seq, None)
+        msg = self._retract_outgoing(es, seq)
         if msg is None:
             return
-        es.unreceived_sent = max(0, es.unreceived_sent - 1)
         self._restore_enclosures(msg)
         self._wake()
 
@@ -247,9 +248,8 @@ class LynxRuntimeBase:
         es = self.ends.get(ref)
         if es is None:
             return
-        msg = es.outgoing.pop(seq, None)
+        msg = self._retract_outgoing(es, seq)
         if msg is not None:
-            es.unreceived_sent = max(0, es.unreceived_sent - 1)
             self._restore_enclosures(msg)
         t = es.send_waiters.pop(seq, None)
         if t is not None:
@@ -452,8 +452,7 @@ class LynxRuntimeBase:
     ) -> None:
         if waiter in es.connect_waiters:
             es.connect_waiters.remove(waiter)
-        if es.outgoing.pop(msg.seq, None) is not None:
-            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+        self._retract_outgoing(es, msg.seq)
         self._restore_enclosures(msg)
         self._finish_root_span(waiter)
 
@@ -527,16 +526,12 @@ class LynxRuntimeBase:
         self.cluster.trace_msg(self.name, "send", es.ref, msg, op=inc.op.name)
         try:
             yield from self.rt_send_reply(es, msg)
-        except RequestAborted as err:
-            es.send_waiters.pop(seq, None)
-            if es.outgoing.pop(seq, None) is not None:
-                es.unreceived_sent = max(0, es.unreceived_sent - 1)
-            self._restore_enclosures(msg)
-            self._resume_error(t, err)
         except LynxError as err:
             es.send_waiters.pop(seq, None)
-            if es.outgoing.pop(seq, None) is not None:
-                es.unreceived_sent = max(0, es.unreceived_sent - 1)
+            self._retract_outgoing(es, seq)
+            if isinstance(err, RequestAborted):
+                # the requester withdrew: the reply's enclosures stay ours
+                self._restore_enclosures(msg)
             self._resume_error(t, err)
 
     # -- queue control ------------------------------------------------------
@@ -799,8 +794,7 @@ class LynxRuntimeBase:
         try:
             yield from self.rt_send_reply(es, exc)
         except LynxError:
-            es.outgoing.pop(exc.seq, None)
-            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+            self._retract_outgoing(es, exc.seq)
 
     # ==================================================================
     # enclosure (link-moving) machinery
@@ -899,14 +893,46 @@ class LynxRuntimeBase:
         if es is None:
             raise LinkMoved(f"{end.end_ref} is not owned by {self.name}")
         if es.lifecycle is EndLifecycle.DESTROYED:
-            raise (
-                RemoteCrash(es.destroy_reason)
-                if "crash" in es.destroy_reason
-                else LinkDestroyed(es.destroy_reason or f"{end.end_ref} destroyed")
+            raise self.destroyed_error(
+                es.destroy_reason, f"{end.end_ref} destroyed"
             )
         if es.lifecycle is not EndLifecycle.OWNED:
             raise LinkMoved(f"{end.end_ref} has moved away")
         return es
+
+    @staticmethod
+    def destroyed_error(reason: str, fallback: str = "link destroyed") -> LynxError:
+        """The exception a dead link raises: `RemoteCrash` when the
+        destruction came from a crash, `LinkDestroyed` otherwise.  The
+        decision keys on the ``"crash"`` tag in the reason string (see
+        `crash_tagged`) so it survives the wire."""
+        reason = reason or fallback
+        return RemoteCrash(reason) if "crash" in reason else LinkDestroyed(reason)
+
+    def crash_tagged(self, reason: str) -> str:
+        """Tag ``reason`` so peers raise `RemoteCrash` when this
+        process is dying from a crash rather than orderly code (kernels
+        stamp their destroy notices with this)."""
+        return ("crash: " if self._crash_mode is not None else "") + reason
+
+    def reply_wanted(self, es: Optional[EndState], reply_to: int) -> bool:
+        """Does a live connect waiter still want the reply to request
+        ``reply_to``?  Kernels that can screen replies (SODA's
+        zero-accepts, Charlotte's reply-ack ablation, ideal's direct
+        delivery) ask this before accepting one."""
+        if es is None:
+            return False
+        waiter = es.find_waiter(reply_to)
+        return waiter is not None and not waiter.aborted
+
+    def _retract_outgoing(self, es: EndState, seq: int) -> Optional[WireMessage]:
+        """Un-stage a sent message: pop it from ``outgoing`` and undo
+        its unreceived-count contribution (receipt, bounce, abort and
+        unwind paths all need exactly this)."""
+        msg = es.outgoing.pop(seq, None)
+        if msg is not None:
+            es.unreceived_sent = max(0, es.unreceived_sent - 1)
+        return msg
 
     def _mark_destroyed(self, es: EndState, reason: str, crash: bool) -> None:
         if es.lifecycle is EndLifecycle.DESTROYED:

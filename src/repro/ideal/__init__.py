@@ -1,0 +1,20 @@
+"""The ``ideal`` reference backend: a zero-protocol-overhead in-memory
+kernel written only against the published kernel/runtime port
+(`repro.core.ports.KernelRuntimePort`).
+
+It exists for two reasons:
+
+* to prove the port contract is *sufficient* — a fourth backend passes
+  the full LYNX conformance suite without touching core, CLI, bench or
+  test code (they all iterate the registry);
+* to serve as the lower-bound baseline in the latency benches (E1,
+  E13): "simple primitives are best", taken to the limit — no wire, no
+  flow control, no naming, just mailboxes and direct upcalls.
+
+It is deliberately not a model of any 1986 system, so it is excluded
+from the paper-shaped tables (``paper=False`` in its profile).
+"""
+
+from repro.ideal.cluster import IdealCluster
+
+__all__ = ["IdealCluster"]

@@ -136,16 +136,9 @@ class LindaSystemBase:
 
 
 def make_linda(kind: str, seed: int = 0) -> LindaSystemBase:
-    if kind == "soda":
-        from repro.linda.soda_adapter import SodaLinda
+    from repro.core.ports import kernel_profile
 
-        return SodaLinda(seed)
-    if kind == "chrysalis":
-        from repro.linda.chrysalis_adapter import ChrysalisLinda
-
-        return ChrysalisLinda(seed)
-    if kind == "charlotte":
-        from repro.linda.charlotte_adapter import CharlotteLinda
-
-        return CharlotteLinda(seed)
-    raise ValueError(f"unknown kernel kind {kind!r}")
+    profile = kernel_profile(kind)  # raises with the registered list
+    if profile.linda_adapter is None:
+        raise ValueError(f"kernel {kind!r} has no Linda adapter registered")
+    return profile.linda_adapter()(seed)

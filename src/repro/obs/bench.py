@@ -1,18 +1,24 @@
 """The unified benchmark runner behind ``python -m repro bench``.
 
-Re-runs the headline workloads — E1 (Charlotte latency), E4 (the SODA
-crossover sweep), E5 (Chrysalis latency + tuning), E13 (causal
-critical-path layer attribution, repro.obs.causal) and S1 (simulator
-wall-clock throughput) — and writes one machine-readable
-``BENCH_*.json`` so the performance trajectory of the repository is
-tracked across PRs.  The authoritative assertion-carrying harness
-remains ``pytest benchmarks/ --benchmark-only``; this runner trades its
+Re-runs the headline workloads — E1 (Charlotte latency plus the
+``ideal`` zero-protocol lower bound), E4 (the SODA crossover sweep),
+E5 (Chrysalis latency + tuning), E13 (causal critical-path layer
+attribution, repro.obs.causal) and S1 (simulator wall-clock
+throughput) — and writes one machine-readable ``BENCH_*.json`` so the
+performance trajectory of the repository is tracked across PRs.  The
+authoritative assertion-carrying harness remains
+``pytest benchmarks/ --benchmark-only``; this runner trades its
 tables for a stable schema::
 
-    {"schema": "repro.bench", "schema_version": 2,
+    {"schema": "repro.bench", "schema_version": 3,
      "seed": 0, "git_rev": "<rev|unknown>",
      "timestamp": "<UTC ISO-8601>", "quick": false,
      "benches": {bench_id: {metric: value}}}
+
+E13 and S1 iterate the kernel registry (`repro.core.ports`), so a
+newly registered backend shows up in the document without edits here
+— that is what bumped ``schema_version`` to 3 (the ``ideal`` backend
+joined every per-kernel metric family).
 
 Simulated quantities are deterministic for a seed; the ``s1.*`` wall
 clock metrics are real time and machine-dependent by design.
@@ -32,7 +38,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.jsonl import json_safe
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 DEFAULT_BENCH_FILENAME = "BENCH_PR1.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
@@ -40,7 +46,9 @@ E4_SWEEP_QUICK = (0, 1024, 2048)
 
 
 def bench_e1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
-    """E1 — §3.3 Charlotte latencies, LYNX vs raw kernel calls."""
+    """E1 — §3.3 Charlotte latencies, LYNX vs raw kernel calls, with
+    the ``ideal`` backend's zero-protocol-overhead RPC as the floor
+    every real kernel is measured against."""
     from repro.workloads.rpc import raw_charlotte_rpc, run_rpc_workload
 
     count = 2 if quick else 5
@@ -48,6 +56,8 @@ def bench_e1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     raw1000 = raw_charlotte_rpc(1000, count=count, seed=seed)
     lynx0 = run_rpc_workload("charlotte", 0, count=count, seed=seed)
     lynx1000 = run_rpc_workload("charlotte", 1000, count=count, seed=seed)
+    ideal0 = run_rpc_workload("ideal", 0, count=count, seed=seed)
+    ideal1000 = run_rpc_workload("ideal", 1000, count=count, seed=seed)
     return {
         "raw_rpc0_ms": raw0.mean_ms,
         "raw_rpc1000_ms": raw1000.mean_ms,
@@ -55,6 +65,8 @@ def bench_e1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
         "lynx_rpc1000_ms": lynx1000.mean_ms,
         "lynx_rpc0_wire_msgs": lynx0.messages,
         "lynx_rpc0_wire_bytes": lynx0.wire_bytes,
+        "ideal_rpc0_ms": ideal0.mean_ms,
+        "ideal_rpc1000_ms": ideal1000.mean_ms,
     }
 
 
@@ -106,9 +118,16 @@ def bench_e5(seed: int = 0, quick: bool = False) -> Dict[str, float]:
 
 def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     """S1 — substrate wall-clock throughput: bare engine dispatch plus
-    a full RPC conversation simulated on each kernel.  Real seconds, so
-    these values are machine-dependent (unlike everything else here)."""
-    from repro.core.api import BYTES, Operation, Proc, make_cluster
+    a full RPC conversation simulated on every registered kernel.  Real
+    seconds, so these values are machine-dependent (unlike everything
+    else here)."""
+    from repro.core.api import (
+        BYTES,
+        Operation,
+        Proc,
+        make_cluster,
+        registered_kernels,
+    )
     from repro.sim.engine import Engine
 
     ticks = 2_000 if quick else 20_000
@@ -148,7 +167,7 @@ def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
             for _ in range(rounds):
                 yield from ctx.connect(end, ECHO, (b"x" * 64,))
 
-    for kind in ("charlotte", "soda", "chrysalis"):
+    for kind in registered_kernels():
         cluster = make_cluster(kind, seed=seed)
         s = cluster.spawn(Server(), "server")
         c = cluster.spawn(Client(), "client")
@@ -173,14 +192,17 @@ def bench_e13(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     primitives force the most work into the *runtime* layer — its
     runtime milliseconds strictly exceed SODA's and Chrysalis's.
     (Shares run the other way: Chrysalis is so fast that its small
-    runtime cost dominates its tiny total.)
+    runtime cost dominates its tiny total.)  The registry-driven loop
+    includes the ``ideal`` backend, whose total is the attribution
+    floor: everything above it is protocol, not semantics.
     """
+    from repro.core.api import registered_kernels
     from repro.obs.causal import CausalGraph
     from repro.workloads.rpc import run_rpc_workload
 
     count = 2 if quick else 5
     out: Dict[str, float] = {}
-    for kind in ("charlotte", "soda", "chrysalis"):
+    for kind in registered_kernels():
         r = run_rpc_workload(kind, 0, count=count, seed=seed)
         graph = CausalGraph.from_trace(r.trace)
         tids = graph.traces()[1:]  # drop the workload's warm-up trip

@@ -72,6 +72,9 @@ class SodaCluster(ClusterBase):
     def make_runtime(self, handle: ProcessHandle) -> SodaRuntime:
         return SodaRuntime(handle, self)
 
+    def runtime_exited(self, runtime) -> None:
+        self.kernel.process_died(runtime.name)
+
     def create_link(self, a: ProcessHandle, b: ProcessHandle) -> None:
         link = self.registry.alloc_link(a.name, b.name)
         ref_a, ref_b = EndRef(link, 0), EndRef(link, 1)

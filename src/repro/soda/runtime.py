@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Generator, List, Optional
 
 from repro.analysis.costmodel import RuntimeCosts
-from repro.core.exceptions import LinkDestroyed, ProtocolViolation, RemoteCrash
+from repro.core.exceptions import ProtocolViolation
 from repro.core.links import EndLifecycle, EndRef, EndState
 from repro.core.runtime import LynxRuntimeBase
 from repro.core.wire import MsgKind, WireMessage
@@ -181,10 +181,7 @@ class SodaRuntime(LynxRuntimeBase):
 
     def _accept_reply(self, se: _SodaEnd, intr: Interrupt) -> Generator:
         es = self.ends.get(se.ref)
-        waiter = None
-        if es is not None:
-            waiter = es.find_waiter(intr.oob.get("reply_to", -1))
-        if waiter is None or waiter.aborted:
+        if not self.reply_wanted(es, intr.oob.get("reply_to", -1)):
             # zero-length accept; the OOB tells the replier the request
             # was aborted — no acknowledgment traffic needed (§6)
             se.incoming_rids.pop(intr.rid, None)
@@ -350,15 +347,21 @@ class SodaRuntime(LynxRuntimeBase):
         self.metrics.count("soda.links_presumed_destroyed")
         if snd.msg is not None:
             self._restore_enclosures(snd.msg)
-        for rid, other in list(self.sends.items()):
-            if other.ref == snd.ref:
-                if other.timer is not None:
-                    other.timer.cancel()
+        yield from self._withdraw_sends_on(snd.ref, restore=True)
+        self.notify_destroyed(snd.ref, "crash: far end unreachable", crash=True)
+
+    def _withdraw_sends_on(self, ref: EndRef, restore: bool = False) -> Generator:
+        """Withdraw every outstanding send of ours on ``ref``; with
+        ``restore`` the enclosures of unaccepted (never received)
+        messages come back to us."""
+        for rid, snd in list(self.sends.items()):
+            if snd.ref == ref:
+                if snd.timer is not None:
+                    snd.timer.cancel()
                 self.sends.pop(rid, None)
                 yield self.port.withdraw(rid)
-                if other.msg is not None:
-                    self._restore_enclosures(other.msg)
-        self.notify_destroyed(snd.ref, "crash: far end unreachable", crash=True)
+                if restore and snd.msg is not None:
+                    self._restore_enclosures(snd.msg)
 
     def _repost(self, se: _SodaEnd, snd: _Send) -> Generator:
         if snd.kind == "sig":
@@ -480,21 +483,16 @@ class SodaRuntime(LynxRuntimeBase):
         se = self.sref.pop(es.ref, None)
         if se is None:
             return
-        crash_tag = "crash: " if self._crash_mode is not None else ""
         # §4.2: accept every previously-posted request from the far end
         # with zero-length buffers, mentioning the destruction
+        why = self.crash_tagged(reason)
         for rid in list(se.incoming_rids):
             yield self.port.accept(
-                rid, oob={"kind": "destroyed", "why": crash_tag + reason}, nrecv=0
+                rid, oob={"kind": "destroyed", "why": why}, nrecv=0
             )
         se.incoming_rids.clear()
         # withdraw our own outstanding traffic on this end
-        for rid, snd in list(self.sends.items()):
-            if snd.ref == es.ref:
-                if snd.timer is not None:
-                    snd.timer.cancel()
-                self.sends.pop(rid, None)
-                yield self.port.withdraw(rid)
+        yield from self._withdraw_sends_on(es.ref)
         yield self.port.unadvertise(se.my_name)
         self.name_to_ref.pop(se.my_name, None)
 
@@ -566,7 +564,3 @@ class SodaRuntime(LynxRuntimeBase):
             yield self.port.unadvertise(old_name)
             self.metrics.count("soda.cache_evictions")
 
-    def rt_shutdown(self):
-        self.cluster.kernel.process_died(self.name)
-        return
-        yield  # pragma: no cover

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.api import BYTES, INT, Operation, Proc, make_cluster
+from repro.core.ports import kernel_metric_digest
 
 ECHO = Operation("echo", (BYTES,), (BYTES,))
 ADD = Operation("add", (INT, INT), (INT,))
@@ -87,17 +88,22 @@ def run_reverse_scenario(
                            f"{cluster.unfinished()}")
     assert a_prog.ok == rounds and b_prog.ok == rounds
     m = cluster.metrics
-    return {
+    digest = {
         "rounds": float(rounds),
         "unwanted": m.get("runtime.unwanted"),
-        "forbid": m.get("charlotte.forbid_sent"),
-        "allow": m.get("charlotte.allow_sent"),
-        "retry": m.get("charlotte.retry_sent"),
-        "resends": m.get("charlotte.resends"),
         "messages": m.total("wire.messages."),
         "useful_messages": 4.0 * rounds,  # 2 RPCs/round x 2 messages
         "sim_time_ms": cluster.engine.now,
     }
+    # bounce-machinery counters exist only where the machinery does;
+    # consumers must test `key in digest`
+    digest.update(kernel_metric_digest(kind, m, {
+        "forbid": "charlotte.forbid_sent",
+        "allow": "charlotte.allow_sent",
+        "retry": "charlotte.retry_sent",
+        "resends": "charlotte.resends",
+    }))
+    return digest
 
 
 class OpenCloseRacer:
@@ -148,12 +154,15 @@ def run_open_close_scenario(
         raise RuntimeError(f"open/close scenario hung on {kind}: "
                            f"{cluster.unfinished()}")
     m = cluster.metrics
-    return {
+    digest = {
         "rounds": float(rounds),
         "unwanted": m.get("runtime.unwanted"),
-        "retry": m.get("charlotte.retry_sent"),
-        "resends": m.get("charlotte.resends"),
         "messages": m.total("wire.messages."),
         "useful_messages": 2.0 * rounds,
         "sim_time_ms": cluster.engine.now,
     }
+    digest.update(kernel_metric_digest(kind, m, {
+        "retry": "charlotte.retry_sent",
+        "resends": "charlotte.resends",
+    }))
+    return digest

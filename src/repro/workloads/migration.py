@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.api import INT, LINK, LinkDestroyed, Operation, Proc, make_cluster
+from repro.core.ports import kernel_metric_digest
 
 ADD = Operation("add", (INT, INT), (INT,))
 GIVEH = Operation("giveh", (LINK, INT), ())
@@ -117,7 +118,7 @@ def run_migration_churn(
         cluster.create_link(d, h)
     cluster.run_until_quiet(max_ms=1e7)
     m = cluster.metrics
-    return {
+    digest = {
         "finished": cluster.all_finished,
         "rpcs_served": len(observer.servers),
         "servers_in_hop_order": list(observer.servers),
@@ -125,22 +126,27 @@ def run_migration_churn(
             sum(observer.rtts) / len(observer.rtts) if observer.rtts else 0.0
         ),
         "moves": 2 * hops,  # by construction: out and back per hop
-        "move_msgs": m.get("charlotte.move_msgs"),
-        "move_retries": m.get("charlotte.move_retries"),
-        "redirects_served": m.get("soda.redirects_served"),
-        "redirects_followed": m.get("soda.redirects_followed"),
-        "discover_repairs": m.get("soda.hints_repaired_by_discover"),
-        "freeze_searches": m.get("soda.freeze.searches"),
-        "freeze_repairs": m.get("soda.hints_repaired_by_freeze"),
-        "frozen_ms": m.get("soda.freeze.frozen_ms"),
-        "presumed_destroyed": m.get("soda.links_presumed_destroyed"),
-        "stale_notices": m.get("chrysalis.stale_notices"),
-        "discovers": m.get("soda.discover"),
         "wire_messages": m.total("wire.messages."),
         "wire_bytes": m.get("wire.bytes"),
         "sim_time_ms": cluster.engine.now,
         "trace": cluster.trace,
     }
+    # kernel-specific machinery counts appear only on kernels that have
+    # the machinery; consumers must test `key in digest`
+    digest.update(kernel_metric_digest(kind, m, {
+        "move_msgs": "charlotte.move_msgs",
+        "move_retries": "charlotte.move_retries",
+        "redirects_served": "soda.redirects_served",
+        "redirects_followed": "soda.redirects_followed",
+        "discover_repairs": "soda.hints_repaired_by_discover",
+        "freeze_searches": "soda.freeze.searches",
+        "freeze_repairs": "soda.hints_repaired_by_freeze",
+        "frozen_ms": "soda.freeze.frozen_ms",
+        "presumed_destroyed": "soda.links_presumed_destroyed",
+        "discovers": "soda.discover",
+        "stale_notices": "chrysalis.stale_notices",
+    }))
+    return digest
 
 
 class DormantDispatcher(Proc):
@@ -258,23 +264,26 @@ def run_dormant_migration(
         cluster.create_link(d, h)
     cluster.run_until_quiet(max_ms=1e7)
     m = cluster.metrics
-    return {
+    digest = {
         "finished": cluster.all_finished,
         "served_by": observer.server,
         "repair_latency_ms": observer.repair_latency_ms,
-        "redirects_served": m.get("soda.redirects_served"),
-        "redirects_followed": m.get("soda.redirects_followed"),
-        "cache_evictions": m.get("soda.cache_evictions"),
-        "hint_probes": m.get("soda.hint_probes"),
-        "discovers": m.get("soda.discover"),
-        "discover_repairs": m.get("soda.hints_repaired_by_discover"),
-        "freeze_searches": m.get("soda.freeze.searches"),
-        "freeze_repairs": m.get("soda.hints_repaired_by_freeze"),
-        "frozen_ms": m.get("soda.freeze.frozen_ms"),
-        "presumed_destroyed": m.get("soda.links_presumed_destroyed"),
-        "move_msgs": m.get("charlotte.move_msgs"),
-        "stale_notices": m.get("chrysalis.stale_notices"),
         "wire_messages": m.total("wire.messages."),
         "sim_time_ms": cluster.engine.now,
         "trace": cluster.trace,
     }
+    digest.update(kernel_metric_digest(kind, m, {
+        "redirects_served": "soda.redirects_served",
+        "redirects_followed": "soda.redirects_followed",
+        "cache_evictions": "soda.cache_evictions",
+        "hint_probes": "soda.hint_probes",
+        "discovers": "soda.discover",
+        "discover_repairs": "soda.hints_repaired_by_discover",
+        "freeze_searches": "soda.freeze.searches",
+        "freeze_repairs": "soda.hints_repaired_by_freeze",
+        "frozen_ms": "soda.freeze.frozen_ms",
+        "presumed_destroyed": "soda.links_presumed_destroyed",
+        "move_msgs": "charlotte.move_msgs",
+        "stale_notices": "chrysalis.stale_notices",
+    }))
+    return digest

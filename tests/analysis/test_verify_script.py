@@ -18,10 +18,15 @@ def _load_verify():
 
 
 def test_verify_script_passes_and_writes_bench_json(tmp_path, capsys):
+    from repro.core.api import registered_kernels
+
     mod = _load_verify()
     assert mod.main(["--out", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "all kernels ok" in out
+    # one RPC smoke line per registered backend, ideal included
+    for kind in registered_kernels():
+        assert f"verify: rpc smoke ok on {kind}" in out
     assert "verify: ok" in out
     doc = json.loads((tmp_path / "BENCH_verify.json").read_text())
     assert doc["quick"] is True

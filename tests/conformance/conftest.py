@@ -1,17 +1,21 @@
 """Fixtures for the cross-kernel conformance suite.
 
-``kernel_kind`` parametrises every test over the three kernels —
-running identical LYNX programs on Charlotte, SODA and Chrysalis is
-the paper's experimental setup, and the suite encodes both the shared
-semantics and the *documented divergences* (Charlotte's §3.2.2
-enclosure loss, Chrysalis's undetected processor failures)."""
+``kernel_kind`` parametrises every test over the *registry*
+(`repro.core.ports.registered_kernels`) — the three paper kernels plus
+any reference backend such as ``ideal``.  Running identical LYNX
+programs on every registered backend is the paper's experimental setup
+taken one step further: the suite encodes both the shared semantics
+and the *documented divergences* (Charlotte's §3.2.2 enclosure loss,
+Chrysalis's undetected processor failures), and the divergence tests
+read each backend's `KernelCapabilities` instead of hardcoding kinds.
+"""
 
 import pytest
 
-from repro.core.api import KERNEL_KINDS, make_cluster
+from repro.core.api import make_cluster, registered_kernels
 
 
-@pytest.fixture(params=KERNEL_KINDS)
+@pytest.fixture(params=registered_kernels())
 def kernel_kind(request):
     return request.param
 

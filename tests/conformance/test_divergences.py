@@ -1,16 +1,20 @@
-"""Where the three implementations legitimately differ (§3.2, §5.2, §6).
+"""Where the implementations legitimately differ (§3.2, §5.2, §6).
 
-These tests run one scenario on all three kernels and assert *different*
-outcomes — the paper's comparison table in executable form:
+These tests run one scenario on every registered backend and assert
+*different* outcomes — the paper's comparison table in executable form.
+The expected outcome per backend is not hardcoded: it is read from the
+backend's `KernelCapabilities` in the registry, so a new backend (like
+``ideal``) is covered the moment it registers, and the table below is
+derived, not duplicated:
 
-=====================================  =========  ====  =========
-behaviour                              charlotte  soda  chrysalis
-=====================================  =========  ====  =========
-unwanted-message bounce traffic        yes        no    no
-server feels RequestAborted            no         yes   yes
-enclosures of aborted msgs recovered   no         yes   yes
-hard processor failure detected        yes        yes   no
-=====================================  =========  ====  =========
+=====================================  =========  ====  =========  =====
+behaviour                              charlotte  soda  chrysalis  ideal
+=====================================  =========  ====  =========  =====
+unwanted-message bounce traffic        yes        no    no         no
+server feels RequestAborted            no         yes   yes        yes
+enclosures of aborted msgs recovered   no         yes   yes        yes
+hard processor failure detected        yes        yes   no         yes
+=====================================  =========  ====  =========  =====
 """
 
 import pytest
@@ -24,7 +28,9 @@ from repro.core.api import (
     Proc,
     RequestAborted,
     ThreadAborted,
+    kernel_profile,
     make_cluster,
+    registered_kernels,
 )
 from repro.core.registry import EndDisposition
 from repro.sim.failure import CrashMode
@@ -80,16 +86,19 @@ def _run_reverse_scenario(kind):
     return cluster.metrics
 
 
-def test_unwanted_messages_only_under_charlotte():
-    """Same program, same outcome — but only Charlotte pays bounce
-    traffic (§6: "be sure that all received messages are wanted")."""
-    m_char = _run_reverse_scenario("charlotte")
-    m_soda = _run_reverse_scenario("soda")
-    m_chry = _run_reverse_scenario("chrysalis")
-    assert m_char.get("runtime.unwanted") >= 1
-    assert m_char.get("charlotte.forbid_sent") >= 1
-    assert m_soda.get("runtime.unwanted") == 0
-    assert m_chry.get("runtime.unwanted") == 0
+@pytest.mark.parametrize("kind", registered_kernels())
+def test_unwanted_messages_follow_capability(kind):
+    """Same program, same outcome — but only kernels that deliver
+    eagerly pay bounce traffic (§6: "be sure that all received
+    messages are wanted")."""
+    profile = kernel_profile(kind)
+    metrics = _run_reverse_scenario(kind)
+    if profile.capabilities.bounces_unwanted:
+        assert metrics.get("runtime.unwanted") >= 1
+        if "charlotte" in profile.metric_namespaces:
+            assert metrics.get("charlotte.forbid_sent") >= 1
+    else:
+        assert metrics.get("runtime.unwanted") == 0
 
 
 # ----------------------------------------------------------------------
@@ -131,15 +140,14 @@ class _SlowServer(Proc):
             self.reply_error = e
 
 
-@pytest.mark.parametrize(
-    "kind,expects_exception",
-    [("charlotte", False), ("soda", True), ("chrysalis", True)],
-)
-def test_server_side_abort_exception(kind, expects_exception):
-    """§3.2/§6 item 4: only SODA and Chrysalis can give the server the
-    exception "without any extra acknowledgments"."""
-    # time scales differ by ~25x between kernels
-    scale = 1.0 if kind != "chrysalis" else 0.05
+@pytest.mark.parametrize("kind", registered_kernels())
+def test_server_side_abort_exception(kind):
+    """§3.2/§6 item 4: only kernels whose transport can screen replies
+    give the server the exception "without any extra
+    acknowledgments" — Charlotte cannot."""
+    profile = kernel_profile(kind)
+    # time scales differ by ~25x between kernel families
+    scale = profile.time_scale
     cluster = make_cluster(kind)
     client = _AbortClient(abort_at=100.0 * scale)
     server = _SlowServer(serve_delay=200.0 * scale)
@@ -149,7 +157,7 @@ def test_server_side_abort_exception(kind, expects_exception):
     cluster.run_until_quiet(max_ms=1e6)
     assert cluster.all_finished, cluster.unfinished()
     assert client.aborted
-    if expects_exception:
+    if profile.capabilities.server_feels_abort:
         assert isinstance(server.reply_error, RequestAborted)
     else:
         assert server.reply_error is None
@@ -185,7 +193,7 @@ class _EncAborter(Proc):
 
 class _ReplyWaiter(Proc):
     """Receives A's request unintentionally (Charlotte) or never
-    receives it at all (SODA/Chrysalis: queue closed)."""
+    receives it at all (the others: queue closed)."""
 
     def main(self, ctx):
         (to_a,) = ctx.initial_links
@@ -195,27 +203,28 @@ class _ReplyWaiter(Proc):
             pass
 
 
-@pytest.mark.parametrize(
-    "kind,enclosure_survives",
-    [("charlotte", False), ("soda", True), ("chrysalis", True)],
-)
-def test_aborted_enclosure_after_crash(kind, enclosure_survives):
-    """§3.2.2 (a)–(d) on all three kernels.  Charlotte loses the
-    enclosed link; SODA and Chrysalis "recover the enclosures in
-    aborted messages" (§6 item 3) because receipt only happens on
-    explicit accept/scatter."""
+@pytest.mark.parametrize("kind", registered_kernels())
+def test_aborted_enclosure_after_crash(kind):
+    """§3.2.2 (a)–(d) on every backend.  Charlotte loses the enclosed
+    link; kernels where receipt only happens on explicit
+    accept/scatter "recover the enclosures in aborted messages"
+    (§6 item 3)."""
+    profile = kernel_profile(kind)
+    scale = profile.time_scale
     cluster = make_cluster(kind)
-    a_prog = _EncAborter(abort_at=40.0 if kind != "chrysalis" else 3.0)
+    a_prog = _EncAborter(abort_at=40.0 * scale)
     a = cluster.spawn(a_prog, "A")
     b = cluster.spawn(_ReplyWaiter(), "B")
     cluster.create_link(a, b)
-    crash_at = 45.0 if kind != "chrysalis" else 5.0
-    cluster.engine.schedule(crash_at, cluster.crash_process, "B",
+    # the crash lands just after the abort: late enough for the abort
+    # to have gone out, early enough that Charlotte's recovery (which
+    # needs the receiver alive) has not completed
+    cluster.engine.schedule(45.0 * scale, cluster.crash_process, "B",
                             CrashMode.PROCESSOR)
     cluster.run_until_quiet(max_ms=1e5)
     ref = a_prog.given_ref
     disp = cluster.registry.disposition_of(ref)
-    if enclosure_survives:
+    if profile.capabilities.recovers_aborted_enclosures:
         assert disp is EndDisposition.OWNED
         assert cluster.registry.owner_of(ref) == "A"
         assert not cluster.registry.is_destroyed(ref.link)
@@ -224,7 +233,7 @@ def test_aborted_enclosure_after_crash(kind, enclosure_survives):
             disp in (EndDisposition.LOST, EndDisposition.IN_TRANSIT)
             or cluster.registry.is_destroyed(ref.link)
         )
-        assert lost, f"Charlotte unexpectedly preserved {ref}: {disp}"
+        assert lost, f"{kind} unexpectedly preserved {ref}: {disp}"
 
 
 # ----------------------------------------------------------------------
@@ -248,14 +257,12 @@ class _Doomed(Proc):
         yield from ctx.delay(1e6)
 
 
-@pytest.mark.parametrize(
-    "kind,detected",
-    [("charlotte", True), ("soda", True), ("chrysalis", False)],
-)
-def test_processor_failure_detection(kind, detected):
+@pytest.mark.parametrize("kind", registered_kernels())
+def test_processor_failure_detection(kind):
     """Charlotte's kernel survives its processes; SODA's kernel
     processor outlives the client processor; Chrysalis §5.2:
     "Processor failures are currently not detected." """
+    profile = kernel_profile(kind)
     cluster = make_cluster(kind)
     watcher = _CrashWatcher()
     d = cluster.spawn(_Doomed(), "doomed")
@@ -264,7 +271,7 @@ def test_processor_failure_detection(kind, detected):
     cluster.engine.schedule(30.0, cluster.crash_process, "doomed",
                             CrashMode.PROCESSOR)
     cluster.run_until_quiet(max_ms=1e6)
-    if detected:
+    if profile.capabilities.detects_processor_failure:
         assert isinstance(watcher.error, LinkDestroyed)
         assert cluster.processes["watcher"].finished
     else:

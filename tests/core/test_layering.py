@@ -1,0 +1,83 @@
+"""Layering guard for the reified kernel/runtime interface.
+
+The point of `repro.core.ports` is that every layer above the kernel
+packages — `core.api`, the CLI, workloads, benches, observability,
+analysis — reaches a backend only through the registry.  This test
+makes the rule mechanical: no module under ``src/repro`` may import
+``repro.charlotte`` / ``repro.soda`` / ``repro.chrysalis`` /
+``repro.ideal`` internals *at module level* unless it is either
+
+* inside that kernel's own package, or
+* per-kernel glue whose filename declares the kernel it binds
+  (``repro/linda/soda_adapter.py`` may import ``repro.soda``).
+
+Function-level lazy imports (the registry's factories, the raw
+baselines) are the sanctioned escape hatch and are not flagged —
+they run only after a profile lookup has chosen the backend.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.core.ports import registered_kernels
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _module_level_imports(tree: ast.Module):
+    """Top-level Import/ImportFrom nodes, including ones nested in
+    module-level ``if``/``try`` blocks (e.g. TYPE_CHECKING guards are
+    module-level too — typing-only cycles still count as layering)."""
+    todo = list(tree.body)
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.If, ast.Try)):
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def _imported_kernel(node, kernels):
+    names = []
+    if isinstance(node, ast.ImportFrom):
+        names = [node.module or ""]
+    else:
+        names = [alias.name for alias in node.names]
+    for name in names:
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[0] == "repro" and parts[1] in kernels:
+            return parts[1]
+    return None
+
+
+def test_no_module_level_kernel_imports_outside_kernel_packages():
+    kernels = set(registered_kernels())
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if rel.parts[0] in kernels:
+            continue  # the kernel's own package
+        tree = ast.parse(path.read_text())
+        for node in _module_level_imports(tree):
+            kernel = _imported_kernel(node, kernels)
+            if kernel is None:
+                continue
+            if kernel in path.stem:
+                continue  # declared per-kernel glue (e.g. soda_adapter)
+            violations.append(f"{rel}:{node.lineno} imports repro.{kernel}")
+    assert not violations, (
+        "modules must reach kernels via repro.core.ports, not direct "
+        "module-level imports:\n" + "\n".join(violations)
+    )
+
+
+def test_type_checking_guard_is_not_an_escape_hatch():
+    """The walker above must see inside `if TYPE_CHECKING:` blocks."""
+    tree = ast.parse(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.soda.kernel import SodaKernel\n"
+    )
+    found = [n for n in _module_level_imports(tree)
+             if _imported_kernel(n, {"soda"})]
+    assert found

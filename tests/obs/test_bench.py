@@ -6,6 +6,7 @@ import os
 
 import pytest
 
+from repro.core.ports import registered_kernels
 from repro.obs.bench import (
     BENCH_IDS,
     BENCH_SCHEMA_VERSION,
@@ -68,7 +69,13 @@ def test_quick_values_keep_the_paper_shape(quick_results):
     # *runtime-layer* critical-path time per RPC, strictly
     assert e13["charlotte_runtime_ms"] > e13["soda_runtime_ms"]
     assert e13["charlotte_runtime_ms"] > e13["chrysalis_runtime_ms"]
+    # the ideal backend is the lower bound on every real kernel — in
+    # raw latency and in causal critical-path total alike
+    assert e1["ideal_rpc0_ms"] < e1["raw_rpc0_ms"]
+    assert e1["ideal_rpc1000_ms"] < e1["raw_rpc1000_ms"]
     for kind in ("charlotte", "soda", "chrysalis"):
+        assert e13["ideal_total_ms"] < e13[f"{kind}_total_ms"]
+    for kind in registered_kernels():
         assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
         assert s1[f"rpc_sim_events_{kind}"] > 0
 

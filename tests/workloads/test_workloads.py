@@ -42,6 +42,8 @@ def test_reverse_scenario_completes(kind):
         assert d["unwanted"] >= 2
     else:
         assert d["unwanted"] == 0
+        # bounce counters are absent, not zero, where no bouncing exists
+        assert "forbid" not in d and "retry" not in d
 
 
 @pytest.mark.parametrize("kind", KERNEL_KINDS)
@@ -50,6 +52,7 @@ def test_open_close_scenario_completes(kind):
     if kind == "charlotte":
         assert d["retry"] >= 2
     else:
+        assert "retry" not in d
         assert d["messages"] == d["useful_messages"]
 
 
