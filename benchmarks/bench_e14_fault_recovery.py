@@ -1,0 +1,133 @@
+"""E14 — goodput and tail latency under a seeded network partition
+(§2.2 vs §4.1, §5.2).
+
+Every registered backend runs the same paced failover workload twice —
+fault-free, then under an identical seeded `partitioned_plan` severing
+the client from the primary server.  The paper's "hints can be better
+than absolutes" lesson, restated for failure handling:
+
+  - Charlotte-style *absolutes* put recovery in the kernel.  Loss is
+    invisible to the runtime, so the client has no signal to act on; a
+    connect issued into the partition blocks until the window heals,
+    goodput craters and the max round trip stretches toward the
+    outage length.
+  - SODA/Chrysalis-style *hints* put recovery in the runtime.  The
+    `RecoveryPolicy` bounds the damage at its retry budget, surfaces
+    `RecoveryExhausted`, and the client fails over to the backup link.
+
+The bench asserts the strict goodput ordering, the bounded-vs-
+unbounded tail latency split, and that two same-seed runs are
+bit-identical (the whole fault plane is driven by the cluster's
+seeded RNG tree).
+"""
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.api import kernel_profile, registered_kernels
+from repro.workloads.chaos import (
+    chaos_policy,
+    partitioned_plan,
+    run_chaos_workload,
+)
+
+COUNT = 30
+SEED = 7
+
+
+def _run_all(seed: int):
+    """clean + faulted ChaosResult per backend, one identical plan."""
+    data = {}
+    for kind in registered_kernels():
+        clean = run_chaos_workload(kind, count=COUNT, seed=seed)
+        faulted = run_chaos_workload(
+            kind, count=COUNT, seed=seed,
+            plan=partitioned_plan(), policy=chaos_policy(),
+        )
+        data[kind] = (clean, faulted)
+    return data
+
+
+def _digest(data):
+    """The reproducibility fingerprint of one full E14 sweep."""
+    return {
+        kind: (
+            clean.completed, clean.elapsed_ms, tuple(clean.rtts),
+            faulted.completed, faulted.failed, faulted.failed_over,
+            faulted.elapsed_ms, tuple(faulted.rtts),
+            tuple(sorted(faulted.counters.items())),
+        )
+        for kind, (clean, faulted) in data.items()
+    }
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_recovery_placement_under_partition(benchmark, save_table):
+    data = {}
+
+    def run():
+        data.update(_run_all(SEED))
+        return data
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        f"E14: goodput under a client<->primary partition "
+        f"({COUNT} paced ops, seed {SEED})",
+        ["kernel", "recovery", "clean op/s", "faulted op/s", "retention",
+         "max rtt ms", "failovers", "retries", "kernel rexmit"],
+    )
+    for kind, (clean, faulted) in data.items():
+        placement = kernel_profile(kind).capabilities.recovery_placement
+        t.add(kind, placement, clean.goodput_per_s, faulted.goodput_per_s,
+              faulted.goodput_per_s / clean.goodput_per_s,
+              faulted.max_rtt_ms, faulted.failed_over,
+              faulted.counters.get("recovery.retries", 0),
+              faulted.counters.get("faults.kernel_retransmits", 0))
+    save_table("e14_fault_recovery", t)
+
+    by_placement = {"kernel": [], "runtime": []}
+    for kind, (clean, faulted) in data.items():
+        placement = kernel_profile(kind).capabilities.recovery_placement
+        by_placement[placement].append((kind, clean, faulted))
+        # every backend eventually completes every operation: absolutes
+        # by waiting out the partition, hints by failing over
+        assert faulted.completed == COUNT, (kind, faulted)
+        assert faulted.failed == 0, (kind, faulted)
+    assert by_placement["kernel"] and by_placement["runtime"]
+
+    budget = chaos_policy().budget_ms()
+    for kind, clean, faulted in by_placement["runtime"]:
+        # hints: bounded damage — the client learned of the loss inside
+        # the retry budget and rerouted; the worst round trip is the
+        # budget plus one clean round trip, nowhere near the outage
+        assert faulted.failed_over >= 1, (kind, faulted)
+        assert faulted.counters.get("recovery.exhausted", 0) >= 1
+        assert faulted.max_rtt_ms < 2.0 * budget, (kind, faulted.max_rtt_ms)
+        for akind, _aclean, afaulted in by_placement["kernel"]:
+            assert faulted.goodput_per_s > afaulted.goodput_per_s, \
+                (kind, akind)
+            assert faulted.max_rtt_ms < afaulted.max_rtt_ms, (kind, akind)
+    for kind, clean, afaulted in by_placement["kernel"]:
+        # absolutes: no runtime-visible signal, so no failover — and the
+        # blocked connect's round trip stretches past the retry budget
+        # toward the partition window
+        assert afaulted.failed_over == 0, (kind, afaulted)
+        assert afaulted.counters.get("faults.kernel_retransmits", 0) > 0
+        assert afaulted.max_rtt_ms > 4.0 * budget, (kind, afaulted.max_rtt_ms)
+        assert afaulted.goodput_per_s < clean.goodput_per_s
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_same_seed_runs_are_identical(benchmark):
+    """Acceptance: the whole faulted sweep is a pure function of the
+    seed — drops, duplicates, partitions, retry jitter and all."""
+    runs = []
+
+    def run():
+        runs.append(_digest(_run_all(SEED)))
+        return runs
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    runs.append(_digest(_run_all(SEED)))
+    assert runs[0] == runs[1]

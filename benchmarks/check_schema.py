@@ -1,0 +1,144 @@
+"""Schema drift gate for every machine-readable artifact in the repo:
+
+    PYTHONPATH=src python benchmarks/check_schema.py
+
+Validates
+
+  - ``BENCH_PR1.json`` (and any other ``BENCH_*.json`` at the repo
+    root): schema "repro.bench", ``schema_version`` equal to the code's
+    ``BENCH_SCHEMA_VERSION``, and the exact top-level / per-bench key
+    structure recorded in ``tests/obs/golden_bench_schema.json``
+    (full-mode docs additionally carry the golden's
+    ``benches_full_extra`` keys — the wider E4 payload sweep);
+  - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
+    ``name`` field matching the file name, and rows shaped like the
+    header.
+
+A bench whose keys change without a golden-file update (and a schema-
+version bump) fails here — this is the CI job that makes "the baseline
+format drifted silently" impossible.  Exits non-zero on the first
+violation, printing every violation it found.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+from typing import List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN = os.path.join(ROOT, "tests", "obs", "golden_bench_schema.json")
+OUT_DIR = os.path.join(ROOT, "benchmarks", "out")
+
+TABLE_SCHEMA_VERSION = 1
+
+
+def check_bench_doc(path: str, golden: dict, errors: List[str]) -> None:
+    from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    name = os.path.relpath(path, ROOT)
+    if doc.get("schema") != golden["schema"]:
+        errors.append(f"{name}: schema {doc.get('schema')!r} != "
+                      f"{golden['schema']!r}")
+        return
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"{name}: schema_version {doc.get('schema_version')} != "
+            f"code's BENCH_SCHEMA_VERSION {BENCH_SCHEMA_VERSION} — "
+            f"regenerate with `python -m repro bench`"
+        )
+    if golden["schema_version"] != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"{os.path.relpath(GOLDEN, ROOT)}: golden schema_version "
+            f"{golden['schema_version']} != code's "
+            f"{BENCH_SCHEMA_VERSION} — update the golden file"
+        )
+    if sorted(doc) != golden["top_level"]:
+        errors.append(f"{name}: top-level keys {sorted(doc)} != "
+                      f"{golden['top_level']}")
+        return
+    got = {k: sorted(v) for k, v in doc["benches"].items()}
+    want = {k: sorted(v) for k, v in golden["benches"].items()}
+    if not doc.get("quick"):
+        extra = golden.get("benches_full_extra", {})
+        want = {k: sorted(v + extra.get(k, [])) for k, v in want.items()}
+    if set(got) != set(want):
+        errors.append(f"{name}: bench ids {sorted(got)} != {sorted(want)}")
+        return
+    for bid in sorted(want):
+        if got[bid] != want[bid]:
+            errors.append(
+                f"{name}: {bid} metrics drifted; "
+                f"missing={sorted(set(want[bid]) - set(got[bid]))} "
+                f"extra={sorted(set(got[bid]) - set(want[bid]))}"
+            )
+    for bid, metrics in doc["benches"].items():
+        for metric, value in metrics.items():
+            if value is not None and not isinstance(value, (int, float)):
+                errors.append(f"{name}: {bid}.{metric} is "
+                              f"{type(value).__name__}, not a JSON number")
+
+
+def check_table_doc(path: str, errors: List[str]) -> None:
+    name = os.path.relpath(path, ROOT)
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "repro.table":
+        errors.append(f"{name}: schema {doc.get('schema')!r} != "
+                      f"'repro.table'")
+        return
+    if doc.get("schema_version") != TABLE_SCHEMA_VERSION:
+        errors.append(f"{name}: schema_version "
+                      f"{doc.get('schema_version')} != "
+                      f"{TABLE_SCHEMA_VERSION}")
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if doc.get("name") != stem:
+        errors.append(f"{name}: name {doc.get('name')!r} != file stem "
+                      f"{stem!r}")
+    if "columns" in doc or "rows" in doc:
+        cols = doc.get("columns")
+        rows = doc.get("rows")
+        if not isinstance(cols, list) or not cols:
+            errors.append(f"{name}: 'columns' missing or empty")
+            return
+        if not isinstance(rows, list):
+            errors.append(f"{name}: 'rows' missing")
+            return
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(cols):
+                errors.append(f"{name}: row {i} does not match the "
+                              f"{len(cols)}-column header")
+
+
+def main() -> int:
+    errors: List[str] = []
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+
+    bench_docs = sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json")))
+    if not bench_docs:
+        errors.append("no BENCH_*.json baseline found at the repo root")
+    for path in bench_docs:
+        check_bench_doc(path, golden, errors)
+
+    table_docs = sorted(glob.glob(os.path.join(OUT_DIR, "*.json")))
+    if not table_docs:
+        errors.append("no benchmarks/out/*.json tables found")
+    for path in table_docs:
+        check_table_doc(path, errors)
+
+    if errors:
+        for e in errors:
+            print(f"check_schema: {e}", file=sys.stderr)
+        return 1
+    print(f"check_schema: ok ({len(bench_docs)} bench baseline(s), "
+          f"{len(table_docs)} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

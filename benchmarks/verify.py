@@ -5,8 +5,10 @@
 Runs ``python -m repro trace --selftest`` (span trees, critical-path
 coverage and the Chrome export on every registered kernel), then one
 zero-byte RPC on every backend in the kernel registry (so a freshly
-registered backend cannot silently miss the smoke net), followed by
-``python -m repro bench --quick`` (the full BENCH_*.json export at
+registered backend cannot silently miss the smoke net), then a seeded
+lossy fault-recovery run per backend (messages must actually drop,
+recovery must actually fire, and goodput must stay positive), followed
+by ``python -m repro bench --quick`` (the full BENCH_*.json export at
 smoke counts), failing on the first non-zero step.  Tier-1 covers the
 same ground piecewise; this script is the single command to confirm
 the whole observability pipeline works in a fresh checkout.
@@ -53,6 +55,44 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 1
         print(f"verify: rpc smoke ok on {kind} ({r.mean_ms:.3f} ms)")
+
+    # fault-recovery smoke: under a seeded lossy plan every backend
+    # must lose messages, recover them its own way (kernel retransmit
+    # vs runtime retry), and still complete every operation
+    from repro.core.api import kernel_profile
+    from repro.workloads.chaos import (
+        chaos_policy,
+        lossy_plan,
+        run_chaos_workload,
+    )
+
+    for kind in registered_kernels():
+        try:
+            c = run_chaos_workload(kind, count=8, seed=1,
+                                   plan=lossy_plan(), policy=chaos_policy())
+        except Exception as exc:  # noqa: BLE001 - smoke check reports all
+            print(f"verify: fault smoke FAILED on {kind}: {exc}",
+                  file=sys.stderr)
+            return 1
+        placement = kernel_profile(kind).capabilities.recovery_placement
+        dropped = (c.counters.get("faults.messages_lost", 0)
+                   + c.counters.get("faults.dropped", 0))
+        retries = (c.counters.get("recovery.retries", 0)
+                   + c.counters.get("recovery.reply_retries", 0))
+        retransmits = c.counters.get("faults.kernel_retransmits", 0)
+        recovered = retransmits if placement == "kernel" else retries
+        if c.completed != c.count or c.goodput_per_s <= 0.0:
+            print(f"verify: fault smoke on {kind} lost operations "
+                  f"({c.completed}/{c.count})", file=sys.stderr)
+            return 1
+        if dropped < 1 or recovered < 1:
+            print(f"verify: fault smoke on {kind} injected no loss or "
+                  f"recovered nothing (dropped={dropped}, "
+                  f"recovered={recovered})", file=sys.stderr)
+            return 1
+        print(f"verify: fault smoke ok on {kind} ({placement} recovery, "
+              f"{dropped:.0f} dropped, {recovered:.0f} resent, "
+              f"{c.goodput_per_s:.1f} op/s)")
 
     bench_path = os.path.join(out_dir, "BENCH_verify.json")
     rc = repro_main(["bench", "--quick", "--out", bench_path])

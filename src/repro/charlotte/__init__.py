@@ -13,6 +13,13 @@ the LYNX runtime *harder* to build: the runtime package here carries
 the full §3.2.1 unwanted-message machinery (retry / forbid / allow) and
 the §3.2.2 multi-enclosure protocol (goahead / enc), none of which the
 SODA or Chrysalis runtimes need.
+
+Failure semantics (§2.2, docs/FAULTS.md): Charlotte promises delivery
+as an *absolute* — its profile declares ``recovery_placement="kernel"``,
+so under an installed `FaultPlan` the simulated kernel retransmits
+lost messages invisibly and forever (``faults.kernel_retransmits``).
+The runtime never learns of loss, which is exactly why a connect
+issued into a partition blocks until the window heals (E14).
 """
 
 from repro.charlotte.kernel import (

@@ -12,6 +12,13 @@ Absolute information ... is known only to the owners of the ends
 
 It is the smallest and fastest of the three implementations (§5.3):
 2.4 ms per simple remote operation against Charlotte's 57 ms.
+
+Failure semantics (§5.2, docs/FAULTS.md): "Processor failures are
+currently not detected" — a hard `CrashMode.PROCESSOR` kill leaves
+peers blocked forever (`tests/chrysalis/test_processor_recovery.py`).
+The profile declares ``recovery_placement="runtime"``: only an
+installed `RecoveryPolicy` bounds that hang, with a typed
+`RecoveryExhausted` once the retry budget is spent.
 """
 
 from repro.chrysalis.kernel import ChrysalisKernel, ChrysalisPort, DQ_BLOCKED

@@ -6,8 +6,9 @@
     python -m repro figure2                 # live figure-2 chart
     python -m repro migrate --kernel soda --hops 8 --loss 0.5
     python -m repro sizes                   # the E2 code-size table
-    python -m repro bench                   # E1..E13/S1 -> BENCH_*.json
+    python -m repro bench                   # E1..E14/S1 -> BENCH_*.json
     python -m repro trace --kernel soda --by-layer --critical-path
+    python -m repro chaos                   # fault injection + recovery
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
@@ -320,6 +321,44 @@ def _trace_selftest() -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.workloads.chaos import (
+        chaos_policy,
+        lossy_plan,
+        partitioned_plan,
+        run_chaos_workload,
+    )
+
+    if args.scenario == "lossy":
+        plan = lossy_plan(drop=args.drop, dup=args.dup)
+        label = f"lossy drop={args.drop} dup={args.dup}"
+    else:
+        plan = partitioned_plan(quick=args.quick)
+        label = "partition client<->primary"
+    kinds = [args.kernel] if args.kernel else registered_kernels()
+    t = Table(
+        f"fault recovery under {label} "
+        f"(count={args.count}, seed={args.seed})",
+        ["kernel", "recovery", "clean op/s", "faulted op/s", "retention",
+         "max rtt ms", "failovers", "retries", "kernel rexmit"],
+    )
+    for kind in kinds:
+        clean = run_chaos_workload(kind, count=args.count, seed=args.seed)
+        faulted = run_chaos_workload(
+            kind, count=args.count, seed=args.seed,
+            plan=plan, policy=chaos_policy(),
+        )
+        placement = kernel_profile(kind).capabilities.recovery_placement
+        retention = (faulted.goodput_per_s / clean.goodput_per_s
+                     if clean.goodput_per_s else 0.0)
+        t.add(kind, placement, clean.goodput_per_s, faulted.goodput_per_s,
+              retention, faulted.max_rtt_ms, faulted.failed_over,
+              faulted.counters.get("recovery.retries", 0),
+              faulted.counters.get("faults.kernel_retransmits", 0))
+    t.show()
+    return 0
+
+
 def _cmd_sizes(args) -> int:
     t = Table(
         "LYNX runtime package sizes (kernel-specific half)",
@@ -388,12 +427,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_linda)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection + recovery: clean vs faulted goodput (E14)",
+    )
+    p.add_argument("--kernel", choices=registered_kernels(), default=None,
+                   help="one backend (default: all registered kernels)")
+    p.add_argument("--scenario", choices=("partition", "lossy"),
+                   default="partition")
+    p.add_argument("--drop", type=float, default=0.2,
+                   help="per-message drop probability (lossy scenario)")
+    p.add_argument("--dup", type=float, default=0.1,
+                   help="per-message duplication probability (lossy)")
+    p.add_argument("--count", type=int, default=30)
+    p.add_argument("--quick", action="store_true",
+                   help="the short partition window / smoke counts")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_chaos)
+
     p = sub.add_parser("sizes", help="runtime package complexity (E2)")
     p.set_defaults(fn=_cmd_sizes)
 
     p = sub.add_parser(
         "bench",
-        help="run the E1/E4/E5/E13/S1 workloads and write BENCH_*.json",
+        help="run the E1/E4/E5/E13/E14/S1 workloads and write BENCH_*.json",
     )
     p.add_argument("--quick", action="store_true",
                    help="smoke-test iteration counts (same schema)")

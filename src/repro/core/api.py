@@ -46,6 +46,7 @@ from repro.core.exceptions import (
     LinkMoved,
     LynxError,
     MoveRestricted,
+    RecoveryExhausted,
     RemoteCrash,
     RequestAborted,
     ThreadAborted,
@@ -63,6 +64,7 @@ from repro.core.ports import (
     registered_kernels,
 )
 from repro.core.program import Incoming, Proc
+from repro.core.recovery import RecoveryPolicy
 from repro.core.types import (
     BOOL,
     BYTES,
@@ -75,6 +77,7 @@ from repro.core.types import (
     RecordType,
 )
 from repro.sim.failure import CrashMode
+from repro.sim.faults import FaultPlan, FaultSpec
 
 #: the paper's kernel substrates (the experimental setup's three
 #: systems); `registered_kernels()` additionally lists reference
@@ -127,6 +130,9 @@ __all__ = [
     "ArrayType",
     "RecordType",
     "CrashMode",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryPolicy",
     "LynxError",
     "LinkDestroyed",
     "RemoteCrash",
@@ -135,4 +141,5 @@ __all__ = [
     "MoveRestricted",
     "LinkMoved",
     "ThreadAborted",
+    "RecoveryExhausted",
 ]

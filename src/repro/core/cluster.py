@@ -20,10 +20,12 @@ from typing import Any, Dict, Optional
 
 from repro.analysis.costmodel import CostModel
 from repro.core.program import Proc
+from repro.core.recovery import RecoveryPolicy
 from repro.core.registry import LinkRegistry
 from repro.obs.causal import SpanTracker
 from repro.sim.engine import Engine
 from repro.sim.failure import CrashMode
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.futures import FutureState
 from repro.sim.metrics import MetricSet
 from repro.sim.rng import SimRandom
@@ -80,6 +82,13 @@ class ClusterBase:
         self.costmodel = costmodel if costmodel is not None else CostModel.default()
         self.nodes = nodes
         self.processes: Dict[str, ProcessHandle] = {}
+        #: network-fault plane (`repro.sim.faults`); None = the network
+        #: is perfectly reliable, and every pre-existing code path is
+        #: bit-identical to a cluster without this attribute
+        self.faults: Optional[FaultInjector] = None
+        #: runtime-side recovery policy (`repro.core.recovery`); None =
+        #: connects wait forever, as the paper's runtimes did
+        self.recovery: Optional[RecoveryPolicy] = None
         self._auto_name = 0
         self._next_node = 0
         self._setup_hardware()
@@ -151,6 +160,32 @@ class ClusterBase:
             detail["seq"] = msg.seq
             detail["bytes"] = msg.wire_size
         self.trace.emit(actor, event, **detail)
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Bind a network-fault schedule to this cluster (see
+        `repro.sim.faults`).  Verdicts draw from the cluster rng's
+        ``faults`` child stream, so the schedule replays exactly from
+        the cluster seed and does not perturb other consumers."""
+        self.faults = FaultInjector(
+            self.engine, plan, self.rng.child("faults"), self.metrics,
+            trace=self.trace,
+        )
+        return self.faults
+
+    def install_recovery(self, policy: RecoveryPolicy) -> RecoveryPolicy:
+        """Install the runtime-side timeout/retry policy (see
+        `repro.core.recovery`).  Applies to backends whose
+        capabilities place recovery in the runtime; kernel-placement
+        backends (Charlotte) ignore it by design."""
+        self.recovery = policy
+        return policy
+
+    def peer_name_of(self, ref) -> Optional[str]:
+        """The process currently owning the far end of ``ref`` — the
+        registry's view, used by the fault plane to apply partition
+        windows (observability-grade: no protocol decision depends on
+        it)."""
+        return self.registry.owner_of(ref.peer)
 
     def crash_process(
         self, name: str, mode: CrashMode = CrashMode.TERMINATE

@@ -64,6 +64,16 @@ class ThreadAborted(LynxError):
     request."""
 
 
+class RecoveryExhausted(LynxError):
+    """A connect's recovery budget ran out: the runtime-side
+    `repro.core.recovery.RecoveryPolicy` timed out, retransmitted up to
+    its bounded retry limit, and never saw receipt or reply.  Only
+    backends whose `KernelCapabilities.recovery_placement` is
+    ``"runtime"`` (hints — SODA, Chrysalis, ideal) can raise it; a
+    kernel-placement backend (Charlotte's absolutes) hides loss by
+    retransmitting forever instead (§2.2, §4.1)."""
+
+
 class ProtocolViolation(LynxError):
     """Internal consistency failure of a runtime package — never
     expected in a correct run; exists so tests can assert it never

@@ -27,7 +27,7 @@ Three layers represent an end:
 from __future__ import annotations
 
 import enum
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Optional, Set, TYPE_CHECKING
 
@@ -97,6 +97,21 @@ class ConnectWaiter:
     #: simulated time the root span opened (connect entry, before
     #: marshalling — earlier than ``sent_at``)
     span_t0: float = 0.0
+    #: the REQUEST this waiter sent, kept for retransmission (only
+    #: populated when a `repro.core.recovery.RecoveryPolicy` is armed)
+    request: Optional["WireMessage"] = None
+    #: retransmissions performed so far under the recovery policy
+    retries: int = 0
+    #: the pending recovery timer (`repro.sim.engine.Event`), cancelled
+    #: whenever the connect ends
+    recovery_timer: Optional[Any] = None
+
+
+#: replies kept per end for duplicate-request replay (see
+#: `EndState.reply_cache`); a duplicate evicted past this bound is
+#: dropped instead, and the requester's bounded retry surfaces
+#: `RecoveryExhausted` — exactly-once-or-error is preserved either way
+REPLY_CACHE_LIMIT = 512
 
 
 @dataclass
@@ -132,6 +147,20 @@ class EndState:
     #: simulated time each owed request was delivered to a server
     #: thread, for the ``app`` serve span
     request_span_t0: Dict[int, float] = field(default_factory=dict)
+    #: duplicate-suppression state, maintained only while the cluster
+    #: has a fault plane installed (`repro.sim.faults`): request seqs
+    #: already consumed on this end ...
+    seen_requests: Set[int] = field(default_factory=set)
+    #: ... the reply we sent for each, kept so a retransmitted request
+    #: can be answered by replaying the original reply (same seq —
+    #: receipt then resumes the still-blocked replier).  Bounded by
+    #: `REPLY_CACHE_LIMIT`, oldest first.
+    reply_cache: "OrderedDict[int, WireMessage]" = field(
+        default_factory=OrderedDict
+    )
+    #: reply_to seqs whose reply this end already consumed (duplicate
+    #: replies are dropped, counted ``recovery.duplicates_dropped``)
+    delivered_replies: Set[int] = field(default_factory=set)
 
     def alloc_seq(self) -> int:
         s = self.next_seq

@@ -97,7 +97,12 @@ class KernelRuntimePort(Protocol):
         staged (IN_TRANSIT) and ``es.outgoing[msg.seq]`` is recorded.
         Post (eventually): the peer runtime sees the message via its
         request queue and the sender gets `notify_receipt` (receipt
-        confirmed) or `notify_bounce` (returned undelivered).
+        confirmed) or `notify_bounce` (returned undelivered).  When a
+        `repro.sim.faults.FaultInjector` is installed, the shared core
+        judges the message *before* making this downcall (a dropped
+        message never reaches the kernel glue); retransmissions reuse
+        ``msg.seq``, and duplicate deliveries are suppressed by the
+        shared core, so backends need no fault awareness of their own.
 
     ``rt_send_reply(es, msg)``
         Transmit a REPLY for request ``msg.reply_to``.  Pre: the
@@ -224,6 +229,13 @@ class KernelCapabilities:
     recovers_aborted_enclosures: bool
     #: peers of a crashed *processor* observe `RemoteCrash`
     detects_processor_failure: bool
+    #: where loss-recovery lives when the network misbehaves
+    #: (`repro.sim.faults`): ``"runtime"`` — the kernel delivers hints
+    #: and the runtime's `repro.core.recovery.RecoveryPolicy` does
+    #: bounded timeout/retry, surfacing `RecoveryExhausted`;
+    #: ``"kernel"`` — the kernel promises absolute delivery and
+    #: retransmits invisibly, unboundedly (Charlotte, §2.2/§4.1)
+    recovery_placement: str = "runtime"
 
 
 @dataclass(frozen=True)
@@ -397,6 +409,7 @@ register_kernel(KernelProfile(
         server_feels_abort=False,
         recovers_aborted_enclosures=False,
         detects_processor_failure=True,
+        recovery_placement="kernel",
     ),
     runtime_modules=("repro.charlotte.runtime",),
     trace_events=frozenset({"packet"}),

@@ -1,0 +1,76 @@
+"""Runtime-side recovery policy: timeout, bounded retry, backoff.
+
+The paper's lesson (§2.2, §4.1): a kernel that promises *absolute*
+reliable delivery must hide loss forever, while a kernel that offers
+*hints* lets the run-time package — which knows what the application
+can tolerate — decide how long to wait, how often to retry, and what
+to surface when retrying stops being worth it.  This module is that
+runtime-side decision, made concrete:
+
+* `RecoveryPolicy` — the knobs: initial ``timeout_ms``, ``max_retries``,
+  exponential ``backoff_factor`` and ``jitter_frac`` (jitter draws come
+  from the cluster's seeded rng, so runs replay exactly).
+* `RecoveryExhausted` (re-exported from `repro.core.exceptions`) — the
+  typed exception a connect raises once the retry budget is spent.
+  With a policy installed, every RPC on a runtime-placement backend
+  either completes exactly once (duplicates are suppressed by
+  `WireMessage` sequence numbers) or raises this; it never hangs and
+  never silently duplicates.
+
+Where the policy *applies* is a per-backend capability
+(`KernelCapabilities.recovery_placement`): ``"runtime"`` backends
+(SODA, Chrysalis, ideal) arm these timers in
+`repro.core.runtime.LynxRuntimeBase`; the ``"kernel"`` backend
+(Charlotte) never sees them — its kernel retransmits invisibly and
+unboundedly instead (see `repro.sim.faults`).  Install a policy with
+``cluster.install_recovery(RecoveryPolicy(...))``; see docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.exceptions import RecoveryExhausted
+
+__all__ = ["RecoveryPolicy", "RecoveryExhausted"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Timeout/retry knobs for runtime-placement recovery.
+
+    The retry budget of one connect is
+    ``timeout_ms * (1 + backoff_factor + ... + backoff_factor**max_retries)``
+    (plus jitter): after the initial timeout each retry waits
+    ``backoff_factor`` times longer than the last, and after
+    ``max_retries`` unacknowledged retransmissions the connect raises
+    `RecoveryExhausted`.
+    """
+
+    #: ms to wait for receipt/reply before the first retransmission
+    timeout_ms: float = 50.0
+    #: retransmissions before giving up (0 = timeout only, no retry)
+    max_retries: int = 3
+    #: multiplier applied to the timeout after every retry
+    backoff_factor: float = 2.0
+    #: uniform ±fraction applied to each backoff interval (decorrelates
+    #: retry storms; 0 disables)
+    jitter_frac: float = 0.1
+
+    def backoff_ms(self, attempt: int, rng=None) -> float:
+        """The wait before retry ``attempt`` (1-based), jittered when an
+        rng is supplied."""
+        base = self.timeout_ms * (self.backoff_factor ** attempt)
+        if rng is None or self.jitter_frac <= 0.0:
+            return base
+        return rng.jitter(base, self.jitter_frac)
+
+    def budget_ms(self) -> float:
+        """Worst-case ms a connect can spend before `RecoveryExhausted`
+        (jitter excluded — callers sizing partitions want the nominal
+        figure)."""
+        total = self.timeout_ms
+        for attempt in range(1, self.max_retries + 1):
+            total += self.timeout_ms * (self.backoff_factor ** attempt)
+        return total

@@ -51,18 +51,26 @@ from repro.core.exceptions import (
     LynxError,
     MoveRestricted,
     ProtocolViolation,
+    RecoveryExhausted,
     RemoteCrash,
     RequestAborted,
     ThreadAborted,
     TypeClash,
 )
-from repro.core.links import ConnectWaiter, EndLifecycle, EndRef, EndState, LinkEnd
+from repro.core.links import (
+    REPLY_CACHE_LIMIT,
+    ConnectWaiter,
+    EndLifecycle,
+    EndRef,
+    EndState,
+    LinkEnd,
+)
 from repro.core.program import Incoming
 from repro.core.threads import LynxThread, ThreadState
 from repro.core.types import Operation
 from repro.core.wire import ExceptionCode, MsgKind, WireMessage
 from repro.sim.futures import Future
-from repro.sim.tasks import TaskKilled, sleep
+from repro.sim.tasks import Task, TaskKilled, sleep
 from repro.sim.failure import CrashMode
 
 
@@ -101,6 +109,12 @@ class LynxRuntimeBase:
         self.alive = True
         self.exited = False
         self._crash_mode: Optional[CrashMode] = None
+        #: where loss-recovery lives for this backend ("runtime" or
+        #: "kernel"), resolved lazily from the kernel registry
+        self._recovery_placement_cache: Optional[str] = None
+        #: jitter stream for recovery backoff, derived lazily so
+        #: fault-free runs draw nothing
+        self._recovery_rng = None
 
     # ==================================================================
     # kernel-specific transport hooks (overridden by kernel runtimes);
@@ -434,18 +448,21 @@ class LynxRuntimeBase:
         es.outgoing[seq] = msg
         es.unreceived_sent += 1
         waiter = ConnectWaiter(
-            t, seq, op.op, sent_at=self.engine.now, span=root, span_t0=root_t0
+            t, seq, op.op, sent_at=self.engine.now, span=root, span_t0=root_t0,
+            request=msg,
         )
         es.connect_waiters.append(waiter)
         t.block(f"connect:{op.op.name}")
         self.metrics.count("runtime.connects")
         self.cluster.trace_msg(self.name, "send", es.ref, msg, op=op.op.name)
         try:
-            yield from self.rt_send_request(es, msg)
+            yield from self._transmit_request(es, msg)
             yield from self.rt_sync_interest(es)
         except LynxError as err:
             self._unwind_connect(es, waiter, msg)
             self._resume_error(t, err)
+        else:
+            self._arm_recovery(es, waiter)
 
     def _unwind_connect(
         self, es: EndState, waiter: ConnectWaiter, msg: WireMessage
@@ -458,7 +475,10 @@ class LynxRuntimeBase:
 
     def _finish_root_span(self, waiter: ConnectWaiter) -> None:
         """Close the RPC's root span (at most once) — the trace covers
-        connect entry to this instant, however the connect ended."""
+        connect entry to this instant, however the connect ended.
+        Every connect-end path funnels through here, so it also
+        disarms the waiter's recovery timer."""
+        self._cancel_recovery(waiter)
         if waiter.span is not None:
             self.cluster.spans.emit_root(
                 waiter.span, f"connect:{waiter.op.name}", self.name,
@@ -524,15 +544,19 @@ class LynxRuntimeBase:
         t.block("reply")
         self.metrics.count("runtime.replies")
         self.cluster.trace_msg(self.name, "send", es.ref, msg, op=inc.op.name)
+        self._cache_reply(es, inc.seq, msg)
         try:
-            yield from self.rt_send_reply(es, msg)
+            yield from self._transmit_reply(es, msg)
         except LynxError as err:
             es.send_waiters.pop(seq, None)
             self._retract_outgoing(es, seq)
+            es.reply_cache.pop(inc.seq, None)
             if isinstance(err, RequestAborted):
                 # the requester withdrew: the reply's enclosures stay ours
                 self._restore_enclosures(msg)
             self._resume_error(t, err)
+        else:
+            self._arm_reply_recovery(es, msg, 0)
 
     # -- queue control ------------------------------------------------------
     def _op_set_queue(self, t: LynxThread, end: LinkEnd, open_: bool) -> Generator:
@@ -583,6 +607,7 @@ class LynxRuntimeBase:
                 es, waiter = self._find_connect_waiter(target)
                 if waiter is not None:
                     waiter.aborted = True
+                    self._cancel_recovery(waiter)
                     withdrawn = yield from self.rt_abort_connect(es, waiter)
                     if withdrawn:
                         self._unwind_connect(
@@ -692,9 +717,23 @@ class LynxRuntimeBase:
     def _consume_reply(self, es: EndState, msg: WireMessage) -> Generator:
         waiter = es.find_waiter(msg.reply_to)
         if waiter is None:
+            if (self.cluster.faults is not None
+                    and msg.reply_to in es.delivered_replies):
+                # a duplicated or replayed reply we already consumed:
+                # sequence-number suppression, not a protocol error
+                self.metrics.count("recovery.duplicates_dropped")
+                if msg.span is not None:
+                    now = self.engine.now
+                    self.cluster.spans.emit(
+                        msg.span, "runtime", "dup-reply-dropped", self.name,
+                        now, now,
+                    )
+                return
             self.metrics.count("runtime.unmatched_replies")
             return
         es.connect_waiters.remove(waiter)
+        if self.cluster.faults is not None:
+            es.delivered_replies.add(msg.reply_to)
         if waiter.aborted:
             # client already gave up; drop silently (Charlotte cannot
             # tell the server — §3.2; capable kernels told it earlier)
@@ -736,6 +775,9 @@ class LynxRuntimeBase:
     def _consume_request(
         self, es: EndState, msg: WireMessage, t: LynxThread
     ) -> Generator:
+        if self.cluster.faults is not None and msg.kind is MsgKind.REQUEST:
+            if not self._admit_request(es, msg):
+                return False
         op = self.op_registry.get(msg.opname)
         if op is None or op.sighash != msg.sighash:
             code = (
@@ -792,9 +834,301 @@ class LynxRuntimeBase:
         es.outgoing[exc.seq] = exc
         es.unreceived_sent += 1
         try:
-            yield from self.rt_send_reply(es, exc)
+            yield from self._transmit_reply(es, exc)
         except LynxError:
             self._retract_outgoing(es, exc.seq)
+
+    # ==================================================================
+    # fault plane & loss recovery
+    # (repro.sim.faults / repro.core.recovery; see docs/FAULTS.md)
+    # ==================================================================
+    def _transmit_request(self, es: EndState, msg: WireMessage) -> Generator:
+        """``rt_send_request`` behind the network-fault plane."""
+        yield from self._transmit(es, msg, self.rt_send_request)
+
+    def _transmit_reply(self, es: EndState, msg: WireMessage) -> Generator:
+        """``rt_send_reply`` behind the network-fault plane."""
+        yield from self._transmit(es, msg, self.rt_send_reply)
+
+    def _transmit(self, es: EndState, msg: WireMessage, send) -> Generator:
+        """Consult the cluster's `FaultInjector` (when one is installed)
+        before handing ``msg`` to the kernel glue.  A dropped message
+        never reaches ``send`` at all, so no kernel bookkeeping leaks;
+        what the drop *means* depends on this backend's
+        ``recovery_placement`` capability (§2.2 vs §4.1)."""
+        faults = self.cluster.faults
+        if faults is None:
+            yield from send(es, msg)
+            return
+        verdict = faults.judge(
+            self.name,
+            self.cluster.peer_name_of(es.ref),
+            es.ref.link,
+            msg.kind.value,
+        )
+        if verdict.drop:
+            if self._recovery_placement() == "kernel":
+                # absolutes (Charlotte): the kernel hides the loss,
+                # retransmitting unboundedly and invisibly (§2.2)
+                self._spawn_kernel_retransmit(es, msg, send)
+            else:
+                # hints (SODA/Chrysalis/ideal): the message is gone;
+                # the runtime's RecoveryPolicy must notice (§4.1)
+                self.metrics.count("faults.messages_lost")
+                self._emit_fault_span(msg, "network", "fault-drop")
+            return
+        if verdict.dup and self._recovery_placement() == "runtime":
+            # duplicate delivery: a second copy rides alongside; the
+            # receiving runtime suppresses it by sequence number
+            self._emit_fault_span(msg, "network", "fault-duplicate")
+            self._spawn_send(es, msg.clone_for_resend(), send, 0.0)
+        if verdict.delay_ms > 0.0:
+            self._spawn_send(es, msg, send, verdict.delay_ms)
+            return
+        yield from send(es, msg)
+
+    def _emit_fault_span(self, msg: WireMessage, layer: str, name: str) -> None:
+        """Zero-duration marker span on the message's trace (no-op when
+        the message carries no span context)."""
+        if msg is not None and msg.span is not None:
+            now = self.engine.now
+            self.cluster.spans.emit(msg.span, layer, name, self.name, now, now)
+
+    def _spawn_send(self, es: EndState, msg: WireMessage, send, delay_ms: float) -> None:
+        """Deliver ``msg`` via ``send`` after ``delay_ms`` on a detached
+        task (used for delayed, duplicated and replayed copies).  The
+        copy is abandoned if the process died or the end stopped being
+        OWNED in the meantime."""
+
+        def driver() -> Generator:
+            if delay_ms > 0.0:
+                yield sleep(self.engine, delay_ms)
+            if not self.alive or es.lifecycle is not EndLifecycle.OWNED:
+                return
+            try:
+                yield from send(es, msg)
+            except LynxError:
+                # a deferred copy that can no longer be sent is just a
+                # lost duplicate; the original path carries any error
+                self.metrics.count("faults.deferred_send_failed")
+
+        Task(self.engine, driver(), f"fault-send:{self.name}:{msg.seq}")
+
+    def _spawn_kernel_retransmit(self, es: EndState, msg: WireMessage, send) -> None:
+        """Kernel-placement loss recovery: a detached task re-judges the
+        dropped message every ``plan.kernel_retransmit_ms`` until a
+        verdict lets it through, however long that takes.  Invisible to
+        the runtime — the absolute the paper says a kernel cannot
+        usefully promise (§2.2, §4.1)."""
+        faults = self.cluster.faults
+
+        def driver() -> Generator:
+            while True:
+                yield sleep(self.engine, faults.plan.kernel_retransmit_ms)
+                if not self.alive or es.lifecycle is not EndLifecycle.OWNED:
+                    return
+                if msg.seq not in es.outgoing:
+                    # receipt/abort already concluded this exchange
+                    return
+                self.metrics.count("faults.kernel_retransmits")
+                verdict = faults.judge(
+                    self.name,
+                    self.cluster.peer_name_of(es.ref),
+                    es.ref.link,
+                    msg.kind.value,
+                )
+                if verdict.drop:
+                    continue
+                self._emit_fault_span(msg, "kernel", "retransmit-delivered")
+                try:
+                    yield from send(es, msg.clone_for_resend())
+                except LynxError:
+                    self.metrics.count("faults.deferred_send_failed")
+                return
+
+        Task(self.engine, driver(), f"kernel-rexmit:{self.name}:{msg.seq}")
+
+    def _recovery_placement(self) -> str:
+        """Where loss recovery lives for this backend, per its
+        registered `KernelCapabilities` ("runtime" when the backend is
+        not registered — the hint stance is the language's default)."""
+        if self._recovery_placement_cache is None:
+            from repro.core.ports import kernel_profile
+
+            try:
+                profile = kernel_profile(self.cluster.KIND)
+            except (KeyError, ValueError):
+                self._recovery_placement_cache = "runtime"
+            else:
+                self._recovery_placement_cache = (
+                    profile.capabilities.recovery_placement
+                )
+        return self._recovery_placement_cache
+
+    def _recovery_policy(self):
+        """The cluster's `RecoveryPolicy`, or None when no policy is
+        installed or this backend places recovery in the kernel."""
+        if self.cluster.recovery is None:
+            return None
+        if self._recovery_placement() != "runtime":
+            return None
+        return self.cluster.recovery
+
+    def _recovery_jitter_rng(self):
+        if self._recovery_rng is None:
+            self._recovery_rng = self.cluster.rng.child(f"recovery/{self.name}")
+        return self._recovery_rng
+
+    def _arm_recovery(self, es: EndState, waiter: ConnectWaiter) -> None:
+        """Start the connect's recovery timer, if a policy applies.
+        Enclosure-bearing requests are never retried — a retransmitted
+        copy would try to move its link ends twice — so those connects
+        keep the paper's wait-forever semantics."""
+        policy = self._recovery_policy()
+        if policy is None or waiter.request is None:
+            return
+        if waiter.request.enclosures:
+            return
+        waiter.recovery_timer = self.engine.schedule(
+            policy.timeout_ms, self._recovery_fire, es, waiter
+        )
+
+    def _cancel_recovery(self, waiter: ConnectWaiter) -> None:
+        if waiter.recovery_timer is not None:
+            waiter.recovery_timer.cancel()
+            waiter.recovery_timer = None
+
+    def _recovery_fire(self, es: EndState, waiter: ConnectWaiter) -> None:
+        """(plain engine callback) The recovery timer elapsed with no
+        reply: retransmit with exponential backoff, or give up with
+        `RecoveryExhausted` once the bounded budget is spent."""
+        waiter.recovery_timer = None
+        policy = self._recovery_policy()
+        if (
+            policy is None
+            or not self.alive
+            or waiter.aborted
+            or waiter not in es.connect_waiters
+            or es.lifecycle is not EndLifecycle.OWNED
+        ):
+            return
+        self.metrics.count("recovery.timeouts")
+        self._emit_fault_span(
+            waiter.request, "runtime", f"timeout-{waiter.retries + 1}"
+        )
+        if waiter.retries >= policy.max_retries:
+            self.metrics.count("recovery.exhausted")
+            self._unwind_connect(es, waiter, self._outgoing_of(es, waiter.seq))
+            self._resume_error(
+                waiter.thread,
+                RecoveryExhausted(
+                    f"connect {waiter.op.name} on {es.ref}: no reply after "
+                    f"{waiter.retries} retries "
+                    f"(~{policy.budget_ms():.0f} ms budget)"
+                ),
+            )
+            return
+        waiter.retries += 1
+        self.metrics.count("recovery.retries")
+        clone = waiter.request.clone_for_resend()
+        if waiter.seq not in es.outgoing:
+            # the original was received (receipt retracted it); the
+            # retransmission re-stages so movability stays honest
+            es.unreceived_sent += 1
+        es.outgoing[waiter.seq] = clone
+        self._emit_fault_span(waiter.request, "runtime", f"retry-{waiter.retries}")
+        # the retransmission passes through the fault plane again
+        self._spawn_send(es, clone, self._transmit_request, 0.0)
+        waiter.recovery_timer = self.engine.schedule(
+            policy.backoff_ms(waiter.retries, self._recovery_jitter_rng()),
+            self._recovery_fire,
+            es,
+            waiter,
+        )
+
+    def _arm_reply_recovery(
+        self, es: EndState, msg: WireMessage, attempt: int
+    ) -> None:
+        """Stop-and-wait ARQ for the reply leg: a replier blocked on a
+        reply whose receipt never comes would wedge the whole process
+        (it could never return to ``wait_request``, so it could never
+        replay for a duplicate either).  Under runtime-placement
+        recovery the reply is retransmitted on the same bounded
+        schedule as requests; when the budget is spent the replier is
+        *released* — the client's own recovery governs from there, and
+        the cached reply still answers any later duplicate."""
+        policy = self._recovery_policy()
+        if self.cluster.faults is None or policy is None or msg.enclosures:
+            return
+        delay = (
+            policy.timeout_ms
+            if attempt == 0
+            else policy.backoff_ms(attempt, self._recovery_jitter_rng())
+        )
+        self.engine.schedule(delay, self._reply_recovery_fire, es, msg, attempt)
+
+    def _reply_recovery_fire(
+        self, es: EndState, msg: WireMessage, attempt: int
+    ) -> None:
+        """(plain engine callback) No receipt for our reply yet:
+        retransmit, or release the blocked replier once the budget is
+        spent."""
+        policy = self._recovery_policy()
+        if (
+            policy is None
+            or not self.alive
+            or es.lifecycle is not EndLifecycle.OWNED
+            or msg.seq not in es.outgoing
+        ):
+            return
+        if attempt >= policy.max_retries:
+            self.metrics.count("recovery.reply_gave_up")
+            self._emit_fault_span(msg, "runtime", "reply-gave-up")
+            self._retract_outgoing(es, msg.seq)
+            t = es.send_waiters.pop(msg.seq, None)
+            if t is not None:
+                self._resume(t, None)
+            return
+        self.metrics.count("recovery.reply_retries")
+        self._emit_fault_span(msg, "runtime", f"reply-retry-{attempt + 1}")
+        self._spawn_send(es, msg.clone_for_resend(), self._transmit_reply, 0.0)
+        self._arm_reply_recovery(es, msg, attempt + 1)
+
+    def _cache_reply(self, es: EndState, reply_to: int, msg: WireMessage) -> None:
+        """Remember the reply to request ``reply_to`` so a duplicate of
+        that request can be answered by replaying it (same reply seq, so
+        receipt still resumes the original blocked replier).  Replies
+        that move link ends are never cached — replaying one would move
+        the ends twice."""
+        if self.cluster.faults is None or msg.enclosures:
+            return
+        es.reply_cache[reply_to] = msg
+        while len(es.reply_cache) > REPLY_CACHE_LIMIT:
+            es.reply_cache.popitem(last=False)
+
+    def _admit_request(self, es: EndState, msg: WireMessage) -> bool:
+        """Duplicate suppression by sequence number: admit each request
+        seq at most once per end.  A duplicate of a request still being
+        served is dropped (the reply will answer both copies); one we
+        already answered gets the cached reply replayed."""
+        if msg.seq in es.owed_replies:
+            self.metrics.count("recovery.duplicates_dropped")
+            self._emit_fault_span(msg, "runtime", "dup-request-dropped")
+            return False
+        if msg.seq in es.seen_requests:
+            cached = es.reply_cache.get(msg.seq)
+            if cached is not None:
+                self.metrics.count("recovery.replies_replayed")
+                self._emit_fault_span(msg, "runtime", "reply-replayed")
+                self._spawn_send(
+                    es, cached.clone_for_resend(), self._transmit_reply, 0.0
+                )
+            else:
+                self.metrics.count("recovery.duplicates_dropped")
+                self._emit_fault_span(msg, "runtime", "dup-request-dropped")
+            return False
+        es.seen_requests.add(msg.seq)
+        return True
 
     # ==================================================================
     # enclosure (link-moving) machinery
@@ -976,6 +1310,9 @@ class LynxRuntimeBase:
         es.owed_replies.clear()
         es.request_spans.clear()
         es.request_span_t0.clear()
+        es.seen_requests.clear()
+        es.reply_cache.clear()
+        es.delivered_replies.clear()
 
     def _resume(self, t: LynxThread, value: Any) -> None:
         if t.state is ThreadState.BLOCKED:

@@ -13,6 +13,13 @@ It exists for two reasons:
 
 It is deliberately not a model of any 1986 system, so it is excluded
 from the paper-shaped tables (``paper=False`` in its profile).
+
+Failure semantics (docs/FAULTS.md): like the real minimal kernels it
+declares ``recovery_placement="runtime"`` — under an installed
+`FaultPlan` a dropped message is lost and the `RecoveryPolicy` owns
+recovery.  This keeps the backend honest as a lower bound: its speed
+comes from zero protocol overhead, not from a free reliability
+absolute the others must pay for.
 """
 
 from repro.ideal.cluster import IdealCluster

@@ -3,22 +3,24 @@
 Re-runs the headline workloads — E1 (Charlotte latency plus the
 ``ideal`` zero-protocol lower bound), E4 (the SODA crossover sweep),
 E5 (Chrysalis latency + tuning), E13 (causal critical-path layer
-attribution, repro.obs.causal) and S1 (simulator wall-clock
-throughput) — and writes one machine-readable ``BENCH_*.json`` so the
-performance trajectory of the repository is tracked across PRs.  The
-authoritative assertion-carrying harness remains
-``pytest benchmarks/ --benchmark-only``; this runner trades its
-tables for a stable schema::
+attribution, repro.obs.causal), E14 (goodput and tail latency under a
+seeded network partition, repro.workloads.chaos) and S1 (simulator
+wall-clock throughput) — and writes one machine-readable
+``BENCH_*.json`` so the performance trajectory of the repository is
+tracked across PRs.  The authoritative assertion-carrying harness
+remains ``pytest benchmarks/ --benchmark-only``; this runner trades
+its tables for a stable schema::
 
-    {"schema": "repro.bench", "schema_version": 3,
+    {"schema": "repro.bench", "schema_version": 4,
      "seed": 0, "git_rev": "<rev|unknown>",
      "timestamp": "<UTC ISO-8601>", "quick": false,
      "benches": {bench_id: {metric: value}}}
 
-E13 and S1 iterate the kernel registry (`repro.core.ports`), so a
-newly registered backend shows up in the document without edits here
-— that is what bumped ``schema_version`` to 3 (the ``ideal`` backend
-joined every per-kernel metric family).
+E13, E14 and S1 iterate the kernel registry (`repro.core.ports`), so
+a newly registered backend shows up in the document without edits
+here.  ``schema_version`` history: 3 = the ``ideal`` backend joined
+every per-kernel metric family; 4 = the E14 fault-recovery bench
+joined ``benches``.
 
 Simulated quantities are deterministic for a seed; the ``s1.*`` wall
 clock metrics are real time and machine-dependent by design.
@@ -38,7 +40,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.jsonl import json_safe
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 DEFAULT_BENCH_FILENAME = "BENCH_PR1.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
@@ -221,11 +223,76 @@ def bench_e13(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     return out
 
 
+def bench_e14(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E14 — goodput and tail latency under a seeded network partition
+    (repro.workloads.chaos; §2.2 vs §4.1).
+
+    Every registered backend runs the same paced failover workload
+    twice — fault-free, then under the identical seeded
+    `partitioned_plan` — and reports goodput, retention
+    (faulted/clean), completion, failover and retry counts, and tail
+    latency.  Simulated quantities, so the whole family is
+    deterministic for a seed.
+
+    The paper's claim machine-checked here: a backend whose recovery
+    lives in the *runtime* (hints — the `RecoveryPolicy` surfaces
+    `RecoveryExhausted` and the client fails over) rides out the
+    partition with strictly higher goodput than one whose kernel hides
+    the loss by retransmitting invisibly (absolutes — the client has
+    no signal, so it blocks for the whole outage and its tail latency
+    stretches to the window length).
+    """
+    from repro.core.api import kernel_profile, registered_kernels
+    from repro.workloads.chaos import (
+        chaos_policy,
+        partitioned_plan,
+        run_chaos_workload,
+    )
+
+    count = 12 if quick else 30
+    out: Dict[str, float] = {}
+    placements: Dict[str, Tuple[str, float]] = {}
+    for kind in registered_kernels():
+        clean = run_chaos_workload(kind, count=count, seed=seed)
+        faulted = run_chaos_workload(
+            kind, count=count, seed=seed,
+            plan=partitioned_plan(quick), policy=chaos_policy(),
+        )
+        out[f"{kind}_clean_goodput_per_s"] = clean.goodput_per_s
+        out[f"{kind}_faulted_goodput_per_s"] = faulted.goodput_per_s
+        out[f"{kind}_goodput_retention"] = (
+            faulted.goodput_per_s / clean.goodput_per_s
+            if clean.goodput_per_s else 0.0
+        )
+        out[f"{kind}_completed"] = float(faulted.completed)
+        out[f"{kind}_failed_over"] = float(faulted.failed_over)
+        out[f"{kind}_max_rtt_ms"] = faulted.max_rtt_ms
+        out[f"{kind}_p99_rtt_ms"] = faulted.p99_ms
+        out[f"{kind}_retries"] = faulted.counters.get("recovery.retries", 0.0)
+        out[f"{kind}_kernel_retransmits"] = faulted.counters.get(
+            "faults.kernel_retransmits", 0.0
+        )
+        placement = kernel_profile(kind).capabilities.recovery_placement
+        placements[kind] = (placement, faulted.goodput_per_s)
+    absolutes = {k: g for k, (p, g) in placements.items() if p == "kernel"}
+    hints = {k: g for k, (p, g) in placements.items() if p == "runtime"}
+    for ak, ag in absolutes.items():
+        for hk, hg in hints.items():
+            if hg <= ag:
+                raise AssertionError(
+                    f"E14: expected {hk} (runtime recovery) to out-goodput "
+                    f"{ak} (kernel recovery) under partition; "
+                    f"got {hg:.2f} <= {ag:.2f} ops/s"
+                )
+    return out
+
+
 _BENCHES: Dict[str, Callable[[int, bool], Dict[str, float]]] = {
     "E1": bench_e1,
     "E4": bench_e4,
     "E5": bench_e5,
     "E13": bench_e13,
+    "E14": bench_e14,
     "S1": bench_s1,
 }
 
@@ -237,7 +304,7 @@ def run_benches(
     seed: int = 0,
     quick: bool = False,
 ) -> Dict[str, Dict[str, float]]:
-    """Run the selected benches (all four by default) and return
+    """Run the selected benches (all of them by default) and return
     ``{bench_id: {metric: value}}``."""
     ids = list(bench_ids) if bench_ids else list(BENCH_IDS)
     results = {}

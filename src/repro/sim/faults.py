@@ -1,0 +1,237 @@
+"""Deterministic network-fault injection (the other half of failure).
+
+`repro.sim.failure` kills *processes*; this module degrades the
+*network* between them: per-link message drop, duplication, extra
+delay (reordering), and timed partition windows.  Together they let
+the simulator pose the question the paper's three lessons turn on —
+what happens to the language's remote-operation semantics when the
+transport misbehaves (§2.2, §4.1, §5.2)?
+
+Everything is seeded through `repro.sim.rng.SimRandom`, so a fault
+schedule replays exactly from ``(seed, plan)``.  Draws come from per
+``(link, kind)`` child streams, so adding traffic on one link does not
+perturb the verdicts seen on another.
+
+The injection point is deliberately the *runtime* message layer
+(`repro.core.runtime.LynxRuntimeBase` consults the cluster's installed
+`FaultInjector` around its ``rt_send_request`` / ``rt_send_reply``
+downcalls — see docs/FAULTS.md): a dropped message is simply never
+handed to the kernel glue, so no kernel bookkeeping leaks.  Kernel
+*internal* protocol frames (Charlotte retry/forbid/allow, SODA
+discover, Chrysalis notices) and link destruction notices stay
+reliable — the fault plane models lossy data transport, not a
+corrupted control plane.
+
+What a verdict *means* depends on where the backend places recovery
+(`KernelCapabilities.recovery_placement`):
+
+``"runtime"`` (SODA, Chrysalis, ideal — hints)
+    a dropped message is lost; the runtime's `RecoveryPolicy`
+    (timeouts, bounded retry) is responsible for masking or surfacing
+    the loss.
+``"kernel"`` (Charlotte — absolutes)
+    the kernel hides the loss: it silently retransmits every
+    ``plan.kernel_retransmit_ms`` until a verdict lets the message
+    through, however long that takes.  Nothing is ever surfaced to
+    the runtime — which is exactly the absolute the paper says a
+    kernel cannot usefully promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet
+from repro.sim.rng import SimRandom
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-link stochastic fault rates (all default to "healthy")."""
+
+    #: probability a message is silently lost
+    drop: float = 0.0
+    #: probability a message is delivered twice
+    dup: float = 0.0
+    #: maximum extra delivery delay in ms, drawn uniformly from
+    #: ``[0, delay_ms]`` — enough to reorder back-to-back messages
+    delay_ms: float = 0.0
+
+    @property
+    def healthy(self) -> bool:
+        return self.drop <= 0.0 and self.dup <= 0.0 and self.delay_ms <= 0.0
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """The network between two process groups is severed on
+    ``[t0, t1)``; ``a``/``b`` of ``None`` mean "every process"."""
+
+    t0: float
+    t1: float
+    a: Optional[FrozenSet[str]] = None
+    b: Optional[FrozenSet[str]] = None
+
+    def severs(self, src: str, dst: Optional[str], now: float) -> bool:
+        if not (self.t0 <= now < self.t1):
+            return False
+        if self.a is None or self.b is None:
+            return True
+        if dst is None:
+            return False
+        return (src in self.a and dst in self.b) or (
+            src in self.b and dst in self.a
+        )
+
+
+@dataclass
+class Verdict:
+    """What the fault plane decided for one message."""
+
+    drop: bool = False
+    dup: bool = False
+    delay_ms: float = 0.0
+    #: the drop came from an active partition window (vs random loss)
+    partitioned: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """A declarative, seed-replayable fault schedule.
+
+    Built fluently::
+
+        plan = (FaultPlan()
+                .drop(0.05)                      # every link
+                .drop(0.5, link=3)               # override one link
+                .partition(200.0, 900.0,
+                           a=("client",), b=("server",)))
+    """
+
+    default: FaultSpec = field(default_factory=FaultSpec)
+    per_link: Dict[int, FaultSpec] = field(default_factory=dict)
+    partitions: List[PartitionWindow] = field(default_factory=list)
+    #: retransmit period of kernel-placement ("absolutes") backends
+    kernel_retransmit_ms: float = 25.0
+
+    # fluent builders ---------------------------------------------------
+    def _update(self, link: Optional[int], **kw) -> "FaultPlan":
+        if link is None:
+            self.default = replace(self.default, **kw)
+        else:
+            self.per_link[link] = replace(
+                self.per_link.get(link, self.default), **kw
+            )
+        return self
+
+    def drop(self, p: float, link: Optional[int] = None) -> "FaultPlan":
+        return self._update(link, drop=p)
+
+    def duplicate(self, p: float, link: Optional[int] = None) -> "FaultPlan":
+        return self._update(link, dup=p)
+
+    def delay(self, ms: float, link: Optional[int] = None) -> "FaultPlan":
+        return self._update(link, delay_ms=ms)
+
+    def partition(
+        self,
+        t0: float,
+        t1: float,
+        a: Optional[Tuple[str, ...]] = None,
+        b: Optional[Tuple[str, ...]] = None,
+    ) -> "FaultPlan":
+        self.partitions.append(PartitionWindow(
+            t0, t1,
+            None if a is None else frozenset(a),
+            None if b is None else frozenset(b),
+        ))
+        return self
+
+    def spec_for(self, link: int) -> FaultSpec:
+        return self.per_link.get(link, self.default)
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.default.healthy
+            and all(s.healthy for s in self.per_link.values())
+            and not self.partitions
+        )
+
+
+class FaultInjector:
+    """A `FaultPlan` bound to one cluster's engine, rng and metrics.
+
+    ``judge`` is consulted by the runtime once per runtime-level
+    message transmission and returns a `Verdict`.  Counters land under
+    ``faults.*``; partition healings are announced on the trace log
+    (and counted) when their window closes, so a sequence chart shows
+    when the network came back.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        plan: FaultPlan,
+        rng: SimRandom,
+        metrics: MetricSet,
+        trace=None,
+    ) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.rng = rng
+        self.metrics = metrics
+        self.trace = trace
+        self._streams: Dict[Tuple[int, str], SimRandom] = {}
+        for i, win in enumerate(plan.partitions):
+            engine.schedule_at(max(win.t1, engine.now), self._healed, i, win)
+
+    def _healed(self, idx: int, win: PartitionWindow) -> None:
+        self.metrics.count("faults.partitions_healed")
+        if self.trace is not None:
+            self.trace.emit(
+                "faults", "partition-healed", window=idx,
+                t0=win.t0, t1=win.t1,
+            )
+
+    def _stream(self, link: int, kind: str) -> SimRandom:
+        key = (link, kind)
+        s = self._streams.get(key)
+        if s is None:
+            s = self._streams[key] = self.rng.child(f"L{link}/{kind}")
+        return s
+
+    def partitioned(self, src: str, dst: Optional[str]) -> bool:
+        if dst == src:
+            # a process always reaches itself: same-process links never
+            # cross the network, so no partition can sever them
+            return False
+        now = self.engine.now
+        return any(w.severs(src, dst, now) for w in self.plan.partitions)
+
+    def judge(
+        self, src: str, dst: Optional[str], link: int, kind: str
+    ) -> Verdict:
+        """Decide the fate of one message from ``src`` to ``dst`` on
+        ``link`` (``kind`` is the wire kind, e.g. ``"request"``)."""
+        if self.partitioned(src, dst):
+            self.metrics.count("faults.partition_dropped")
+            return Verdict(drop=True, partitioned=True)
+        spec = self.plan.spec_for(link)
+        if spec.healthy:
+            return Verdict()
+        stream = self._stream(link, kind)
+        if stream.bernoulli(spec.drop):
+            self.metrics.count("faults.dropped")
+            return Verdict(drop=True)
+        v = Verdict()
+        if stream.bernoulli(spec.dup):
+            self.metrics.count("faults.duplicated")
+            v.dup = True
+        if spec.delay_ms > 0.0:
+            v.delay_ms = stream.uniform(0.0, spec.delay_ms)
+            if v.delay_ms > 0.0:
+                self.metrics.count("faults.delayed")
+        return v

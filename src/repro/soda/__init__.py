@@ -19,6 +19,13 @@ One liberty, documented in DESIGN.md: the kernel here offers
 when a connect is aborted before receipt).  The paper's kernel has no
 such call but already handles requester disappearance (crashes), of
 which withdrawal is the scoped version.
+
+Failure semantics (§4.1, docs/FAULTS.md): SODA guarantees almost
+nothing — its profile declares ``recovery_placement="runtime"``, so
+under an installed `FaultPlan` a dropped message is simply lost and
+the runtime's `RecoveryPolicy` (timeout, bounded retry, typed
+`RecoveryExhausted`) owns the damage.  E14 shows this hints stance
+riding out a partition that stalls Charlotte's absolutes.
 """
 
 from repro.soda.kernel import (

@@ -24,10 +24,11 @@ def test_verify_script_passes_and_writes_bench_json(tmp_path, capsys):
     assert mod.main(["--out", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "all kernels ok" in out
-    # one RPC smoke line per registered backend, ideal included
+    # one RPC + one fault-recovery smoke line per registered backend
     for kind in registered_kernels():
         assert f"verify: rpc smoke ok on {kind}" in out
+        assert f"verify: fault smoke ok on {kind}" in out
     assert "verify: ok" in out
     doc = json.loads((tmp_path / "BENCH_verify.json").read_text())
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "S1"}

@@ -23,7 +23,7 @@ def quick_results():
 
 
 def test_bench_ids():
-    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "S1")
+    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "S1")
 
 
 def test_document_schema_matches_golden_file(quick_results, tmp_path):
@@ -56,8 +56,8 @@ def test_exported_values_are_json_numbers(quick_results):
 def test_quick_values_keep_the_paper_shape(quick_results):
     """Even at smoke counts the simulated quantities reproduce the
     paper's ordering claims (wall-clock S1 values are only positive)."""
-    e1, e4, e5, e13, s1 = (
-        quick_results[k] for k in ("E1", "E4", "E5", "E13", "S1")
+    e1, e4, e5, e13, e14, s1 = (
+        quick_results[k] for k in ("E1", "E4", "E5", "E13", "E14", "S1")
     )
     assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
     assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
@@ -75,7 +75,18 @@ def test_quick_values_keep_the_paper_shape(quick_results):
     assert e1["ideal_rpc1000_ms"] < e1["raw_rpc1000_ms"]
     for kind in ("charlotte", "soda", "chrysalis"):
         assert e13["ideal_total_ms"] < e13[f"{kind}_total_ms"]
+    # E14 / §2.2 vs §4.1: every runtime-placement ("hints") backend
+    # rides out the partition with strictly higher goodput than the
+    # kernel-placement ("absolutes") one, whose tail latency stretches
+    # to the partition window instead
+    for kind in ("soda", "chrysalis", "ideal"):
+        assert e14[f"{kind}_faulted_goodput_per_s"] \
+            > e14["charlotte_faulted_goodput_per_s"]
+        assert e14[f"{kind}_max_rtt_ms"] < e14["charlotte_max_rtt_ms"]
+    assert e14["charlotte_failed_over"] == 0     # absolutes give no signal
+    assert e14["charlotte_kernel_retransmits"] > 0
     for kind in registered_kernels():
+        assert e14[f"{kind}_completed"] > 0
         assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
         assert s1[f"rpc_sim_events_{kind}"] > 0
 

@@ -1,0 +1,67 @@
+"""benchmarks/check_schema.py is the CI drift gate for every
+machine-readable artifact; tier-1 runs it too so a drifted baseline
+fails locally before it fails on the runner."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SCRIPT = os.path.join(ROOT, "benchmarks", "check_schema.py")
+
+
+def _run(cwd=ROOT):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    return subprocess.run(
+        [sys.executable, SCRIPT], cwd=cwd, env=env,
+        capture_output=True, text=True,
+    )
+
+
+def test_checked_in_artifacts_pass():
+    proc = _run()
+    assert proc.returncode == 0, proc.stderr
+    assert "check_schema: ok" in proc.stdout
+
+
+@pytest.mark.parametrize("mutation, fragment", [
+    (lambda d: d.__setitem__("schema_version", 1), "schema_version"),
+    (lambda d: d["benches"]["E14"].pop("soda_faulted_goodput_per_s"),
+     "E14 metrics drifted"),
+    (lambda d: d["benches"]["E1"].__setitem__("rogue_metric", 1.0),
+     "E1 metrics drifted"),
+])
+def test_drifted_baseline_fails(tmp_path, mutation, fragment):
+    """A stale or hand-edited BENCH_*.json must be rejected."""
+    with open(os.path.join(ROOT, "BENCH_PR1.json")) as fh:
+        doc = json.load(fh)
+    mutation(doc)
+    root = tmp_path
+    (root / "benchmarks").mkdir()
+    out = root / "benchmarks" / "out"
+    out.mkdir()
+    # one valid table so only the bench baseline is at fault
+    (out / "t.json").write_text(json.dumps({
+        "schema": "repro.table", "schema_version": 1, "name": "t",
+        "columns": ["a"], "rows": [[1]],
+    }))
+    (root / "BENCH_PR1.json").write_text(json.dumps(doc))
+    import shutil
+    shutil.copy(SCRIPT, root / "benchmarks" / "check_schema.py")
+    (root / "tests" / "obs").mkdir(parents=True)
+    shutil.copy(os.path.join(ROOT, "tests", "obs",
+                             "golden_bench_schema.json"),
+                root / "tests" / "obs" / "golden_bench_schema.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    proc = subprocess.run(
+        [sys.executable, str(root / "benchmarks" / "check_schema.py")],
+        cwd=root, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 1
+    assert fragment in proc.stderr
