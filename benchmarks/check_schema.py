@@ -12,7 +12,10 @@ Validates
     ``benches_full_extra`` keys — the wider E4 payload sweep);
   - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
     ``name`` field matching the file name, and rows shaped like the
-    header.
+    header;
+  - ``LINT_BASELINE.json``: schema "repro.lint-baseline" version 1,
+    every entry naming a registered lint rule and carrying a
+    non-empty justifying ``note`` (docs/LINT.md).
 
 A bench whose keys change without a golden-file update (and a schema-
 version bump) fails here — this is the CI job that makes "the baseline
@@ -114,6 +117,26 @@ def check_table_doc(path: str, errors: List[str]) -> None:
                               f"{len(cols)}-column header")
 
 
+def check_lint_baseline(path: str, errors: List[str]) -> None:
+    from repro.analysis.lint import (
+        BaselineError,
+        load_baseline,
+        registered_rules,
+    )
+
+    name = os.path.relpath(path, ROOT)
+    try:
+        entries = load_baseline(path)
+    except BaselineError as exc:
+        errors.append(str(exc))
+        return
+    known = {r.id for r in registered_rules()}
+    for e in entries:
+        if e.rule not in known:
+            errors.append(f"{name}: entry grandfathers unknown rule "
+                          f"{e.rule!r} (registered: {sorted(known)})")
+
+
 def main() -> int:
     errors: List[str] = []
     with open(GOLDEN) as fh:
@@ -131,12 +154,18 @@ def main() -> int:
     for path in table_docs:
         check_table_doc(path, errors)
 
+    baseline = os.path.join(ROOT, "LINT_BASELINE.json")
+    if not os.path.exists(baseline):
+        errors.append("no LINT_BASELINE.json found at the repo root")
+    else:
+        check_lint_baseline(baseline, errors)
+
     if errors:
         for e in errors:
             print(f"check_schema: {e}", file=sys.stderr)
         return 1
     print(f"check_schema: ok ({len(bench_docs)} bench baseline(s), "
-          f"{len(table_docs)} tables)")
+          f"{len(table_docs)} tables, lint baseline)")
     return 0
 
 

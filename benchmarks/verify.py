@@ -2,8 +2,10 @@
 
     PYTHONPATH=src python benchmarks/verify.py [--out DIR]
 
-Runs ``python -m repro trace --selftest`` (span trees, critical-path
-coverage and the Chrome export on every registered kernel), then one
+Runs ``python -m repro lint`` (the determinism & layering pass must be
+clean before anything is measured), then ``python -m repro trace
+--selftest`` (span trees, critical-path coverage and the Chrome export
+on every registered kernel), then one
 zero-byte RPC on every backend in the kernel registry (so a freshly
 registered backend cannot silently miss the smoke net), then a seeded
 lossy fault-recovery run per backend (messages must actually drop,
@@ -32,6 +34,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "(default: a fresh temp dir)")
     args = ap.parse_args(argv)
     out_dir = args.out or tempfile.mkdtemp(prefix="repro-verify-")
+
+    rc = repro_main(["lint"])
+    if rc != 0:
+        print("verify: lint FAILED", file=sys.stderr)
+        return rc
 
     rc = repro_main(["trace", "--selftest"])
     if rc != 0:

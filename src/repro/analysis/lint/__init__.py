@@ -1,0 +1,85 @@
+"""repro.analysis.lint — the determinism & layering static-analysis pass.
+
+The reproduction rests on two invariants nothing else enforces
+mechanically: *determinism* (all randomness and time flow through
+`repro.sim.rng.SimRandom` and the engine clock, which is what makes
+same-seed fault runs bit-identical and every bench comparison
+meaningful) and *layering discipline* (runtimes reach kernels only
+through `repro.core.ports` and the capabilities each backend
+declares).  This package turns both conventions into checked rules,
+Eraser-style: an AST visitor core, a rule registry with per-rule
+severity, ``# repro: allow[RULE]`` inline suppressions, and a
+checked-in baseline (``LINT_BASELINE.json``) for grandfathered
+findings.
+
+Entry points::
+
+    python -m repro lint [--json OUT|-] [--baseline FILE]
+                         [--fix-baseline] [paths...]
+
+    from repro.analysis.lint import run_lint
+    result = run_lint()            # defaults to <repo>/src/repro
+    result.exit_code               # 1 iff active findings exist
+
+The rule catalog, suppression workflow and JSON report schema are
+documented in docs/LINT.md (kept honest by a doc-drift test).
+"""
+
+from repro.analysis.lint.baseline import (
+    BASELINE_SCHEMA,
+    BASELINE_SCHEMA_VERSION,
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    get_rule,
+    register_rule,
+    registered_rules,
+    rule,
+)
+from repro.analysis.lint.report import (
+    LINT_SCHEMA,
+    LINT_SCHEMA_VERSION,
+    lint_json_doc,
+    render_text,
+)
+from repro.analysis.lint.runner import (
+    LintPathError,
+    collect_files,
+    lint_repo_root,
+    run_lint,
+)
+
+# importing the rules package registers the shipped rule set
+import repro.analysis.lint.rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LINT_SCHEMA",
+    "LINT_SCHEMA_VERSION",
+    "LintPathError",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "collect_files",
+    "get_rule",
+    "lint_json_doc",
+    "lint_repo_root",
+    "load_baseline",
+    "register_rule",
+    "registered_rules",
+    "render_text",
+    "rule",
+    "run_lint",
+    "write_baseline",
+]

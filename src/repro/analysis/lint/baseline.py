@@ -1,0 +1,120 @@
+"""The grandfathered-findings baseline (``LINT_BASELINE.json``).
+
+A baseline entry matches findings by ``(rule, path)`` — line numbers
+drift with every edit, so pinning them would make the baseline churn
+instead of shrink.  Every entry must carry a ``note`` justifying why
+the finding is grandfathered rather than fixed; the schema gate in
+``benchmarks/check_schema.py`` rejects entries without one (and
+entries naming rules that do not exist).  The shipped baseline is
+empty: every true positive in the tree was fixed, and the sanctioned
+wall-clock uses carry inline ``# repro: allow[...]`` suppressions
+instead — the baseline exists for *future* growth, so a refactor that
+surfaces a pre-existing finding can land without being held hostage
+by it.
+
+``python -m repro lint --fix-baseline`` rewrites the file from the
+current active findings, stamping each new entry with a placeholder
+note to replace with a real justification (or, better, a fix).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+BASELINE_SCHEMA = "repro.lint-baseline"
+BASELINE_SCHEMA_VERSION = 1
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+#: what --fix-baseline writes for a freshly grandfathered finding
+PLACEHOLDER_NOTE = "grandfathered by --fix-baseline; justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered (rule, path) pair with its justification."""
+
+    rule: str
+    path: str
+    note: str
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (wrong schema, missing notes)."""
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Read and validate a baseline file; [] when ``path`` is absent."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path}: schema {doc.get('schema')!r} != {BASELINE_SCHEMA!r}"
+        )
+    if doc.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{BASELINE_SCHEMA_VERSION}"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'entries' must be a list")
+    out: List[BaselineEntry] = []
+    for i, e in enumerate(entries):
+        if not isinstance(e, dict):
+            raise BaselineError(f"{path}: entry {i} is not an object")
+        rule = e.get("rule")
+        rel = e.get("path")
+        note = e.get("note")
+        if not rule or not rel:
+            raise BaselineError(f"{path}: entry {i} needs 'rule' and 'path'")
+        if not note or not str(note).strip():
+            raise BaselineError(
+                f"{path}: entry {i} ({rule} {rel}) has no justifying 'note'"
+            )
+        out.append(BaselineEntry(rule=str(rule), path=str(rel), note=str(note)))
+    return out
+
+
+def write_baseline(path: str, findings: Iterable, keep: Optional[dict] = None) -> dict:
+    """Rewrite the baseline from ``findings``.
+
+    Inline-suppressed findings are excluded (they are already
+    justified where they fire); previously-baselined findings that
+    still fire are kept so a refresh never silently un-grandfathers.
+    ``keep`` maps ``(rule, path)`` to an existing note so a refreshed
+    baseline does not lose justifications already written.  Returns
+    the document written.
+    """
+    keep = keep or {}
+    seen = set()
+    entries = []
+    for f in findings:
+        key = (f.rule, f.path)
+        if key in seen or f.suppressed:
+            continue
+        seen.add(key)
+        entries.append({
+            "rule": f.rule,
+            "path": f.path,
+            "note": keep.get(key, PLACEHOLDER_NOTE),
+        })
+    entries.sort(key=lambda e: (e["path"], e["rule"]))
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "note": (
+            "Grandfathered lint findings (matched by rule+path). Every "
+            "entry must justify itself; the goal is an empty list. See "
+            "docs/LINT.md."
+        ),
+        "entries": entries,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -1,0 +1,71 @@
+"""Report rendering: the machine-readable JSON document (schema
+``repro.lint`` — versioned and drift-gated like the bench schemas)
+and the human-readable text listing.
+
+The JSON document is deliberately timestamp- and path-free of
+anything machine-specific: findings are repo-relative and sorted, so
+two clean checkouts produce byte-identical reports — the lint pass
+holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.lint.core import LintResult
+
+LINT_SCHEMA = "repro.lint"
+LINT_SCHEMA_VERSION = 1
+
+
+def lint_json_doc(result: LintResult) -> dict:
+    """The versioned machine-readable report for one lint run."""
+    return {
+        "schema": LINT_SCHEMA,
+        "schema_version": LINT_SCHEMA_VERSION,
+        "rules": {
+            r.id: {"severity": r.severity, "title": r.title}
+            for r in result.rules
+        },
+        "files_scanned": result.files_scanned,
+        "counts": {
+            "total": len(result.findings),
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "baselined": f.baselined,
+            }
+            for f in result.findings
+        ],
+        "exit_code": result.exit_code,
+    }
+
+
+def render_text(result: LintResult) -> str:
+    """The terminal listing: one line per active finding, then a
+    summary that accounts for every disposition."""
+    lines: List[str] = []
+    for f in result.active:
+        lines.append(f"{f.location()}: {f.rule} [{f.severity}] {f.message}")
+    n_active = len(result.active)
+    summary = (
+        f"repro lint: {'ok' if not n_active else f'{n_active} finding(s)'}"
+        f" ({result.files_scanned} files"
+    )
+    if result.suppressed:
+        summary += f", {len(result.suppressed)} suppressed"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)

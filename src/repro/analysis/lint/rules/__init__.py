@@ -1,0 +1,17 @@
+"""The shipped rule set.  Importing this package registers every rule
+with the registry in `repro.analysis.lint.core`; the catalog with
+rationale lives in docs/LINT.md.
+
+=========  ==========================================================
+``DET001``  wall-clock / entropy outside `repro.sim.rng`
+``DET002``  iteration over unordered sets in order-sensitive modules
+``LAY001``  kernel imports that bypass `repro.core.ports`
+``LAY002``  capability attributes missing from `KernelCapabilities`
+``API001``  `RecoveryExhausted` swallowed without trace
+``SIM001``  float equality on simulated timestamps
+=========  ==========================================================
+"""
+
+import repro.analysis.lint.rules.determinism  # noqa: F401
+import repro.analysis.lint.rules.layering  # noqa: F401
+import repro.analysis.lint.rules.semantics  # noqa: F401

@@ -1,0 +1,160 @@
+"""Determinism rules: the invariant that a run is exactly reproducible
+from its seed.  All randomness flows through `repro.sim.rng.SimRandom`
+and all time through the engine clock; these rules flag the two ways
+the invariant silently erodes — ambient entropy/wall-clock (DET001)
+and unordered-collection iteration in scheduling-order-sensitive
+modules (DET002)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.lint.core import (
+    ModuleInfo,
+    Violation,
+    dotted_name,
+    imported_modules,
+    rule,
+)
+
+#: modules whose import anywhere under src/repro (outside sim/rng.py)
+#: is itself the hazard — ambient entropy or the host's wall clock
+ENTROPY_MODULES = frozenset({"random", "secrets", "uuid"})
+CLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: dotted call names that read the wall clock or entropy pool
+NONDETERMINISTIC_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.sleep",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "date.today", "datetime.date.today",
+    "os.urandom",
+})
+
+#: the module exempt from DET001 — the one sanctioned entropy source
+RNG_MODULE: Tuple[str, ...] = ("sim", "rng")
+
+#: ordering calls whose ``key=id`` makes the order an accident of the
+#: allocator (`id()` values differ run to run)
+ORDERING_CALLS = frozenset({"sorted", "sort", "min", "max"})
+
+
+@rule(
+    "DET001",
+    "wall-clock or entropy outside repro.sim.rng",
+)
+def det001(module: ModuleInfo) -> Iterator[Violation]:
+    """Flag imports of clock/entropy modules, calls that read the host
+    clock or entropy pool, and ``key=id`` ordering — anywhere under
+    ``src/repro`` except `repro.sim.rng` itself.  Sanctioned uses
+    (bench wall-clock measurement, dispatch profiling) carry inline
+    ``# repro: allow[DET001]`` suppressions with a justification."""
+    if module.package == RNG_MODULE:
+        return
+    hazard_modules = ENTROPY_MODULES | CLOCK_MODULES
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name in imported_modules(node):
+                root = name.split(".")[0]
+                if root in hazard_modules:
+                    yield node, (
+                        f"import of {root!r}: randomness must flow through "
+                        f"repro.sim.rng.SimRandom and time through the "
+                        f"engine clock"
+                    )
+        elif isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            root = dotted.split(".")[0]
+            if dotted in NONDETERMINISTIC_CALLS or root in ENTROPY_MODULES:
+                yield node, (
+                    f"call to {dotted}() is nondeterministic; use the "
+                    f"engine clock / a seeded SimRandom stream"
+                )
+            elif (
+                (dotted in ORDERING_CALLS or dotted.split(".")[-1] in ("sort",))
+                and any(
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id == "id"
+                    for kw in node.keywords
+                )
+            ):
+                yield node, (
+                    "ordering keyed on id() varies run to run; key on a "
+                    "stable attribute instead"
+                )
+
+
+#: modules where iteration order feeds scheduling decisions, so an
+#: unordered iteration is a latent same-seed divergence
+def _order_sensitive(package: Optional[Tuple[str, ...]]) -> bool:
+    if package is None:
+        return True  # fixture / ad-hoc file: apply the full rule set
+    if package[:1] == ("sim",):
+        return True
+    if package == ("core", "runtime"):
+        return True
+    from repro.core.ports import registered_kernels
+
+    return bool(package) and package[0] in registered_kernels()
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically set-valued: a set literal/comprehension, a call to
+    set()/frozenset(), or a set-algebra method result."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "intersection",
+            "union",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+@rule(
+    "DET002",
+    "unordered set iteration in an order-sensitive module",
+)
+def det002(module: ModuleInfo) -> Iterator[Violation]:
+    """In ``sim/``, ``core/runtime.py`` and the kernel packages, flag
+    iteration over a syntactic set expression (``for x in set(...)``,
+    set-typed comprehensions, ``list({...})``).  Set iteration order
+    depends on hash values — PYTHONHASHSEED for strings, allocator
+    addresses for identity-hashed objects — so the schedule it feeds
+    diverges between same-seed runs.  Sort it (``sorted(...)``) or
+    keep an insertion-ordered structure (dicts are ordered; deques and
+    lists are fine)."""
+    if not _order_sensitive(module.package):
+        return
+    msg = (
+        "iterating a set here makes scheduling order depend on hash "
+        "values; wrap it in sorted(...) or use an ordered collection"
+    )
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            yield node.iter, msg
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    yield gen.iter, msg
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate")
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            yield node.args[0], msg

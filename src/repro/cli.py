@@ -9,6 +9,7 @@
     python -m repro bench                   # E1..E14/S1 -> BENCH_*.json
     python -m repro trace --kernel soda --by-layer --critical-path
     python -m repro chaos                   # fault injection + recovery
+    python -m repro lint                    # determinism/layering checks
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
@@ -359,6 +360,51 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.analysis.lint import (
+        LintPathError,
+        lint_json_doc,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+    from repro.analysis.lint.baseline import BaselineError
+    from repro.analysis.lint.runner import lint_repo_root
+
+    try:
+        result = run_lint(paths=args.paths or None,
+                          baseline_path=args.baseline)
+    except (LintPathError, BaselineError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.fix_baseline:
+        from repro.analysis.lint.baseline import (
+            DEFAULT_BASELINE_NAME,
+            load_baseline,
+        )
+
+        path = args.baseline or str(lint_repo_root() / DEFAULT_BASELINE_NAME)
+        keep = {(e.rule, e.path): e.note for e in load_baseline(path)}
+        doc = write_baseline(path, result.findings, keep=keep)
+        print(f"wrote {path} "
+              f"({len(doc['entries'])} grandfathered finding(s))")
+        return 0
+    if args.json is not None:
+        payload = _json.dumps(lint_json_doc(result), indent=2,
+                              sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def _cmd_sizes(args) -> int:
     t = Table(
         "LYNX runtime package sizes (kernel-specific half)",
@@ -462,6 +508,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"subset of {' '.join(BENCH_IDS)} "
                         "(unknown names exit 2)")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & layering static analysis (docs/LINT.md)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to lint (default: "
+                        "src/repro; nonexistent paths exit 2)")
+    p.add_argument("--json", default=None, metavar="OUT",
+                   help="write the repro.lint JSON report "
+                        "('-' for stdout)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline file (default: LINT_BASELINE.json "
+                        "at the repo root)")
+    p.add_argument("--fix-baseline", action="store_true",
+                   help="rewrite the baseline from current findings "
+                        "instead of reporting them")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "trace",

@@ -47,6 +47,15 @@ class LynxContext:
     def name(self) -> str:
         return self._runtime.name
 
+    @property
+    def metrics(self):
+        """The cluster-wide `MetricSet`: programs may count their own
+        observability events (free — no simulated time is charged).
+        Workloads use it to keep application-level recovery decisions
+        (failovers, give-ups) visible in the ``recovery.*`` namespace
+        next to the runtime's counters (docs/FAULTS.md)."""
+        return self._runtime.metrics
+
     # ------------------------------------------------------------------
     # generator helpers (use with ``yield from``)
     # ------------------------------------------------------------------

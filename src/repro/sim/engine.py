@@ -18,7 +18,9 @@ units of the paper's tables (57 ms, 2.4 ms, ...).
 from __future__ import annotations
 
 import heapq
-from time import perf_counter
+# dispatch profiling prices callbacks in real host time on purpose;
+# it never feeds back into simulated state (see DispatchProfile)
+from time import perf_counter  # repro: allow[DET001]
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 

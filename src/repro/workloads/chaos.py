@@ -129,6 +129,9 @@ class ChaosClient(Proc):
                 try:
                     yield from ctx.connect(ends[current], CHAOS, (body,))
                 except RecoveryExhausted:
+                    # the hint did its job: record the failover in the
+                    # recovery namespace, then take the other link
+                    ctx.metrics.count("recovery.failovers")
                     current = (current + 1) % len(ends)
                     self.failed_over += 1
                 except LynxError:

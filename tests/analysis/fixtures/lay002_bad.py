@@ -1,0 +1,17 @@
+"""LAY002 seed: a capability read no backend declares.
+
+Only parsed by the lint pass.  ``retries_forever`` is not a field of
+`repro.core.ports.KernelCapabilities`, so conditioning on it is a
+semantic divergence the conformance suite cannot see.
+"""
+
+
+def pick_strategy(profile):
+    if profile.capabilities.retries_forever:
+        return "wait"
+    return "failover"
+
+
+def fine(profile):
+    # a declared capability: not a violation
+    return profile.capabilities.recovery_placement

@@ -1,0 +1,108 @@
+"""Tests for ``python -m repro lint``: exit codes, the JSON report
+(checked against the golden schema the same way BENCH docs are), the
+baseline workflow, and the path-error convention shared with
+``bench --only``."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+HERE = Path(__file__).resolve().parent
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "golden_lint_schema.json"
+
+
+def test_lint_shipped_tree_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint: ok" in out
+
+
+def test_lint_exits_nonzero_on_each_bad_fixture(capsys):
+    for fixture in sorted(FIXTURES.glob("*_bad.py")):
+        assert main(["lint", str(fixture)]) == 1, fixture.name
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+
+def test_lint_clean_fixture_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "clean.py")]) == 0
+    capsys.readouterr()
+
+
+def test_lint_missing_path_exits_2_with_message(capsys):
+    assert main(["lint", "no/such/path.py"]) == 2
+    err = capsys.readouterr().err
+    assert "repro lint:" in err and "no such file or directory" in err
+
+
+def test_lint_json_stdout_matches_golden_schema(capsys):
+    assert main(["lint", "--json", "-", str(FIXTURES)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    golden = json.loads(GOLDEN.read_text())
+    assert doc["schema"] == golden["schema"]
+    assert doc["schema_version"] == golden["schema_version"]
+    assert sorted(doc) == golden["top_level"]
+    assert sorted(doc["counts"]) == golden["counts_keys"]
+    assert sorted(doc["rules"]) == golden["rule_ids"]
+    for entry in doc["rules"].values():
+        assert sorted(entry) == golden["rule_keys"]
+    assert doc["findings"], "fixture dir must produce findings"
+    for f in doc["findings"]:
+        assert sorted(f) == golden["finding_keys"]
+    assert doc["exit_code"] == 1
+    assert doc["counts"]["active"] == len(doc["findings"])
+
+
+def test_lint_json_report_is_deterministic(capsys):
+    """Two runs over the same tree produce byte-identical reports —
+    no timestamps, no absolute paths, stable ordering."""
+    assert main(["lint", "--json", "-", str(FIXTURES)]) == 1
+    first = capsys.readouterr().out
+    assert main(["lint", "--json", "-", str(FIXTURES)]) == 1
+    assert capsys.readouterr().out == first
+
+
+def test_lint_json_to_file(tmp_path, capsys):
+    out = tmp_path / "lint.json"
+    assert main(["lint", "--json", str(out)]) == 0
+    assert f"wrote {out}" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.lint"
+    assert doc["exit_code"] == 0
+
+
+def test_lint_fix_baseline_then_clean(tmp_path, capsys):
+    """--fix-baseline grandfathers current findings; the next run
+    against that baseline exits 0 and reports them as baselined."""
+    baseline = tmp_path / "base.json"
+    bad = FIXTURES / "sim001_bad.py"
+    assert main(["lint", "--baseline", str(baseline),
+                 "--fix-baseline", str(bad)]) == 0
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+    doc = json.loads(baseline.read_text())
+    assert doc["schema"] == "repro.lint-baseline"
+    assert len(doc["entries"]) == 1  # one (rule, path) pair
+    assert doc["entries"][0]["rule"] == "SIM001"
+
+    assert main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_lint_malformed_baseline_exits_2(tmp_path, capsys):
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps({"schema": "wrong",
+                                    "schema_version": 1, "entries": []}))
+    assert main(["lint", "--baseline", str(baseline)]) == 2
+    assert "repro lint:" in capsys.readouterr().err
+
+
+def test_lint_suppressions_visible_in_text_summary(capsys):
+    """The shipped tree's sanctioned wall-clock uses show up in the
+    summary so the escape hatch stays visible."""
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out

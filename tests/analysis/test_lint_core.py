@@ -1,0 +1,246 @@
+"""Tests for the lint engine itself: the registry, inline
+suppressions, the baseline, ordering and path semantics — everything
+below the individual rules (`test_lint_rules`) and the CLI
+(`test_lint_cli`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    BaselineError,
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    collect_files,
+    get_rule,
+    load_baseline,
+    register_rule,
+    registered_rules,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.lint.core import lint_modules
+from repro.analysis.lint.runner import LintPathError
+
+EXPECTED_RULES = {"DET001", "DET002", "LAY001", "LAY002", "API001", "SIM001"}
+
+
+def _module(tmp_path: Path, source: str, name: str = "mod.py") -> ModuleInfo:
+    p = tmp_path / name
+    p.write_text(source)
+    return ModuleInfo.parse(p)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_shipped_rule_set_is_registered():
+    assert {r.id for r in registered_rules()} >= EXPECTED_RULES
+
+
+def test_registered_rules_sorted_by_id():
+    ids = [r.id for r in registered_rules()]
+    assert ids == sorted(ids)
+
+
+def test_get_rule_unknown_id_lists_registered():
+    with pytest.raises(ValueError, match="DET001"):
+        get_rule("NOPE999")
+
+
+def test_duplicate_rule_id_rejected():
+    det001 = get_rule("DET001")
+    with pytest.raises(ValueError, match="already registered"):
+        register_rule(det001)
+
+
+def test_bad_severity_rejected():
+    with pytest.raises(ValueError, match="severity"):
+        register_rule(Rule(id="TST999", title="t", severity="fatal",
+                           check=lambda m: iter(())))
+
+
+# ----------------------------------------------------------------------
+# inline suppressions
+# ----------------------------------------------------------------------
+def test_allow_comment_on_the_line_suppresses(tmp_path):
+    mod = _module(tmp_path, "import random  # repro: allow[DET001]\n")
+    result = lint_modules([mod], rules=[get_rule("DET001")])
+    (f,) = result.findings
+    assert f.suppressed and not f.active
+    assert result.exit_code == 0
+
+
+def test_allow_comment_on_the_line_above_suppresses(tmp_path):
+    mod = _module(
+        tmp_path,
+        "# repro: allow[DET001] — justification prose here\n"
+        "import random\n",
+    )
+    result = lint_modules([mod], rules=[get_rule("DET001")])
+    assert result.findings[0].suppressed
+
+
+def test_allow_comment_two_lines_above_does_not_suppress(tmp_path):
+    mod = _module(
+        tmp_path,
+        "# repro: allow[DET001]\n"
+        "\n"
+        "import random\n",
+    )
+    result = lint_modules([mod], rules=[get_rule("DET001")])
+    assert result.exit_code == 1
+
+
+def test_allow_names_only_the_listed_rules(tmp_path):
+    mod = _module(tmp_path, "import random  # repro: allow[LAY001]\n")
+    result = lint_modules([mod], rules=[get_rule("DET001")])
+    assert not result.findings[0].suppressed
+
+
+def test_allow_accepts_a_comma_list(tmp_path):
+    mod = _module(
+        tmp_path, "import random  # repro: allow[DET001, SIM001]\n"
+    )
+    result = lint_modules([mod], rules=[get_rule("DET001")])
+    assert result.findings[0].suppressed
+
+
+def test_suppressed_findings_still_reported():
+    """The JSON artifact records every sanctioned escape hatch."""
+    result = run_lint()
+    assert result.exit_code == 0
+    assert len(result.suppressed) >= 4  # bench wall clock + profiler
+
+
+# ----------------------------------------------------------------------
+# ordering / result shape
+# ----------------------------------------------------------------------
+def test_findings_sorted_by_path_line_col_rule(tmp_path):
+    (tmp_path / "b.py").write_text("import random\nimport uuid\n")
+    (tmp_path / "a.py").write_text("import time\n")
+    result = run_lint(paths=[tmp_path], rules=[get_rule("DET001")])
+    keys = [(f.path, f.line, f.col, f.rule) for f in result.findings]
+    assert keys == sorted(keys)
+    assert result.files_scanned == 2
+
+
+def test_lint_result_exit_code_gates_on_active_only():
+    f_active = Finding("DET001", "error", "x.py", 1, 0, "m")
+    f_supp = Finding("DET001", "error", "x.py", 2, 0, "m", suppressed=True)
+    f_base = Finding("DET001", "error", "x.py", 3, 0, "m", baselined=True)
+    assert LintResult([f_supp, f_base], 1, ()).exit_code == 0
+    assert LintResult([f_supp, f_active], 1, ()).exit_code == 1
+
+
+# ----------------------------------------------------------------------
+# path semantics
+# ----------------------------------------------------------------------
+def test_missing_path_raises_lint_path_error(tmp_path):
+    with pytest.raises(LintPathError, match="no such file or directory"):
+        collect_files([tmp_path / "does-not-exist"])
+
+
+def test_collect_files_dedups_and_sorts(tmp_path):
+    a = tmp_path / "a.py"
+    b = tmp_path / "b.py"
+    a.write_text("")
+    b.write_text("")
+    files = collect_files([b, tmp_path, a])
+    assert files == [a, b]
+
+
+def test_module_info_package_for_src_repro(tmp_path):
+    root = tmp_path
+    target = root / "src" / "repro" / "sim" / "rng.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import random\n")
+    mod = ModuleInfo.parse(target, root=root)
+    assert mod.package == ("sim", "rng")
+    assert mod.display == "src/repro/sim/rng.py"
+
+
+def test_module_info_package_none_outside_src(tmp_path):
+    mod = _module(tmp_path, "x = 1\n")
+    assert mod.package is None
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    path = str(tmp_path / "LINT_BASELINE.json")
+    f = Finding("DET001", "error", "src/repro/x.py", 7, 0, "m")
+    doc = write_baseline(path, [f])
+    assert doc["entries"][0]["rule"] == "DET001"
+    entries = load_baseline(path)
+    assert [(e.rule, e.path) for e in entries] == [
+        ("DET001", "src/repro/x.py")
+    ]
+
+
+def test_baselined_finding_does_not_gate(tmp_path):
+    mod_path = tmp_path / "hazard.py"
+    mod_path.write_text("import random\n")
+    baseline = tmp_path / "base.json"
+    display = ModuleInfo.parse(mod_path, root=tmp_path).display
+    write_baseline(
+        str(baseline),
+        [Finding("DET001", "error", display, 1, 0, "m")],
+    )
+    result = run_lint(paths=[mod_path], root=tmp_path,
+                      baseline_path=str(baseline),
+                      rules=[get_rule("DET001")])
+    assert result.exit_code == 0
+    assert len(result.baselined) == 1
+
+
+def test_baseline_refresh_keeps_grandfathered_findings(tmp_path):
+    """--fix-baseline must not silently un-grandfather still-firing
+    findings just because the old baseline masked them."""
+    f = Finding("DET001", "error", "x.py", 1, 0, "m", baselined=True)
+    path = str(tmp_path / "b.json")
+    doc = write_baseline(path, [f], keep={("DET001", "x.py"): "kept note"})
+    assert doc["entries"] == [
+        {"rule": "DET001", "path": "x.py", "note": "kept note"}
+    ]
+
+
+def test_baseline_refresh_drops_suppressed_findings(tmp_path):
+    f = Finding("DET001", "error", "x.py", 1, 0, "m", suppressed=True)
+    doc = write_baseline(str(tmp_path / "b.json"), [f])
+    assert doc["entries"] == []
+
+
+def test_baseline_entry_without_note_rejected(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({
+        "schema": "repro.lint-baseline",
+        "schema_version": 1,
+        "entries": [{"rule": "DET001", "path": "x.py", "note": "  "}],
+    }))
+    with pytest.raises(BaselineError, match="note"):
+        load_baseline(str(path))
+
+
+def test_baseline_wrong_schema_rejected(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({"schema": "other", "schema_version": 1,
+                                "entries": []}))
+    with pytest.raises(BaselineError, match="schema"):
+        load_baseline(str(path))
+
+
+def test_missing_baseline_grandfathers_nothing(tmp_path):
+    assert load_baseline(str(tmp_path / "absent.json")) == []
+
+
+def test_shipped_baseline_is_empty():
+    """Every true positive in the tree was fixed, not grandfathered."""
+    from repro.analysis.lint.runner import lint_repo_root
+
+    entries = load_baseline(str(lint_repo_root() / "LINT_BASELINE.json"))
+    assert entries == []

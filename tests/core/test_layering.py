@@ -2,82 +2,45 @@
 
 The point of `repro.core.ports` is that every layer above the kernel
 packages — `core.api`, the CLI, workloads, benches, observability,
-analysis — reaches a backend only through the registry.  This test
-makes the rule mechanical: no module under ``src/repro`` may import
-``repro.charlotte`` / ``repro.soda`` / ``repro.chrysalis`` /
-``repro.ideal`` internals *at module level* unless it is either
-
-* inside that kernel's own package, or
-* per-kernel glue whose filename declares the kernel it binds
-  (``repro/linda/soda_adapter.py`` may import ``repro.soda``).
-
-Function-level lazy imports (the registry's factories, the raw
-baselines) are the sanctioned escape hatch and are not flagged —
-they run only after a profile lookup has chosen the backend.
+analysis — reaches a backend only through the registry.  The rule
+itself now lives in the lint pass (`repro.analysis.lint` rule LAY001,
+also enforced by CI via ``python -m repro lint``); this test pins the
+tree to it and keeps the rule's own contract honest, with no AST
+walker of its own.
 """
 
-import ast
 from pathlib import Path
 
-from repro.core.ports import registered_kernels
+from repro.analysis.lint import ModuleInfo, get_rule
+from repro.analysis.lint.core import lint_modules
 
-SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
-
-
-def _module_level_imports(tree: ast.Module):
-    """Top-level Import/ImportFrom nodes, including ones nested in
-    module-level ``if``/``try`` blocks (e.g. TYPE_CHECKING guards are
-    module-level too — typing-only cycles still count as layering)."""
-    todo = list(tree.body)
-    while todo:
-        node = todo.pop()
-        if isinstance(node, (ast.Import, ast.ImportFrom)):
-            yield node
-        elif isinstance(node, (ast.If, ast.Try)):
-            todo.extend(ast.iter_child_nodes(node))
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
 
 
-def _imported_kernel(node, kernels):
-    names = []
-    if isinstance(node, ast.ImportFrom):
-        names = [node.module or ""]
-    else:
-        names = [alias.name for alias in node.names]
-    for name in names:
-        parts = name.split(".")
-        if len(parts) >= 2 and parts[0] == "repro" and parts[1] in kernels:
-            return parts[1]
-    return None
+def _lay001(paths, root=None):
+    modules = [ModuleInfo.parse(p, root=root) for p in paths]
+    return lint_modules(modules, rules=[get_rule("LAY001")])
 
 
 def test_no_module_level_kernel_imports_outside_kernel_packages():
-    kernels = set(registered_kernels())
-    violations = []
-    for path in sorted(SRC.rglob("*.py")):
-        rel = path.relative_to(SRC)
-        if rel.parts[0] in kernels:
-            continue  # the kernel's own package
-        tree = ast.parse(path.read_text())
-        for node in _module_level_imports(tree):
-            kernel = _imported_kernel(node, kernels)
-            if kernel is None:
-                continue
-            if kernel in path.stem:
-                continue  # declared per-kernel glue (e.g. soda_adapter)
-            violations.append(f"{rel}:{node.lineno} imports repro.{kernel}")
-    assert not violations, (
+    result = _lay001(sorted(SRC.rglob("*.py")), root=REPO)
+    assert not result.active, (
         "modules must reach kernels via repro.core.ports, not direct "
-        "module-level imports:\n" + "\n".join(violations)
+        "module-level imports:\n"
+        + "\n".join(f.location() for f in result.active)
     )
 
 
-def test_type_checking_guard_is_not_an_escape_hatch():
-    """The walker above must see inside `if TYPE_CHECKING:` blocks."""
-    tree = ast.parse(
+def test_type_checking_guard_is_not_an_escape_hatch(tmp_path):
+    """LAY001 must see inside `if TYPE_CHECKING:` blocks — a
+    typing-only cycle still counts as layering."""
+    mod = tmp_path / "guard.py"
+    mod.write_text(
         "from typing import TYPE_CHECKING\n"
         "if TYPE_CHECKING:\n"
         "    from repro.soda.kernel import SodaKernel\n"
     )
-    found = [n for n in _module_level_imports(tree)
-             if _imported_kernel(n, {"soda"})]
-    assert found
+    result = _lay001([mod])
+    assert result.fired() == {"LAY001"}
+    assert result.findings[0].line == 3
