@@ -4,7 +4,7 @@
 
 Validates
 
-  - ``BENCH_PR1.json`` (and any other ``BENCH_*.json`` at the repo
+  - ``BENCH_PR6.json`` (and any other ``BENCH_*.json`` at the repo
     root): schema "repro.bench", ``schema_version`` equal to the code's
     ``BENCH_SCHEMA_VERSION``, and the exact top-level / per-bench key
     structure recorded in ``tests/obs/golden_bench_schema.json``
@@ -13,6 +13,11 @@ Validates
   - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
     ``name`` field matching the file name, and rows shaped like the
     header;
+  - the ``bench --compare`` report: when two or more ``BENCH_*.json``
+    baselines exist (the perf trajectory), the oldest and newest are
+    diffed with `repro.obs.compare.compare_files` and the resulting
+    report must match ``tests/obs/golden_compare_schema.json`` — the
+    compare format cannot drift without a golden update either;
   - ``LINT_BASELINE.json``: schema "repro.lint-baseline" version 1,
     every entry naming a registered lint rule and carrying a
     non-empty justifying ``note`` (docs/LINT.md).
@@ -117,6 +122,56 @@ def check_table_doc(path: str, errors: List[str]) -> None:
                               f"{len(cols)}-column header")
 
 
+def check_compare_report(bench_docs: List[str], errors: List[str]) -> None:
+    """Diff the oldest committed baseline against the newest and hold
+    the report to the compare golden file."""
+    from repro.obs.compare import (
+        COMPARE_SCHEMA,
+        COMPARE_SCHEMA_VERSION,
+        CompareError,
+        compare_files,
+    )
+
+    golden_path = os.path.join(ROOT, "tests", "obs",
+                               "golden_compare_schema.json")
+    with open(golden_path) as fh:
+        golden = json.load(fh)
+    name = "bench --compare report"
+    if golden["schema_version"] != COMPARE_SCHEMA_VERSION:
+        errors.append(
+            f"{os.path.relpath(golden_path, ROOT)}: golden "
+            f"schema_version {golden['schema_version']} != code's "
+            f"{COMPARE_SCHEMA_VERSION} — update the golden file"
+        )
+    try:
+        report = compare_files(bench_docs[0], bench_docs[-1])
+    except CompareError as exc:
+        errors.append(f"{name}: {exc}")
+        return
+    if report["schema"] != COMPARE_SCHEMA != golden["schema"]:
+        errors.append(f"{name}: schema {report['schema']!r}")
+    if sorted(report) != golden["top_level"]:
+        errors.append(f"{name}: top-level keys {sorted(report)} != "
+                      f"{golden['top_level']}")
+        return
+    for side in ("old", "new"):
+        if sorted(report[side]) != golden["meta_keys"]:
+            errors.append(f"{name}: {side} meta keys "
+                          f"{sorted(report[side])} != {golden['meta_keys']}")
+    for bid, rows in report["benches"].items():
+        for metric, row in rows.items():
+            if sorted(row) != golden["row_keys"]:
+                errors.append(f"{name}: {bid}.{metric} row keys "
+                              f"{sorted(row)} != {golden['row_keys']}")
+                return
+            if row["direction"] not in golden["directions"]:
+                errors.append(f"{name}: {bid}.{metric} direction "
+                              f"{row['direction']!r} unknown")
+            if row["status"] not in golden["statuses"]:
+                errors.append(f"{name}: {bid}.{metric} status "
+                              f"{row['status']!r} unknown")
+
+
 def check_lint_baseline(path: str, errors: List[str]) -> None:
     from repro.analysis.lint import (
         BaselineError,
@@ -147,6 +202,8 @@ def main() -> int:
         errors.append("no BENCH_*.json baseline found at the repo root")
     for path in bench_docs:
         check_bench_doc(path, golden, errors)
+    if len(bench_docs) >= 2:
+        check_compare_report(bench_docs, errors)
 
     table_docs = sorted(glob.glob(os.path.join(OUT_DIR, "*.json")))
     if not table_docs:

@@ -203,17 +203,22 @@ class IdealCosts:
     """The ``ideal`` reference backend: no protocol, no interconnect —
     just the irreducible runtime work plus a token in-memory handoff.
     Deliberately *not* calibrated to any paper system; it is the lower
-    bound the three real kernels are compared against in E1/E13."""
+    bound the three real kernels are compared against in E1/E13, and it
+    tracks *this implementation's* hot-path cost.  Recalibrated in
+    PR 6 after the lazy-decode/slots/timer-wheel pass shrank the real
+    receive path (docs/PERFORMANCE.md has the before/after)."""
 
     #: handing a message to the peer's mailbox (one pointer move)
-    delivery_ms: float = 0.02
+    delivery_ms: float = 0.015
     runtime: RuntimeCosts = field(
         default_factory=lambda: RuntimeCosts(
-            gather_fixed_ms=0.01,
-            scatter_fixed_ms=0.01,
+            gather_fixed_ms=0.006,
+            # scatter is the lazy-decode leg: the receive path no
+            # longer walks the body eagerly
+            scatter_fixed_ms=0.006,
             per_byte_ms=0.0,
-            dispatch_ms=0.005,
-            per_enclosure_ms=0.005,
+            dispatch_ms=0.003,
+            per_enclosure_ms=0.003,
         )
     )
 

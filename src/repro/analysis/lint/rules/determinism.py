@@ -28,6 +28,8 @@ NONDETERMINISTIC_CALLS = frozenset({
     "time.time", "time.time_ns",
     "time.monotonic", "time.monotonic_ns",
     "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
     "time.sleep",
     "datetime.now", "datetime.utcnow", "datetime.today",
     "datetime.datetime.now", "datetime.datetime.utcnow",

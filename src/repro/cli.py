@@ -30,6 +30,7 @@ from repro.analysis.complexity import (
 )
 from repro.analysis.report import Table
 from repro.core.api import kernel_profile, kernel_profiles, registered_kernels
+from repro.obs import compare as compare_mod
 from repro.obs.bench import BENCH_IDS
 
 
@@ -198,6 +199,8 @@ def _cmd_linda(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.obs.bench import run_benches, write_bench_json
 
+    if args.compare is not None:
+        return _bench_compare(args)
     try:
         results = run_benches(bench_ids=args.only, seed=args.seed,
                               quick=args.quick)
@@ -219,6 +222,35 @@ def _cmd_bench(args) -> int:
     t.show()
     print(f"wrote {path} (git_rev={doc['git_rev']})")
     return 0
+
+
+def _bench_compare(args) -> int:
+    """``bench --compare OLD NEW``: diff two BENCH_*.json documents and
+    gate on regression (exit 1).  Does not run any benchmark."""
+    import json as _json
+
+    from repro.obs.compare import CompareError, compare_files, render_report
+
+    old_path, new_path = args.compare
+    try:
+        report = compare_files(
+            old_path, new_path,
+            threshold=args.threshold,
+            wall_threshold=args.wall_threshold,
+        )
+    except CompareError as exc:
+        print(f"repro bench --compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json is not None:
+        payload = _json.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+    if args.json != "-":
+        print(render_report(report))
+    return 1 if report["status"] == "regression" else 0
 
 
 def _trace_graph(args):
@@ -502,11 +534,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smoke-test iteration counts (same schema)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
-                   help="output path (default: BENCH_PR1.json at the "
+                   help="output path (default: BENCH_PR6.json at the "
                         "repo root; '-' writes the JSON to stdout)")
     p.add_argument("--only", nargs="+", metavar="BENCH", type=str.upper,
                    help=f"subset of {' '.join(BENCH_IDS)} "
                         "(unknown names exit 2)")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                   default=None,
+                   help="diff two BENCH_*.json documents instead of "
+                        "running benchmarks; exits 1 on regression "
+                        "(docs/PERFORMANCE.md)")
+    p.add_argument("--threshold", type=float,
+                   default=compare_mod.DEFAULT_THRESHOLD,
+                   help="fractional regression gate for simulated "
+                        "metrics (default %(default)s)")
+    p.add_argument("--wall-threshold", type=float,
+                   default=compare_mod.DEFAULT_WALL_THRESHOLD,
+                   help="gate for wall-clock (machine-dependent) "
+                        "metrics (default %(default)s)")
+    p.add_argument("--json", default=None, metavar="OUT",
+                   help="with --compare: write the repro.bench-compare "
+                        "report JSON ('-' for stdout)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(

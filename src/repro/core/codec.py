@@ -16,12 +16,25 @@ Encoding is deliberately simple and fixed (struct-packed, no per-value
 tags): both sides already agreed on the signature via the header's
 sighash, so a mismatch surfaces as `TypeClash` before decode is
 attempted.
+
+Two decode entry points exist:
+
+* `unmarshal` — eager: walk the whole payload now, return a tuple.
+* `lazy_unmarshal` — the hot-path variant (receive paths in
+  `repro.core.runtime`): enclosed link ends are still adopted eagerly
+  (end movement is a protocol obligation, §2.1 — it must happen at
+  receipt whether or not the body is ever read), but the *body* walk is
+  deferred until the first element access on the returned `LazyValues`.
+  A receiver that never touches the values never pays for the decode;
+  a malformed body raises `ProtocolViolation` at first access instead
+  of at receive time.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, List, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.exceptions import ProtocolViolation
 from repro.core.links import EndRef
@@ -131,15 +144,9 @@ def marshal(
     return b"".join(out), encs
 
 
-def unmarshal(
-    types: Sequence[LynxType],
-    payload: bytes,
-    enclosures: Sequence[EndRef],
-    link_factory: Callable[[EndRef], Any],
+def _decode_all(
+    types: Sequence[LynxType], payload: bytes, handles: Sequence[Any]
 ) -> Tuple[Any, ...]:
-    """Decode a payload.  ``link_factory`` turns each received `EndRef`
-    into a user handle owned by the receiving process."""
-    handles = [link_factory(ref) for ref in enclosures]
     values = []
     pos = 0
     for t in types:
@@ -150,6 +157,100 @@ def unmarshal(
             f"trailing garbage: decoded {pos} of {len(payload)} bytes"
         )
     return tuple(values)
+
+
+def unmarshal(
+    types: Sequence[LynxType],
+    payload: bytes,
+    enclosures: Sequence[EndRef],
+    link_factory: Callable[[EndRef], Any],
+) -> Tuple[Any, ...]:
+    """Decode a payload.  ``link_factory`` turns each received `EndRef`
+    into a user handle owned by the receiving process."""
+    handles = [link_factory(ref) for ref in enclosures]
+    return _decode_all(types, payload, handles)
+
+
+class LazyValues(Sequence):
+    """A decoded-on-first-access value tuple.
+
+    Quacks like the tuple `unmarshal` returns — indexing, iteration,
+    ``len``, unpacking and ``==`` against tuples/lists all work — but
+    the payload walk runs only when an element is first needed.
+    ``len`` comes from the signature, so even it does not force a
+    decode.  Equality and ``repr`` of an un-forced instance stay lazy
+    only where they can (``==`` must force; ``repr`` does not).
+
+    A malformed body therefore raises `ProtocolViolation` at first
+    access, in the accessing thread — not at receive time.  The sighash
+    handshake (module docstring) means a mismatched body can only come
+    from corruption, so receive paths no longer pay decode for traffic
+    whose values the application ignores.
+    """
+
+    __slots__ = ("_types", "_payload", "_handles", "_values")
+
+    def __init__(
+        self,
+        types: Sequence[LynxType],
+        payload: bytes,
+        handles: Sequence[Any],
+    ) -> None:
+        self._types = types
+        self._payload = payload
+        self._handles = handles
+        self._values: Optional[Tuple[Any, ...]] = None
+
+    @property
+    def decoded(self) -> bool:
+        """True once the body walk has run (test/observability hook)."""
+        return self._values is not None
+
+    def _force(self) -> Tuple[Any, ...]:
+        values = self._values
+        if values is None:
+            values = _decode_all(self._types, self._payload, self._handles)
+            self._values = values
+        return values
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __iter__(self):
+        return iter(self._force())
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, LazyValues):
+            return self._force() == other._force()
+        if isinstance(other, (tuple, list)):
+            return self._force() == tuple(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable cache -> unhashable, like list
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._values is None:
+            return f"<LazyValues undecoded n={len(self._types)}>"
+        return f"<LazyValues {self._values!r}>"
+
+
+def lazy_unmarshal(
+    types: Sequence[LynxType],
+    payload: bytes,
+    enclosures: Sequence[EndRef],
+    link_factory: Callable[[EndRef], Any],
+) -> LazyValues:
+    """Like `unmarshal`, but defer the body walk to first access.
+
+    Enclosure adoption is *not* deferred: moving a link end changes
+    distributed ownership state and must happen at receipt (§2.1),
+    whether or not the receiver ever reads the body.
+    """
+    handles = [link_factory(ref) for ref in enclosures]
+    return LazyValues(types, payload, handles)
 
 
 def request_payload(op: Operation, args: Sequence[Any]) -> Tuple[bytes, List[EndRef]]:

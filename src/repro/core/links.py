@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.causal import SpanContext
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EndRef:
     """Global identity of one end of one link."""
 
@@ -80,7 +80,7 @@ class LinkEnd:
         return f"<LinkEnd {self.end_ref} of {self._runtime_name}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectWaiter:
     """A coroutine blocked in ``connect``, awaiting a reply."""
 
@@ -114,7 +114,7 @@ class ConnectWaiter:
 REPLY_CACHE_LIMIT = 512
 
 
-@dataclass
+@dataclass(slots=True)
 class EndState:
     """Everything the owning runtime tracks for one owned end."""
 

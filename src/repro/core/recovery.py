@@ -16,6 +16,12 @@ runtime-side decision, made concrete:
   either completes exactly once (duplicates are suppressed by
   `WireMessage` sequence numbers) or raises this; it never hangs and
   never silently duplicates.
+* `TimerWheel` — how the runtime *arms* those timeouts cheaply: all
+  timers due at the same simulated instant share one engine event
+  (one heap push per distinct deadline instead of one per timer).
+  Cancellation — the overwhelmingly common case, since most RPCs
+  complete long before their timeout — is an O(1) flag flip that
+  never touches the engine heap unless the whole bucket empties.
 
 Where the policy *applies* is a per-backend capability
 (`KernelCapabilities.recovery_placement`): ``"runtime"`` backends
@@ -29,11 +35,16 @@ unboundedly instead (see `repro.sim.faults`).  Install a policy with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.exceptions import RecoveryExhausted
 
-__all__ = ["RecoveryPolicy", "RecoveryExhausted"]
+__all__ = [
+    "RecoveryPolicy",
+    "RecoveryExhausted",
+    "TimerHandle",
+    "TimerWheel",
+]
 
 
 @dataclass(frozen=True)
@@ -74,3 +85,109 @@ class RecoveryPolicy:
         for attempt in range(1, self.max_retries + 1):
             total += self.timeout_ms * (self.backoff_factor ** attempt)
         return total
+
+
+class TimerHandle:
+    """One armed timer in a `TimerWheel`.
+
+    Interface-compatible with the `repro.sim.engine.Event` the runtime
+    used to hold directly: callers only ever ``cancel()`` it.
+    """
+
+    __slots__ = ("fn", "args", "cancelled", "_bucket")
+
+    def __init__(self, fn: Callable[..., Any], args: tuple,
+                 bucket: "_Bucket") -> None:
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._bucket = bucket
+
+    def cancel(self) -> None:
+        """Disarm.  Idempotent, O(1); releases the underlying engine
+        event once the last timer of its instant is cancelled."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._bucket.live -= 1
+        if self._bucket.live == 0:
+            self._bucket.release()
+
+
+class _Bucket:
+    """All timers of one wheel due at one exact simulated deadline."""
+
+    __slots__ = ("wheel", "deadline", "event", "handles", "live")
+
+    def __init__(self, wheel: "TimerWheel", deadline: float) -> None:
+        self.wheel = wheel
+        self.deadline = deadline
+        self.event: Any = None  # the single shared engine Event
+        self.handles: List[TimerHandle] = []
+        self.live = 0
+
+    def release(self) -> None:
+        self.wheel._buckets.pop(self.deadline, None)
+        if self.event is not None:
+            self.event.cancel()
+
+
+class TimerWheel:
+    """Batches same-deadline timers behind one engine event each.
+
+    Recovery timeouts are armed in droves and cancelled almost always
+    (an RPC that completes cancels its timer); scheduling each one as
+    its own engine event made the heap — and every subsequent push and
+    pop — pay for timers that would never fire.  The wheel keeps an
+    insertion-ordered bucket per *exact* deadline, so firing order
+    among wheel timers is identical to the engine's (time, insertion)
+    order and simulated timings are bit-for-bit unchanged (the
+    equivalence test in ``tests/core/test_timer_wheel.py`` holds a
+    seeded chaos run to that).
+
+    ``passthrough=True`` forwards every ``schedule`` straight to the
+    engine (the pre-wheel behavior) — the reference arm of the
+    equivalence test, and a chicken switch.
+    """
+
+    __slots__ = ("engine", "passthrough", "_buckets")
+
+    def __init__(self, engine: Any, passthrough: bool = False) -> None:
+        self.engine = engine
+        self.passthrough = passthrough
+        self._buckets: Dict[float, _Bucket] = {}
+
+    def schedule(self, delay_ms: float, fn: Callable[..., Any],
+                 *args: Any) -> Any:
+        """Arm ``fn(*args)`` to fire ``delay_ms`` from now; returns a
+        handle with ``.cancel()`` (a `TimerHandle`, or a raw engine
+        `Event` in passthrough mode)."""
+        if self.passthrough:
+            return self.engine.schedule(delay_ms, fn, *args)
+        if delay_ms < 0:
+            # surface the same error the engine would
+            return self.engine.schedule(delay_ms, fn, *args)
+        deadline = self.engine.now + delay_ms
+        bucket = self._buckets.get(deadline)
+        if bucket is None:
+            bucket = _Bucket(self, deadline)
+            self._buckets[deadline] = bucket
+            bucket.event = self.engine.schedule_at(
+                deadline, self._fire, bucket
+            )
+        handle = TimerHandle(fn, args, bucket)
+        bucket.handles.append(handle)
+        bucket.live += 1
+        return handle
+
+    def _fire(self, bucket: _Bucket) -> None:
+        self._buckets.pop(bucket.deadline, None)
+        for handle in bucket.handles:
+            if not handle.cancelled:
+                handle.cancelled = True  # fired == spent
+                handle.fn(*handle.args)
+
+    @property
+    def pending(self) -> int:
+        """Armed, not-yet-fired, not-cancelled timers (introspection)."""
+        return sum(b.live for b in self._buckets.values())

@@ -66,6 +66,7 @@ from repro.core.links import (
     LinkEnd,
 )
 from repro.core.program import Incoming
+from repro.core.recovery import TimerWheel
 from repro.core.threads import LynxThread, ThreadState
 from repro.core.types import Operation
 from repro.core.wire import ExceptionCode, MsgKind, WireMessage
@@ -115,6 +116,9 @@ class LynxRuntimeBase:
         #: jitter stream for recovery backoff, derived lazily so
         #: fault-free runs draw nothing
         self._recovery_rng = None
+        #: recovery timeouts batch same-deadline timers behind one
+        #: engine event; see repro.core.recovery.TimerWheel
+        self.timers = TimerWheel(self.engine)
 
     # ==================================================================
     # kernel-specific transport hooks (overridden by kernel runtimes);
@@ -756,7 +760,11 @@ class LynxRuntimeBase:
                 scatter_t0, self.engine.now,
             )
         try:
-            results = codec.unmarshal(
+            # lazy: enclosed ends adopt now (§2.1), the body walk runs
+            # only if the connector reads the results — a corrupt body
+            # raises ProtocolViolation there, not here (sighash already
+            # screened signature mismatch at the header)
+            results = codec.lazy_unmarshal(
                 waiter.op.reply,
                 msg.payload,
                 msg.enclosures,
@@ -796,7 +804,9 @@ class LynxRuntimeBase:
                 scatter_t0, self.engine.now,
             )
         try:
-            args = codec.unmarshal(
+            # lazy: see _consume_reply — adoption is eager, the body
+            # walk defers to the server thread's first args access
+            args = codec.lazy_unmarshal(
                 op.request, msg.payload, msg.enclosures, self._adopt_link_factory(msg)
             )
         except LynxError:
@@ -989,7 +999,7 @@ class LynxRuntimeBase:
             return
         if waiter.request.enclosures:
             return
-        waiter.recovery_timer = self.engine.schedule(
+        waiter.recovery_timer = self.timers.schedule(
             policy.timeout_ms, self._recovery_fire, es, waiter
         )
 
@@ -1039,7 +1049,7 @@ class LynxRuntimeBase:
         self._emit_fault_span(waiter.request, "runtime", f"retry-{waiter.retries}")
         # the retransmission passes through the fault plane again
         self._spawn_send(es, clone, self._transmit_request, 0.0)
-        waiter.recovery_timer = self.engine.schedule(
+        waiter.recovery_timer = self.timers.schedule(
             policy.backoff_ms(waiter.retries, self._recovery_jitter_rng()),
             self._recovery_fire,
             es,
@@ -1065,7 +1075,7 @@ class LynxRuntimeBase:
             if attempt == 0
             else policy.backoff_ms(attempt, self._recovery_jitter_rng())
         )
-        self.engine.schedule(delay, self._reply_recovery_fire, es, msg, attempt)
+        self.timers.schedule(delay, self._reply_recovery_fire, es, msg, attempt)
 
     def _reply_recovery_fire(
         self, es: EndState, msg: WireMessage, attempt: int

@@ -64,9 +64,11 @@ class ExceptionCode(enum.Enum):
     LINK_DESTROYED = "link-destroyed"
 
 
-@dataclass
+@dataclass(slots=True)
 class WireMessage:
-    """One runtime-level message.
+    """One runtime-level message.  Slotted: tens of thousands are built
+    per benchmark run, and the per-instance ``__dict__`` showed up in
+    the dispatch profile (docs/PERFORMANCE.md).
 
     ``enclosures`` lists the link ends moved by this message, in the
     order they appear in the payload.  For transports that cannot carry

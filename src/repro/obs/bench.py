@@ -43,7 +43,7 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 from repro.obs.jsonl import json_safe
 
 BENCH_SCHEMA_VERSION = 4
-DEFAULT_BENCH_FILENAME = "BENCH_PR1.json"
+DEFAULT_BENCH_FILENAME = "BENCH_PR6.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
 E4_SWEEP_QUICK = (0, 1024, 2048)
@@ -354,7 +354,7 @@ def write_bench_json(
     quick: bool = False,
 ) -> Tuple[Dict[str, object], str]:
     """Wrap ``results`` in the versioned envelope and write it (default:
-    ``BENCH_PR1.json`` at the repo root; ``"-"`` writes to stdout).
+    ``BENCH_PR6.json`` at the repo root; ``"-"`` writes to stdout).
     Returns (document, path)."""
     if path is None:
         path = os.path.join(repo_root(), DEFAULT_BENCH_FILENAME)

@@ -63,16 +63,17 @@ _LAYER_PRIORITY = {name: i for i, name in enumerate(LAYERS)}
 GAP_LAYER = "runtime"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanContext:
-    """The causal identity piggybacked on wire messages."""
+    """The causal identity piggybacked on wire messages.  Slotted: one
+    rides on every `WireMessage` when tracing is on."""
 
     trace_id: int
     span_id: int
     parent_id: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """One completed span, as parsed back out of a trace record."""
 
@@ -178,7 +179,7 @@ class SpanTracker:
 
 
 #: one attributed segment of a critical path
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathSegment:
     t0: float
     t1: float

@@ -1,0 +1,240 @@
+"""repro.obs.compare — the BENCH_*.json perf-regression diff.
+
+``python -m repro bench --compare OLD.json NEW.json`` turns two bench
+documents (the `repro.bench` envelope written by
+`repro.obs.bench.write_bench_json`) into one schema-versioned report:
+per-metric deltas, each classified against a configurable regression
+threshold, plus an overall verdict.  The CI ``perf`` job runs exactly
+this against the committed baseline, so a PR that slows the hot path
+fails before it merges (docs/PERFORMANCE.md).
+
+Classification rules — derived from the metric *name*, so new bench
+metrics are gated the moment they exist:
+
+* ``*_ms`` metrics are latencies: **lower is better**.
+* ``*_per_s`` / ``*_per_sec`` metrics are rates: **higher is better**.
+* Everything else (counts, shares, ratios, ``crossover_bytes``) is
+  reported as ``info`` and never gates.
+* **Wall-clock metrics** (``engine_events_per_sec`` and the
+  ``rpc_sim_wall_ms_*`` family — S1 measures real seconds) get their
+  own, much looser ``--wall-threshold``: they are machine- and
+  load-dependent, unlike every simulated quantity, which is exactly
+  reproducible and gated tightly.
+* When the two documents were produced in different modes
+  (``quick`` differs), only *iteration-invariant* metrics still gate:
+  simulated per-operation latencies (identical at any repetition
+  count) and the wall-clock family.  Iteration-shaped quantities (the
+  E14 partition window differs between modes, counts scale with the
+  workload) degrade to ``info`` instead of raising false alarms —
+  this is what lets CI compare its quick run against the committed
+  full-mode baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+COMPARE_SCHEMA = "repro.bench-compare"
+COMPARE_SCHEMA_VERSION = 1
+
+#: default fractional regression threshold for simulated metrics
+DEFAULT_THRESHOLD = 0.10
+#: default threshold for wall-clock (machine-dependent) metrics
+DEFAULT_WALL_THRESHOLD = 0.50
+
+_BENCH_SCHEMA = "repro.bench"
+
+
+class CompareError(ValueError):
+    """A document could not be loaded or is not a repro.bench export."""
+
+
+def load_bench_doc(path: str) -> Dict[str, Any]:
+    """Read and structurally validate one BENCH_*.json document."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise CompareError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CompareError(f"{path} is not JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != _BENCH_SCHEMA:
+        raise CompareError(
+            f"{path} is not a {_BENCH_SCHEMA} document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    if not isinstance(doc.get("benches"), dict):
+        raise CompareError(f"{path} has no 'benches' mapping")
+    return doc
+
+
+def is_wall_metric(name: str) -> bool:
+    """True for metrics measured in real host time (S1 family)."""
+    return name == "engine_events_per_sec" or name.startswith("rpc_sim_wall_ms_")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` / ``"higher"`` is better, or ``"info"`` (ungated)."""
+    if name.endswith("_ms") or name.startswith("rpc_sim_wall_ms_"):
+        return "lower"
+    if name.endswith("_per_s") or name.endswith("_per_sec"):
+        return "higher"
+    return "info"
+
+
+def _gates_in_mixed_mode(name: str) -> bool:
+    """Iteration-invariant metrics: still gated when one document is
+    ``--quick`` and the other is not."""
+    if is_wall_metric(name):
+        return True
+    # simulated per-op latencies are repetition-count-independent; the
+    # E14 chaos metrics are not (its partition window differs by mode)
+    return name.endswith("_ms") and "goodput" not in name and "rtt" not in name
+
+
+def _meta(doc: Dict[str, Any], path: str) -> Dict[str, Any]:
+    return {
+        "path": path,
+        "git_rev": doc.get("git_rev"),
+        "schema_version": doc.get("schema_version"),
+        "quick": bool(doc.get("quick")),
+        "timestamp": doc.get("timestamp"),
+        "seed": doc.get("seed"),
+    }
+
+
+def compare_docs(
+    old_doc: Dict[str, Any],
+    new_doc: Dict[str, Any],
+    old_path: str = "<old>",
+    new_path: str = "<new>",
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> Dict[str, Any]:
+    """Diff two loaded bench documents into a compare report dict."""
+    mixed_mode = bool(old_doc.get("quick")) != bool(new_doc.get("quick"))
+    benches: Dict[str, Dict[str, Any]] = {}
+    regressions: List[str] = []
+    improvements: List[str] = []
+
+    all_bids = sorted(set(old_doc["benches"]) | set(new_doc["benches"]))
+    for bid in all_bids:
+        old_metrics = old_doc["benches"].get(bid, {})
+        new_metrics = new_doc["benches"].get(bid, {})
+        rows: Dict[str, Any] = {}
+        for name in sorted(set(old_metrics) | set(new_metrics)):
+            old_v = old_metrics.get(name)
+            new_v = new_metrics.get(name)
+            direction = metric_direction(name)
+            wall = is_wall_metric(name)
+            gated = direction != "info" and (
+                not mixed_mode or _gates_in_mixed_mode(name)
+            )
+            delta: Optional[float] = None
+            status = "info"
+            if (
+                isinstance(old_v, (int, float))
+                and isinstance(new_v, (int, float))
+                and old_v
+            ):
+                delta = (new_v - old_v) / abs(old_v)
+                if gated:
+                    limit = wall_threshold if wall else threshold
+                    # signed delta that is "worse" for this direction
+                    worse = delta if direction == "lower" else -delta
+                    if worse > limit:
+                        status = "regression"
+                        regressions.append(f"{bid}.{name}")
+                    elif worse < -limit:
+                        status = "improvement"
+                        improvements.append(f"{bid}.{name}")
+                    else:
+                        status = "ok"
+            rows[name] = {
+                "old": old_v,
+                "new": new_v,
+                "delta_frac": delta,
+                "direction": direction,
+                "wall": wall,
+                "status": status,
+            }
+        benches[bid] = rows
+
+    return {
+        "schema": COMPARE_SCHEMA,
+        "schema_version": COMPARE_SCHEMA_VERSION,
+        "old": _meta(old_doc, old_path),
+        "new": _meta(new_doc, new_path),
+        "threshold": threshold,
+        "wall_threshold": wall_threshold,
+        "mixed_mode": mixed_mode,
+        "benches": benches,
+        "regressions": regressions,
+        "improvements": improvements,
+        "status": "regression" if regressions else "ok",
+    }
+
+
+def compare_files(
+    old_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> Dict[str, Any]:
+    """`load_bench_doc` both paths and `compare_docs` them."""
+    return compare_docs(
+        load_bench_doc(old_path),
+        load_bench_doc(new_path),
+        old_path=old_path,
+        new_path=new_path,
+        threshold=threshold,
+        wall_threshold=wall_threshold,
+    )
+
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_report(report: Dict[str, Any], verbose: bool = False) -> str:
+    """The human-readable report: gated rows (plus every non-``ok``
+    row), one line per metric, then the verdict."""
+    lines = [
+        f"bench compare: {report['old']['path']} "
+        f"(rev {str(report['old']['git_rev'])[:8]}, "
+        f"{'quick' if report['old']['quick'] else 'full'}) -> "
+        f"{report['new']['path']} "
+        f"(rev {str(report['new']['git_rev'])[:8]}, "
+        f"{'quick' if report['new']['quick'] else 'full'})",
+        f"threshold {report['threshold']:.0%}"
+        f" (wall-clock {report['wall_threshold']:.0%})"
+        + (", mixed quick/full: iteration-shaped metrics not gated"
+           if report["mixed_mode"] else ""),
+        f"{'bench':<6}{'metric':<34}{'old':>12}{'new':>12}"
+        f"{'delta':>9}  status",
+    ]
+    for bid, rows in report["benches"].items():
+        for name, row in rows.items():
+            interesting = row["status"] in ("regression", "improvement")
+            if not verbose and not interesting and row["direction"] == "info":
+                continue
+            delta = row["delta_frac"]
+            lines.append(
+                f"{bid:<6}{name:<34}{_fmt(row['old']):>12}"
+                f"{_fmt(row['new']):>12}"
+                f"{('%+.1f%%' % (delta * 100)) if delta is not None else '-':>9}"
+                f"  {row['status']}{' (wall)' if row['wall'] else ''}"
+            )
+    n_reg, n_imp = len(report["regressions"]), len(report["improvements"])
+    lines.append(
+        f"result: {report['status'].upper()} — "
+        f"{n_reg} regression(s), {n_imp} improvement(s)"
+    )
+    for name in report["regressions"]:
+        lines.append(f"  REGRESSED {name}")
+    return "\n".join(lines)

@@ -35,7 +35,7 @@ TRACE_SCHEMA_VERSION = 2
 SUPPORTED_TRACE_SCHEMA_VERSIONS = (1, 2)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     time: float
     actor: str

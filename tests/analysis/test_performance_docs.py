@@ -1,0 +1,121 @@
+"""docs/PERFORMANCE.md is a contract: every symbol, CLI flag and
+metric named in its tables must exist in the code, the `bench`
+parser, or the committed baselines, and the before/after table must
+match what `BENCH_PR1.json` / `BENCH_PR6.json` actually say — so the
+performance book cannot drift from the hot path it describes."""
+
+import fnmatch
+import json
+import re
+from pathlib import Path
+
+from repro.obs.bench import DEFAULT_BENCH_FILENAME
+from repro.obs.compare import DEFAULT_THRESHOLD, DEFAULT_WALL_THRESHOLD
+
+ROOT = Path(__file__).resolve().parents[2]
+DOC = ROOT / "docs" / "PERFORMANCE.md"
+CLI = ROOT / "src" / "repro" / "cli.py"
+CODE_DIRS = ("src", "tests", "examples", "benchmarks")
+
+
+def _codebase_blob() -> str:
+    chunks = []
+    for d in CODE_DIRS:
+        for path in (ROOT / d).rglob("*.py"):
+            chunks.append(path.read_text())
+    return "\n".join(chunks)
+
+
+def _bench_keys() -> set:
+    keys = set()
+    for name in ("BENCH_PR1.json", "BENCH_PR6.json"):
+        with open(ROOT / name) as fh:
+            for bench in json.load(fh)["benches"].values():
+                keys.update(bench)
+    return keys
+
+
+def _documented_names() -> set:
+    """Backticked tokens from the first column of every table row."""
+    names = set()
+    for line in DOC.read_text().splitlines():
+        if not line.startswith("| `"):
+            continue
+        first_cell = line.split("|")[1]
+        names.update(re.findall(r"`([^`]+)`", first_cell))
+    return names
+
+
+def test_doc_exists_and_every_documented_name_resolves():
+    assert DOC.exists()
+    blob = _codebase_blob()
+    cli_src = CLI.read_text()
+    bench_keys = _bench_keys()
+    strip = re.compile(r"[^\w.*-]")  # `--compare OLD NEW` -> `--compare`
+    missing = []
+    for name in sorted(_documented_names()):
+        symbol = strip.split(name)[0]
+        if not symbol:
+            continue
+        if symbol.startswith("--"):
+            ok = symbol in cli_src
+        elif "*" in symbol:
+            ok = any(fnmatch.fnmatch(k, symbol) for k in bench_keys)
+        elif symbol in bench_keys:
+            ok = True
+        else:
+            ok = symbol.lstrip("-_") in blob or symbol in blob
+        if not ok:
+            missing.append(name)
+    assert not missing, f"documented but absent from the code: {missing}"
+
+
+def test_doc_covers_every_compare_flag_and_the_defaults():
+    text = DOC.read_text()
+    for flag in ("--compare", "--threshold", "--wall-threshold", "--json"):
+        assert flag in text, f"compare flag {flag} missing from the doc"
+        assert flag in CLI.read_text()
+    # documented defaults match the shipped ones
+    assert f"{DEFAULT_THRESHOLD:.2f}" in text
+    assert f"{DEFAULT_WALL_THRESHOLD:.2f}" in text
+
+
+def test_before_after_table_matches_the_committed_baselines():
+    """Each `| metric | bench | old | new | ... |` row must agree with
+    the two committed baseline documents (to the table's precision)."""
+    docs = {}
+    for name in ("BENCH_PR1.json", "BENCH_PR6.json"):
+        with open(ROOT / name) as fh:
+            docs[name] = json.load(fh)["benches"]
+    rows = 0
+    for line in DOC.read_text().splitlines():
+        m = re.match(
+            r"\| `([\w]+)` \| (E\d+|S1) \| ([\d,.]+) \| ([\d,.]+) \|", line
+        )
+        if not m:
+            continue
+        metric, bench, old_s, new_s = m.groups()
+        rows += 1
+        for doc_name, shown in (("BENCH_PR1.json", old_s),
+                                ("BENCH_PR6.json", new_s)):
+            actual = docs[doc_name][bench][metric]
+            stated = float(shown.replace(",", ""))
+            assert abs(stated - actual) <= max(abs(actual) * 0.01, 5e-4), (
+                f"{metric}: doc says {stated}, {doc_name} says {actual}"
+            )
+    assert rows >= 6, "the before/after table went missing"
+
+
+def test_doc_names_the_baselines_and_the_gate_tests():
+    text = DOC.read_text()
+    assert DEFAULT_BENCH_FILENAME in text  # BENCH_PR6.json, the baseline
+    assert "BENCH_PR1.json" in text        # the old trajectory point
+    assert "repro.bench-compare" in text
+    assert "test_ci_perf_gate_fails_a_deliberately_slowed_codec" in text
+    assert "passthrough=True" in text      # the chicken switch is documented
+    assert "ProtocolViolation" in text     # lazy decode's error timing
+
+
+def test_doc_is_linked_from_readme_and_api():
+    assert "PERFORMANCE.md" in (ROOT / "README.md").read_text()
+    assert "PERFORMANCE.md" in (ROOT / "docs" / "API.md").read_text()

@@ -105,3 +105,112 @@ def test_unicode_string_roundtrip_length():
     s = "ünïcödé-文字"
     (out,) = roundtrip((STR,), (s,))
     assert out == s
+
+
+# ----------------------------------------------------------------------
+# lazy decoding (`lazy_unmarshal` / `LazyValues`)
+# ----------------------------------------------------------------------
+def lazy_roundtrip(types, values):
+    payload, encs = codec.marshal(types, values)
+    return codec.lazy_unmarshal(types, payload, encs, lambda ref: LinkEnd(ref))
+
+
+def test_lazy_values_quack_like_the_eager_tuple():
+    types = (INT, REAL, BOOL, STR, BYTES)
+    values = (-42, 2.5, True, "héllo", b"\x00\xffdata")
+    lazy = lazy_roundtrip(types, values)
+    assert len(lazy) == 5          # from the signature, no decode
+    assert not lazy.decoded
+    assert lazy == values          # == forces
+    assert lazy.decoded
+    assert tuple(lazy) == values
+    assert lazy[0] == -42 and lazy[-1] == values[-1]
+    a, b, c, d, e = lazy           # unpacking
+    assert (a, b, c, d, e) == values
+
+
+def test_body_never_touched_is_never_decoded():
+    lazy = lazy_roundtrip((INT, STR), (7, "ignored"))
+    assert len(lazy) == 2
+    assert not lazy.decoded        # len() alone must not force the walk
+    repr(lazy)
+    assert not lazy.decoded        # neither may repr()
+
+
+def test_malformed_body_raises_at_access_not_receive():
+    payload, encs = codec.marshal((INT,), (1,))
+    lazy = codec.lazy_unmarshal(
+        (INT,), payload + b"\x00", encs, lambda r: r
+    )  # corrupt trailing byte: receive-time construction must not raise
+    assert not lazy.decoded
+    with pytest.raises(ProtocolViolation):
+        lazy[0]
+
+
+def test_lazy_decode_runs_once_and_caches():
+    calls = []
+
+    def factory(ref):
+        calls.append(ref)
+        return LinkEnd(ref)
+
+    payload, encs = codec.marshal((LINK, INT), (LinkEnd(EndRef(5, 0)), 3))
+    lazy = codec.lazy_unmarshal((LINK, INT), payload, encs, factory)
+    # adoption is eager (end movement is a protocol obligation) ...
+    assert calls == [EndRef(5, 0)]
+    # ... the body walk is not, and runs exactly once
+    first = lazy[0]
+    assert lazy[0] is first
+    assert lazy[1] == 3 and calls == [EndRef(5, 0)]
+
+
+def test_lazy_equals_lazy_and_rejects_mismatch():
+    a = lazy_roundtrip((INT, INT), (1, 2))
+    b = lazy_roundtrip((INT, INT), (1, 2))
+    c = lazy_roundtrip((INT, INT), (1, 9))
+    assert a == b
+    assert a != c
+    assert a != "not a sequence"
+
+
+def test_receive_paths_decode_lazily_end_to_end(monkeypatch):
+    """An RPC whose client ignores the reply decodes each request body
+    exactly once (at the server's ``inc.args`` access) and the reply
+    body never — the hot-path win docs/PERFORMANCE.md measures."""
+    from repro.core.api import BYTES, Operation, Proc
+    from tests.core.fakes import FakeCluster
+
+    ECHO = Operation("echo", (BYTES,), (BYTES,))
+    decodes = []
+    real = codec._decode_all
+
+    def counting(types, payload, handles):
+        decodes.append(types)
+        return real(types, payload, handles)
+
+    monkeypatch.setattr(codec, "_decode_all", counting)
+
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            for _ in range(3):
+                inc = yield from ctx.wait_request()
+                yield from ctx.reply(inc, (inc.args[0],))
+
+    class FireAndForgetClient(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for _ in range(3):
+                yield from ctx.connect(end, ECHO, (b"payload",))
+                # the reply values are never read
+
+    cluster = FakeCluster()
+    s = cluster.spawn(Server(), "server")
+    c = cluster.spawn(FireAndForgetClient(), "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet()
+    # 3 request bodies forced by the server; 0 of the 3 reply bodies
+    assert len(decodes) == 3
+    assert all(t == ECHO.request for t in decodes)

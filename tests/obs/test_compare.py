@@ -1,0 +1,205 @@
+"""`repro.obs.compare` + ``bench --compare``: report schema against the
+golden file, direction classification, threshold gating, mixed
+quick/full behavior, and the CI perf-gate scenario — a deliberately
+slowed codec must fail the compare exactly the way the ``perf`` job
+would fail the PR."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.compare import (
+    COMPARE_SCHEMA,
+    COMPARE_SCHEMA_VERSION,
+    CompareError,
+    compare_docs,
+    compare_files,
+    is_wall_metric,
+    load_bench_doc,
+    metric_direction,
+    render_report,
+)
+
+ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+BASELINE = os.path.join(ROOT, "BENCH_PR6.json")
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_compare_schema.json")
+
+
+def _baseline_doc():
+    with open(BASELINE) as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# classification
+# ----------------------------------------------------------------------
+def test_metric_direction_rules():
+    assert metric_direction("ideal_rpc0_ms") == "lower"
+    assert metric_direction("rpc_sim_wall_ms_ideal") == "lower"
+    assert metric_direction("engine_events_per_sec") == "higher"
+    assert metric_direction("soda_faulted_goodput_per_s") == "higher"
+    assert metric_direction("crossover_bytes") == "info"
+    assert metric_direction("charlotte_completed") == "info"
+    assert metric_direction("charlotte_runtime_share") == "info"
+
+
+def test_wall_metric_rules():
+    assert is_wall_metric("engine_events_per_sec")
+    assert is_wall_metric("rpc_sim_wall_ms_charlotte")
+    assert not is_wall_metric("ideal_rpc0_ms")
+    assert not is_wall_metric("rpc_sim_events_ideal")
+
+
+# ----------------------------------------------------------------------
+# report structure
+# ----------------------------------------------------------------------
+def test_self_compare_is_clean_and_matches_golden_schema():
+    report = compare_files(BASELINE, BASELINE)
+    with open(GOLDEN) as fh:
+        golden = json.load(fh)
+    assert report["schema"] == COMPARE_SCHEMA == golden["schema"]
+    assert report["schema_version"] == COMPARE_SCHEMA_VERSION \
+        == golden["schema_version"]
+    assert sorted(report) == golden["top_level"]
+    assert sorted(report["old"]) == golden["meta_keys"]
+    assert report["status"] == "ok"
+    assert report["regressions"] == [] and report["improvements"] == []
+    for rows in report["benches"].values():
+        for row in rows.values():
+            assert sorted(row) == golden["row_keys"]
+            assert row["direction"] in golden["directions"]
+            assert row["status"] in golden["statuses"]
+    # the report must be JSON-serializable as-is (CI uploads it)
+    json.dumps(report)
+
+
+def test_load_rejects_non_bench_documents(tmp_path):
+    bad = tmp_path / "x.json"
+    bad.write_text('{"schema": "something-else"}')
+    with pytest.raises(CompareError):
+        load_bench_doc(str(bad))
+    with pytest.raises(CompareError):
+        load_bench_doc(str(tmp_path / "missing.json"))
+
+
+# ----------------------------------------------------------------------
+# gating
+# ----------------------------------------------------------------------
+def test_latency_regression_beyond_threshold_flags():
+    old = _baseline_doc()
+    new = copy.deepcopy(old)
+    new["benches"]["E1"]["ideal_rpc0_ms"] *= 1.2  # 20% slower
+    report = compare_docs(old, new, threshold=0.10)
+    assert report["status"] == "regression"
+    assert "E1.ideal_rpc0_ms" in report["regressions"]
+
+
+def test_rate_regression_is_a_drop_not_a_rise():
+    old = _baseline_doc()
+    new = copy.deepcopy(old)
+    new["benches"]["E14"]["ideal_faulted_goodput_per_s"] *= 0.8
+    report = compare_docs(old, new, threshold=0.10)
+    assert "E14.ideal_faulted_goodput_per_s" in report["regressions"]
+    # a 20% *higher* goodput is an improvement, not a regression
+    new["benches"]["E14"]["ideal_faulted_goodput_per_s"] = \
+        old["benches"]["E14"]["ideal_faulted_goodput_per_s"] * 1.2
+    report = compare_docs(old, new, threshold=0.10)
+    assert "E14.ideal_faulted_goodput_per_s" in report["improvements"]
+    assert report["status"] == "ok"
+
+
+def test_wall_metrics_use_the_loose_threshold():
+    old = _baseline_doc()
+    new = copy.deepcopy(old)
+    new["benches"]["S1"]["engine_events_per_sec"] *= 0.6  # -40%: noise
+    report = compare_docs(old, new, threshold=0.10, wall_threshold=0.75)
+    assert report["status"] == "ok"
+    new["benches"]["S1"]["engine_events_per_sec"] = \
+        old["benches"]["S1"]["engine_events_per_sec"] * 0.2  # -80%: real
+    report = compare_docs(old, new, threshold=0.10, wall_threshold=0.75)
+    assert "S1.engine_events_per_sec" in report["regressions"]
+
+
+def test_mixed_quick_full_gates_only_iteration_invariant_metrics():
+    old = _baseline_doc()
+    new = copy.deepcopy(old)
+    new["quick"] = True  # as the CI perf job's quick run
+    # E14's window differs between modes: a big goodput delta is info
+    new["benches"]["E14"]["ideal_faulted_goodput_per_s"] *= 0.5
+    # per-op simulated latency is mode-invariant: still gated
+    new["benches"]["E1"]["ideal_rpc0_ms"] *= 1.5
+    report = compare_docs(old, new, threshold=0.10)
+    assert report["mixed_mode"] is True
+    assert report["regressions"] == ["E1.ideal_rpc0_ms"]
+    status = report["benches"]["E14"]["ideal_faulted_goodput_per_s"]["status"]
+    assert status == "info"
+
+
+def test_info_metrics_never_gate():
+    old = _baseline_doc()
+    new = copy.deepcopy(old)
+    new["benches"]["E4"]["crossover_bytes"] = 9999
+    report = compare_docs(old, new)
+    assert report["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# the CI perf gate, end to end through the CLI
+# ----------------------------------------------------------------------
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_ci_perf_gate_fails_a_deliberately_slowed_codec(tmp_path, capsys):
+    """The scenario the ``perf`` job exists for: a change that slows
+    the codec hot path degrades the gated simulated latencies and the
+    exact CI command exits 1."""
+    old = _baseline_doc()
+    slowed = copy.deepcopy(old)
+    slowed["quick"] = True  # CI compares its quick run to the baseline
+    for bid in ("E1", "E13"):
+        for name in slowed["benches"][bid]:
+            if name.endswith("_ms"):  # what a slower codec inflates
+                slowed["benches"][bid][name] *= 1.25
+    new_path = _write(tmp_path, "BENCH_ci_perf.json", slowed)
+    report_path = str(tmp_path / "compare_report.json")
+    rc = cli_main([
+        "bench", "--compare", BASELINE, new_path,
+        "--threshold", "0.10", "--wall-threshold", "0.75",
+        "--json", report_path,
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED E1.ideal_rpc0_ms" in out
+    with open(report_path) as fh:
+        report = json.load(fh)
+    assert report["status"] == "regression"
+    assert "E1.ideal_rpc0_ms" in report["regressions"]
+
+
+def test_cli_compare_ok_exits_zero_and_json_stdout(capsys):
+    rc = cli_main(["bench", "--compare", BASELINE, BASELINE,
+                   "--json", "-"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == COMPARE_SCHEMA
+    assert report["status"] == "ok"
+
+
+def test_cli_compare_bad_document_exits_two(tmp_path, capsys):
+    bad = _write(tmp_path, "bad.json", {"schema": "nope"})
+    rc = cli_main(["bench", "--compare", BASELINE, bad])
+    assert rc == 2
+    assert "bench --compare" in capsys.readouterr().err
+
+
+def test_render_report_mentions_thresholds_and_verdict():
+    report = compare_files(BASELINE, BASELINE)
+    text = render_report(report)
+    assert "threshold 10%" in text
+    assert "result: OK" in text

@@ -205,3 +205,70 @@ def test_cluster_threads_profile_flag_through():
         assert make_cluster(kind).engine.profile is None
         cluster = make_cluster(kind, profile=True)
         assert cluster.engine.profile is not None
+
+
+# ----------------------------------------------------------------------
+# the no-argument fast path (PR 6; docs/PERFORMANCE.md)
+# ----------------------------------------------------------------------
+def test_fast_path_matches_general_loop_exactly():
+    """`run()` with no stop condition takes a hoisted loop; it must be
+    observationally identical to `run(max_events=huge)` (which takes
+    the general loop): same firing order, clock, events_fired."""
+
+    def drive(run_kwargs):
+        eng = Engine()
+        fired = []
+
+        def tick(label, depth):
+            fired.append((eng.now, label))
+            if depth:
+                eng.schedule(1.5, tick, label, depth - 1)
+
+        a = eng.schedule(2.0, tick, "a", 3)
+        eng.schedule(1.0, tick, "b", 2)
+        eng.schedule(1.0, tick, "c", 0)
+        a.cancel()
+        n = eng.run(**run_kwargs)
+        return fired, eng.now, eng.events_fired, n
+
+    fast = drive({})
+    general = drive({"max_events": 10_000})
+    assert fast == general
+
+
+def test_fast_path_counts_events_fired_once():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.run() == 2
+    assert eng.events_fired == 2
+    eng.schedule(1.0, lambda: None)
+    assert eng.run() == 1
+    assert eng.events_fired == 3
+
+
+def test_fast_path_skips_cancelled_and_propagates_exceptions():
+    eng = Engine()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    ok = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, boom)
+    ok.cancel()
+    with pytest.raises(RuntimeError):
+        eng.run()
+    # the count was still flushed on the way out
+    assert eng.events_fired == 1
+    assert eng.now == 2.0
+
+
+def test_trace_hook_and_profile_divert_to_the_general_loop():
+    seen = []
+    eng = Engine(profile=True)
+    eng.trace_hook = lambda e, ev: seen.append(ev.time)
+    eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    assert eng.run() == 2  # no args, but hooks force the general loop
+    assert seen == [1.0, 2.0]
+    assert sum(eng.profile.counts.values()) == 2
