@@ -4,7 +4,7 @@
 
 Validates
 
-  - ``BENCH_PR6.json`` (and any other ``BENCH_*.json`` at the repo
+  - ``BENCH_PR7.json`` (and any other ``BENCH_*.json`` at the repo
     root): schema "repro.bench", ``schema_version`` equal to the code's
     ``BENCH_SCHEMA_VERSION``, and the exact top-level / per-bench key
     structure recorded in ``tests/obs/golden_bench_schema.json``
@@ -13,6 +13,10 @@ Validates
   - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
     ``name`` field matching the file name, and rows shaped like the
     header;
+  - ``benchmarks/out/flight/*.jsonl``: flight-recorder black boxes
+    (schema "repro.flight" at the code's ``FLIGHT_SCHEMA_VERSION``) —
+    each must round-trip through `repro.obs.flight.load_flight_dump`
+    with a complete header and an event count matching the header's;
   - the ``bench --compare`` report: when two or more ``BENCH_*.json``
     baselines exist (the perf trajectory), the oldest and newest are
     diffed with `repro.obs.compare.compare_files` and the resulting
@@ -172,6 +176,30 @@ def check_compare_report(bench_docs: List[str], errors: List[str]) -> None:
                               f"{row['status']!r} unknown")
 
 
+FLIGHT_HEADER_KEYS = ["capacity", "events", "kind", "reason", "schema",
+                      "seed", "t", "version"]
+
+
+def check_flight_dump(path: str, errors: List[str]) -> None:
+    from repro.obs.flight import load_flight_dump
+
+    name = os.path.relpath(path, ROOT)
+    try:
+        header, metrics, events = load_flight_dump(path)
+    except (ValueError, KeyError) as exc:
+        errors.append(f"{name}: {exc}")
+        return
+    if sorted(header) != FLIGHT_HEADER_KEYS:
+        errors.append(f"{name}: header keys {sorted(header)} != "
+                      f"{FLIGHT_HEADER_KEYS}")
+    if header.get("events") != len(events):
+        errors.append(f"{name}: header says {header.get('events')} "
+                      f"events, dump carries {len(events)}")
+    if not isinstance(metrics, dict) or "counters" not in metrics:
+        errors.append(f"{name}: no metric snapshot line "
+                      "(expected {\"metrics\": ...} on line 2)")
+
+
 def check_lint_baseline(path: str, errors: List[str]) -> None:
     from repro.analysis.lint import (
         BaselineError,
@@ -211,6 +239,15 @@ def main() -> int:
     for path in table_docs:
         check_table_doc(path, errors)
 
+    flight_docs = sorted(glob.glob(os.path.join(OUT_DIR, "flight",
+                                                "*.jsonl")))
+    if not flight_docs:
+        errors.append("no benchmarks/out/flight/*.jsonl black box found "
+                      "(regenerate: python -m repro flight --demo "
+                      "--out benchmarks/out/flight)")
+    for path in flight_docs:
+        check_flight_dump(path, errors)
+
     baseline = os.path.join(ROOT, "LINT_BASELINE.json")
     if not os.path.exists(baseline):
         errors.append("no LINT_BASELINE.json found at the repo root")
@@ -222,7 +259,8 @@ def main() -> int:
             print(f"check_schema: {e}", file=sys.stderr)
         return 1
     print(f"check_schema: ok ({len(bench_docs)} bench baseline(s), "
-          f"{len(table_docs)} tables, lint baseline)")
+          f"{len(table_docs)} tables, {len(flight_docs)} flight "
+          f"dump(s), lint baseline)")
     return 0
 
 

@@ -9,9 +9,11 @@ rationale lives in docs/LINT.md.
 ``LAY002``  capability attributes missing from `KernelCapabilities`
 ``API001``  `RecoveryExhausted` swallowed without trace
 ``SIM001``  float equality on simulated timestamps
+``OBS001``  unbounded raw-sample accumulation in the telemetry plane
 =========  ==========================================================
 """
 
 import repro.analysis.lint.rules.determinism  # noqa: F401
 import repro.analysis.lint.rules.layering  # noqa: F401
+import repro.analysis.lint.rules.obs  # noqa: F401
 import repro.analysis.lint.rules.semantics  # noqa: F401

@@ -1,0 +1,135 @@
+"""Observability-plane rules.
+
+OBS001 guards the telemetry memory contract: the metrics plane is
+constant-memory by design (`LatencyRecorder` streams into a
+log-bucketed histogram; `TimeSeries` keeps constant-size window
+aggregates), so an unbounded ``list.append`` into a module-level
+container, or into an instance list from a hot recording method,
+reintroduces exactly the O(samples) growth the PR that added this
+rule removed.  Bounded containers (``deque(maxlen=...)``) and
+workload-local result lists are fine; the rule looks only at
+
+* module-level names bound to a list literal (``SAMPLES = []``) that
+  any code in the module then ``.append``s to, and
+* ``self.<attr>.append(...)`` inside methods conventionally on the
+  per-sample path (``record`` / ``observe`` / ``add`` / ``sample`` /
+  ``emit``) when ``__init__`` binds that attribute to a list literal.
+
+Sanctioned accumulation sites carry ``# repro: allow[OBS001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.lint.core import ModuleInfo, Violation, rule
+
+#: methods assumed to run once per sample/event — the hot path where
+#: an instance list grows without bound over a run
+HOT_METHODS = frozenset({"record", "observe", "add", "sample", "emit"})
+
+
+def _list_literal(expr: ast.AST) -> bool:
+    return isinstance(expr, ast.List) or (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "list"
+    )
+
+
+def _module_level_lists(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _list_literal(node.value):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and _list_literal(node.value) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _init_list_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes ``__init__`` binds to a list literal (``self.x = []``)."""
+    attrs: Set[str] = set()
+    for item in cls.body:
+        if not (isinstance(item, ast.FunctionDef) and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            value = None
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not _list_literal(value):
+                continue
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                ):
+                    attrs.add(tgt.attr)
+    return attrs
+
+
+def _append_target(node: ast.AST):
+    """The ``X`` of an ``X.append(...)`` call expression, else None."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "append"
+    ):
+        return node.func.value
+    return None
+
+
+@rule(
+    "OBS001",
+    "unbounded raw-sample accumulation in the telemetry plane",
+)
+def obs001(module: ModuleInfo) -> Iterator[Violation]:
+    globals_ = _module_level_lists(module.tree)
+    # module-level lists appended to from anywhere in the module
+    if globals_:
+        for node in ast.walk(module.tree):
+            target = _append_target(node)
+            if isinstance(target, ast.Name) and target.id in globals_:
+                yield node, (
+                    f"append into module-level list {target.id!r}: "
+                    "long-lived telemetry containers must be bounded "
+                    "(deque(maxlen=...)) or streaming (StreamingHistogram / "
+                    "TimeSeries) — raw-sample retention is O(run length)"
+                )
+    # instance lists appended to from per-sample recording methods
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs = _init_list_attrs(node)
+        if not attrs:
+            continue
+        for item in node.body:
+            if not (
+                isinstance(item, ast.FunctionDef)
+                and item.name in HOT_METHODS
+            ):
+                continue
+            for sub in ast.walk(item):
+                target = _append_target(sub)
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in attrs
+                ):
+                    yield sub, (
+                        f"{node.name}.{item.name} appends every sample to "
+                        f"self.{target.attr}: per-sample methods must feed "
+                        "a bounded or streaming container, not a raw list "
+                        "(see repro.obs.hist.StreamingHistogram)"
+                    )

@@ -6,10 +6,12 @@
     python -m repro figure2                 # live figure-2 chart
     python -m repro migrate --kernel soda --hops 8 --loss 0.5
     python -m repro sizes                   # the E2 code-size table
-    python -m repro bench                   # E1..E14/S1 -> BENCH_*.json
+    python -m repro bench                   # E1..E15/S1 -> BENCH_*.json
     python -m repro trace --kernel soda --by-layer --critical-path
     python -m repro chaos                   # fault injection + recovery
     python -m repro lint                    # determinism/layering checks
+    python -m repro flight --demo           # black-box dump + inspector
+    python -m repro top                     # per-window chaos telemetry
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
@@ -392,6 +394,98 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_flight(args) -> int:
+    from repro.obs.flight import describe_flight_dump
+
+    paths = list(args.dumps)
+    if args.demo:
+        from repro.workloads.chaos import (
+            chaos_policy,
+            partitioned_plan,
+            run_chaos_workload,
+        )
+
+        recorders = []
+        run_chaos_workload(
+            args.kernel, count=12, seed=args.seed,
+            plan=partitioned_plan(quick=True), policy=chaos_policy(),
+            instrument=lambda cluster: recorders.append(
+                cluster.install_flight_recorder(args.out)
+            ),
+        )
+        demo_dumps = recorders[0].dumps
+        if not demo_dumps:
+            print("repro flight: demo run produced no dumps",
+                  file=sys.stderr)
+            return 2
+        for path in demo_dumps:
+            print(f"wrote {path}")
+        paths.extend(str(p) for p in demo_dumps)
+    if not paths:
+        print("repro flight: no dumps given (pass DUMP paths or --demo)",
+              file=sys.stderr)
+        return 2
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        try:
+            print(describe_flight_dump(path, tail=args.tail))
+        except (OSError, ValueError) as exc:
+            print(f"repro flight: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.workloads.chaos import (
+        chaos_policy,
+        lossy_plan,
+        partitioned_plan,
+        run_chaos_workload,
+    )
+
+    if args.scenario == "lossy":
+        plan = lossy_plan()
+        label = "lossy"
+    elif args.scenario == "clean":
+        plan = None
+        label = "clean"
+    else:
+        plan = partitioned_plan(quick=args.quick)
+        label = "partition client<->primary"
+    series = []
+    run_chaos_workload(
+        args.kernel, count=args.count, seed=args.seed,
+        plan=plan, policy=chaos_policy() if plan is not None else None,
+        instrument=lambda cluster: series.append(
+            cluster.install_timeseries(args.window)
+        ),
+    )
+    ts = series[0]
+    t = Table(
+        f"per-window telemetry on {args.kernel} under {label} "
+        f"(window={args.window:g} ms, count={args.count}, seed={args.seed})",
+        ["t0 ms", "ok ops", "goodput/s", "mean rtt ms", "max rtt ms",
+         "fault drops", "retries", "failovers"],
+    )
+    for w in ts.windows():
+        t0, _ = ts.window_span(w)
+        rtt = ts.get(w, "rpc.roundtrip")
+        t.add(
+            t0,
+            rtt.count if rtt else 0,
+            (rtt.count * 1000.0 / args.window) if rtt else 0.0,
+            rtt.mean if rtt else 0.0,
+            rtt.maximum if rtt else 0.0,
+            ts.value(w, "faults.partition_dropped")
+            + ts.value(w, "faults.dropped"),
+            ts.value(w, "recovery.retries"),
+            ts.value(w, "recovery.failovers"),
+        )
+    t.show()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import json as _json
 
@@ -528,13 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the E1/E4/E5/E13/E14/S1 workloads and write BENCH_*.json",
+        help="run the E1/E4/E5/E13/E14/E15/S1 workloads and write "
+             "BENCH_*.json",
     )
     p.add_argument("--quick", action="store_true",
                    help="smoke-test iteration counts (same schema)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
-                   help="output path (default: BENCH_PR6.json at the "
+                   help="output path (default: BENCH_PR7.json at the "
                         "repo root; '-' writes the JSON to stdout)")
     p.add_argument("--only", nargs="+", metavar="BENCH", type=str.upper,
                    help=f"subset of {' '.join(BENCH_IDS)} "
@@ -574,6 +669,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rewrite the baseline from current findings "
                         "instead of reporting them")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "flight",
+        help="inspect flight-recorder black-box dumps (repro.obs.flight)",
+    )
+    p.add_argument("dumps", nargs="*", metavar="DUMP",
+                   help="flight dump JSONL files to inspect")
+    p.add_argument("--demo", action="store_true",
+                   help="run a quick partitioned chaos workload with a "
+                        "flight recorder attached and inspect its dumps")
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("chaos"),
+                   help="backend for --demo")
+    p.add_argument("--out", default="flight", metavar="DIR",
+                   help="--demo dump directory (default: ./flight)")
+    p.add_argument("--tail", type=int, default=20,
+                   help="trailing events to show per dump")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_flight)
+
+    p = sub.add_parser(
+        "top",
+        help="per-window goodput/latency/fault report over simulated "
+             "time (repro.obs.timeseries)",
+    )
+    p.add_argument("--kernel", choices=registered_kernels(),
+                   default=_default_kernel("chaos"))
+    p.add_argument("--scenario", choices=("partition", "lossy", "clean"),
+                   default="partition")
+    p.add_argument("--window", type=float, default=100.0,
+                   help="window width in simulated ms")
+    p.add_argument("--count", type=int, default=30)
+    p.add_argument("--quick", action="store_true",
+                   help="the short partition window / smoke counts")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser(
         "trace",

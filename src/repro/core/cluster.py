@@ -23,6 +23,9 @@ from repro.core.program import Proc
 from repro.core.recovery import RecoveryPolicy
 from repro.core.registry import LinkRegistry
 from repro.obs.causal import SpanTracker
+from repro.obs.flight import FlightRecorder
+from repro.obs.sampling import TraceSampler
+from repro.obs.timeseries import TimeSeries
 from repro.sim.engine import Engine
 from repro.sim.failure import CrashMode
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -71,13 +74,14 @@ class ClusterBase:
         nodes: int = 16,
         profile: bool = False,
     ) -> None:
+        self.seed = seed
         self.engine = Engine(profile=profile)
         self.metrics = MetricSet()
         self.registry = LinkRegistry()
         self.trace = TraceLog(self.engine)
         #: causal-span minting authority, shared by runtimes and kernels
         #: (created before `_setup_hardware` so kernels can take it)
-        self.spans = SpanTracker(self.trace)
+        self.spans = SpanTracker(self.trace, metrics=self.metrics)
         self.rng = SimRandom(seed, f"cluster/{self.KIND}")
         self.costmodel = costmodel if costmodel is not None else CostModel.default()
         self.nodes = nodes
@@ -89,6 +93,12 @@ class ClusterBase:
         #: runtime-side recovery policy (`repro.core.recovery`); None =
         #: connects wait forever, as the paper's runtimes did
         self.recovery: Optional[RecoveryPolicy] = None
+        #: black-box dump plane (`repro.obs.flight`); None until
+        #: `install_flight_recorder`
+        self.flight: Optional[FlightRecorder] = None
+        #: windowed metric series (`repro.obs.timeseries`); None until
+        #: `install_timeseries`
+        self.timeseries: Optional[TimeSeries] = None
         self._auto_name = 0
         self._next_node = 0
         self._setup_hardware()
@@ -151,6 +161,10 @@ class ClusterBase:
         """Record a message event for sequence charts.  The peer lookup
         goes through the registry — observability only; no protocol
         decision ever depends on it."""
+        if msg is not None:
+            span = msg.span
+            if span is not None and not span.sampled:
+                return  # head-based sampling: the whole trace is dropped
         detail = dict(link=ref.link, **extra)
         peer = self.registry.owner_of(ref.peer)
         if peer is not None:
@@ -180,6 +194,43 @@ class ClusterBase:
         self.recovery = policy
         return policy
 
+    def install_trace_sampling(self, rate: float) -> TraceSampler:
+        """Head-based deterministic trace sampling (`repro.obs.sampling`):
+        keep roughly ``rate`` of traces, decided per trace id from the
+        cluster seed, inherited by every child span.  1.0 restores the
+        trace-everything default; 0.0 drops every span (the obs-off mode
+        of the E15 overhead bench)."""
+        sampler = TraceSampler(rate, seed=self.seed)
+        self.spans.sampler = sampler
+        return sampler
+
+    def install_flight_recorder(
+        self,
+        out_dir,
+        capacity: int = 256,
+        max_dumps: int = 4,
+        **kw,
+    ) -> FlightRecorder:
+        """Attach a `repro.obs.flight.FlightRecorder` black box to this
+        cluster's trace log: it keeps the last ``capacity`` events and
+        dumps bounded JSONL on recovery exhaustion, partition entry or
+        a crash (at most ``max_dumps`` files under ``out_dir``)."""
+        self.flight = FlightRecorder(
+            self.trace, out_dir, metrics=self.metrics, engine=self.engine,
+            capacity=capacity, max_dumps=max_dumps, kind=self.KIND,
+            seed=self.seed, **kw,
+        )
+        return self.flight
+
+    def install_timeseries(self, window_ms: float = 100.0,
+                           retain: int = 512) -> TimeSeries:
+        """Bucket every counter increment and latency sample into
+        ``window_ms`` windows of simulated time (`repro.obs.timeseries`)
+        — the data behind ``python -m repro top``."""
+        self.timeseries = TimeSeries(self.engine, window_ms, retain=retain)
+        self.metrics.bind_timeseries(self.timeseries)
+        return self.timeseries
+
     def peer_name_of(self, ref) -> Optional[str]:
         """The process currently owning the far end of ``ref`` — the
         registry's view, used by the fault plane to apply partition
@@ -199,6 +250,8 @@ class ClusterBase:
         self.on_crash(handle, mode)
         handle.task.kill(f"{mode.value} crash of {name}")
         self.metrics.count(f"cluster.crashes.{mode.value}")
+        # black-box trigger (repro.obs.flight): record the death itself
+        self.trace.emit(name, "crash", mode=mode.value, node=handle.node)
 
     # ------------------------------------------------------------------
     # execution

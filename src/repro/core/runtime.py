@@ -1028,6 +1028,12 @@ class LynxRuntimeBase:
         )
         if waiter.retries >= policy.max_retries:
             self.metrics.count("recovery.exhausted")
+            # black-box trigger (repro.obs.flight): the run is about to
+            # surface RecoveryExhausted to the program
+            self.cluster.trace.emit(
+                self.name, "recovery-exhausted",
+                op=waiter.op.name, link=es.ref.link, retries=waiter.retries,
+            )
             self._unwind_connect(es, waiter, self._outgoing_of(es, waiter.seq))
             self._resume_error(
                 waiter.thread,

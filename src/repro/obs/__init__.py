@@ -17,6 +17,17 @@ across PRs:
   `waterfall` — causal span tracing with critical-path latency
   attribution across the three kernels (``python -m repro trace``,
   docs/CAUSALITY.md);
+* `StreamingHistogram` — log-bucketed fixed-precision latency
+  histograms (O(1) record, O(buckets) memory, mergeable across
+  shards) backing every `LatencyRecorder` percentile;
+* `TraceSampler` — seeded head-based trace sampling
+  (``cluster.install_trace_sampling``), same-seed runs sample
+  identical trace ids;
+* `FlightRecorder` — a ring buffer of recent trace events that dumps
+  a bounded JSONL black box on recovery exhaustion, partition entry
+  or crash (``python -m repro flight``);
+* `TimeSeries` — per-window goodput/latency/fault aggregates on
+  simulated time (``python -m repro top``);
 * `json_safe` — NaN/Infinity-free JSON value sanitising shared by all
   exporters.
 
@@ -30,6 +41,17 @@ from repro.obs.bench import (
     run_benches,
     write_bench_json,
 )
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FLIGHT_SCHEMA_VERSION,
+    TRIGGER_EVENTS,
+    FlightRecorder,
+    describe_flight_dump,
+    load_flight_dump,
+)
+from repro.obs.hist import StreamingHistogram
+from repro.obs.sampling import TraceSampler
+from repro.obs.timeseries import TimeSeries, WindowStat
 from repro.obs.causal import (
     GAP_LAYER,
     LAYERS,
@@ -50,6 +72,9 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "CausalGraph",
     "DEFAULT_BENCH_FILENAME",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
     "GAP_LAYER",
     "JsonlTraceWriter",
     "LAYERS",
@@ -57,9 +82,16 @@ __all__ = [
     "Span",
     "SpanContext",
     "SpanTracker",
+    "StreamingHistogram",
+    "TRIGGER_EVENTS",
+    "TimeSeries",
+    "TraceSampler",
+    "WindowStat",
     "chrome_trace",
     "chrome_trace_json",
+    "describe_flight_dump",
     "json_safe",
+    "load_flight_dump",
     "load_trace",
     "prometheus_text",
     "run_benches",

@@ -66,11 +66,16 @@ GAP_LAYER = "runtime"
 @dataclass(frozen=True, slots=True)
 class SpanContext:
     """The causal identity piggybacked on wire messages.  Slotted: one
-    rides on every `WireMessage` when tracing is on."""
+    rides on every `WireMessage` when tracing is on.
+
+    ``sampled`` is the head-based sampling decision, made once at
+    `SpanTracker.new_trace` and inherited by every child, so a trace
+    is recorded complete or not at all (`repro.obs.sampling`)."""
 
     trace_id: int
     span_id: int
     parent_id: Optional[int] = None
+    sampled: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,23 +112,42 @@ class Span:
 
 class SpanTracker:
     """Mints `SpanContext` ids for one cluster and emits completed
-    spans into its `TraceLog` as ``event="span"`` records."""
+    spans into its `TraceLog` as ``event="span"`` records.
 
-    def __init__(self, trace: TraceLog) -> None:
+    When a `TraceSampler` is installed (``cluster.install_trace_sampling``)
+    the keep/drop decision is made at `new_trace` and inherited by every
+    child; unsampled spans are never recorded, and the drop/keep split is
+    counted as ``obs.spans_sampled`` / ``obs.spans_dropped``."""
+
+    def __init__(self, trace: TraceLog, metrics=None) -> None:
         self.trace = trace
+        self.sampler = None
+        self.metrics = metrics
         self._next_trace = 1
         self._next_span = 1
 
     # -- minting -------------------------------------------------------
     def new_trace(self) -> SpanContext:
-        """A fresh root context (one per RPC, minted at connect entry)."""
-        ctx = SpanContext(self._next_trace, self._alloc_span(), None)
+        """A fresh root context (one per RPC, minted at connect entry).
+        Trace ids advance whether or not the trace is sampled, so
+        sampling never perturbs id assignment (same-seed runs sample
+        identical trace ids at any rate)."""
+        tid = self._next_trace
         self._next_trace += 1
-        return ctx
+        sampler = self.sampler
+        if sampler is None:
+            sampled = True
+        else:
+            sampled = sampler.sample(tid)
+            if self.metrics is not None:
+                self.metrics.count(
+                    "obs.spans_sampled" if sampled else "obs.spans_dropped"
+                )
+        return SpanContext(tid, self._alloc_span(), None, sampled)
 
     def child(self, parent: SpanContext) -> SpanContext:
         return SpanContext(parent.trace_id, self._alloc_span(),
-                           parent.span_id)
+                           parent.span_id, parent.sampled)
 
     def _alloc_span(self) -> int:
         s = self._next_span
@@ -166,6 +190,8 @@ class SpanTracker:
         t0: float,
         t1: float,
     ) -> None:
+        if not ctx.sampled:
+            return
         self.trace.emit(host, "span", span={
             "trace": ctx.trace_id,
             "id": ctx.span_id,

@@ -70,8 +70,9 @@ def load_bench_doc(path: str) -> Dict[str, Any]:
 
 
 def is_wall_metric(name: str) -> bool:
-    """True for metrics measured in real host time (S1 family)."""
-    return name == "engine_events_per_sec" or name.startswith("rpc_sim_wall_ms_")
+    """True for metrics measured in real host time (the S1 family plus
+    E15's ``obs_*_events_per_sec`` observability-overhead rates)."""
+    return name.endswith("_events_per_sec") or name.startswith("rpc_sim_wall_ms_")
 
 
 def metric_direction(name: str) -> str:

@@ -6,19 +6,44 @@ Prometheus metric names by replacing every character outside
 
     kernel.calls.Send       ->  repro_kernel_calls_Send
     rpc.roundtrip (latency) ->  repro_rpc_roundtrip_ms summary
+                                repro_rpc_roundtrip_ms_hist histogram
 
 Counters render as ``counter`` samples; latency recorders render as
 ``summary`` metrics in milliseconds with p50/p99 quantiles plus the
-conventional ``_sum`` and ``_count`` series.
+conventional ``_sum`` and ``_count`` series, and — since the
+streaming-histogram rework — as a ``histogram`` with cumulative
+``le`` buckets straight out of `StreamingHistogram.bucket_bounds`,
+so a scraper can aggregate percentiles across clusters the same way
+`merge()` does in-process.
+
+Values are emitted at full precision: integral floats as integers,
+everything else via ``repr`` (shortest round-trip form), and
+non-finite values as Prometheus' ``NaN``/``+Inf``/``-Inf`` spellings
+— the old ``%g`` formatting silently rounded large counters
+(1234567 became ``1.23457e+06``).
+
+When two dotted names collide after sanitising (``a.b`` and ``a_b``),
+the colliding series are disambiguated with a ``name`` label carrying
+the original dotted name, and the ``# TYPE`` line is emitted once per
+Prometheus metric name — duplicate ``# TYPE`` lines are a text-format
+violation most scrapers reject.
 """
 
 from __future__ import annotations
 
+import math
 import re
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List
 
-from repro.sim.metrics import MetricSet
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (metrics
+    # imports repro.obs.hist, so this module must not import metrics
+    # back at runtime)
+    from repro.sim.metrics import LatencyRecorder, MetricSet
 
 _UNSAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 
 
 def sanitize_name(name: str) -> str:
@@ -29,25 +54,95 @@ def sanitize_name(name: str) -> str:
     return out
 
 
+def escape_label_value(value: object) -> str:
+    """A label value with backslash, quote and newline escaped per the
+    text exposition format."""
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
 def _sample(value: float) -> str:
-    return f"{value:g}"
+    """Full-precision sample rendering: integral floats as integers,
+    non-finite values in Prometheus spelling, the rest via ``repr``
+    (the shortest string that round-trips the float exactly)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
 
 
-def prometheus_text(metrics: MetricSet, namespace: str = "repro") -> str:
+def _grouped(names, namespace: str, suffix: str = ""):
+    """Group original dotted names by their sanitised Prometheus name;
+    collisions get a disambiguating ``name`` label."""
+    groups: Dict[str, List[str]] = defaultdict(list)
+    for name in sorted(names):
+        groups[f"{namespace}_{sanitize_name(name)}{suffix}"].append(name)
+    return sorted(groups.items())
+
+
+def _labels(extra: Dict[str, object]) -> str:
+    if not extra:
+        return ""
+    body = ",".join(
+        f'{k}="{escape_label_value(v)}"' for k, v in extra.items()
+    )
+    return "{" + body + "}"
+
+
+def _histogram_lines(metric: str, rec: "LatencyRecorder",
+                     label: Dict[str, object]) -> List[str]:
+    """Cumulative-``le`` histogram series from the recorder's
+    streaming buckets (upper bounds in ms, ``+Inf`` closing)."""
+    lines = []
+    cum = 0
+    for upper, count in rec.hist.bucket_bounds():
+        cum += count
+        lines.append(
+            f"{metric}_bucket{_labels(dict(label, le=_sample(float(upper))))}"
+            f" {cum}"
+        )
+    lines.append(
+        f"{metric}_bucket{_labels(dict(label, le='+Inf'))} {rec.count}"
+    )
+    lines.append(f"{metric}_sum{_labels(label)} {_sample(rec.total)}")
+    lines.append(f"{metric}_count{_labels(label)} {rec.count}")
+    return lines
+
+
+def prometheus_text(metrics: "MetricSet", namespace: str = "repro") -> str:
     """Render every counter and latency recorder in the Prometheus
     text exposition format (version 0.0.4)."""
     lines = []
-    for name, value in metrics.counters().items():
-        metric = f"{namespace}_{sanitize_name(name)}"
+    counters = metrics.counters()
+    for metric, names in _grouped(counters, namespace):
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_sample(value)}")
-    for name, rec in sorted(metrics.latencies().items()):
-        metric = f"{namespace}_{sanitize_name(name)}_ms"
+        collided = len(names) > 1
+        for name in names:
+            label = {"name": name} if collided else {}
+            lines.append(f"{metric}{_labels(label)} {_sample(counters[name])}")
+    recorders = metrics.latencies()
+    for metric, names in _grouped(recorders, namespace, "_ms"):
         lines.append(f"# TYPE {metric} summary")
-        for q in (0.5, 0.99):
-            lines.append(
-                f'{metric}{{quantile="{q}"}} {_sample(rec.percentile(q * 100))}'
-            )
-        lines.append(f"{metric}_sum {_sample(rec.total)}")
-        lines.append(f"{metric}_count {rec.count}")
+        collided = len(names) > 1
+        for name in names:
+            rec = recorders[name]
+            label = {"name": name} if collided else {}
+            for q in (0.5, 0.99):
+                qlabel = dict(label, quantile=q)
+                lines.append(
+                    f"{metric}{_labels(qlabel)} {_sample(rec.percentile(q * 100))}"
+                )
+            lines.append(f"{metric}_sum{_labels(label)} {_sample(rec.total)}")
+            lines.append(f"{metric}_count{_labels(label)} {rec.count}")
+    for metric, names in _grouped(recorders, namespace, "_ms_hist"):
+        lines.append(f"# TYPE {metric} histogram")
+        collided = len(names) > 1
+        for name in names:
+            rec = recorders[name]
+            label = {"name": name} if collided else {}
+            lines.extend(_histogram_lines(metric, rec, label))
     return "\n".join(lines) + "\n"

@@ -1,0 +1,148 @@
+"""Windowed time-series over simulated time.
+
+Counters and latency summaries are cumulative: they answer "how did
+the whole run go" but not "what happened *during* the partition".
+`TimeSeries` buckets every counter increment and latency sample into
+fixed windows of simulated milliseconds, keeping only constant-size
+aggregates per ``(window, metric)`` — count, sum, min, max — so long
+chaos runs can be read as goodput/latency/fault curves
+(``python -m repro top``) without retaining raw samples.
+
+Windows are keyed by ``int(engine.now // window_ms)``; simulated
+time makes the series deterministic for a seed.  Memory is bounded:
+only the most recent ``retain`` windows are kept (older windows are
+evicted in order), which is the same ring-buffer discipline the
+flight recorder applies to trace events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+
+class WindowStat:
+    """Constant-size aggregate of one metric inside one window."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0.0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1.0
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class TimeSeries:
+    """Per-window metric aggregates on the simulated clock.
+
+    Bind to a cluster with ``cluster.install_timeseries(window_ms)``
+    (which routes `MetricSet.count` increments and every latency
+    sample here) or feed it directly via `record_count` /
+    `record_latency`.
+    """
+
+    def __init__(self, engine, window_ms: float = 100.0,
+                 retain: int = 512) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self.engine = engine
+        self.window_ms = window_ms
+        self.retain = retain
+        #: window index -> {metric name -> WindowStat}
+        self._windows: "OrderedDict[int, Dict[str, WindowStat]]" = OrderedDict()
+
+    # ingestion ---------------------------------------------------------
+    def _bucket(self, name: str) -> WindowStat:
+        w = int(self.engine.now // self.window_ms)
+        stats = self._windows.get(w)
+        if stats is None:
+            stats = self._windows[w] = {}
+            while len(self._windows) > self.retain:
+                self._windows.popitem(last=False)
+        stat = stats.get(name)
+        if stat is None:
+            stat = stats[name] = WindowStat()
+        return stat
+
+    def record_count(self, name: str, n: float = 1.0) -> None:
+        self._bucket(name).add(n)
+
+    def record_latency(self, name: str, value: float) -> None:
+        self._bucket(name).add(value)
+
+    # queries -----------------------------------------------------------
+    def windows(self) -> List[int]:
+        return sorted(self._windows)
+
+    def window_span(self, w: int) -> Tuple[float, float]:
+        """``[t0, t1)`` of window ``w`` in simulated ms."""
+        return (w * self.window_ms, (w + 1) * self.window_ms)
+
+    def get(self, w: int, name: str) -> Optional[WindowStat]:
+        return self._windows.get(w, {}).get(name)
+
+    def value(self, w: int, name: str) -> float:
+        """Counter total of ``name`` in window ``w`` (0.0 when absent)."""
+        stat = self.get(w, name)
+        return stat.total if stat is not None else 0.0
+
+    def rate_per_sec(self, w: int, name: str) -> float:
+        """Counter total of ``name`` in ``w`` scaled to events/second
+        of simulated time — the per-window goodput the `top` report
+        prints."""
+        return self.value(w, name) * 1000.0 / self.window_ms
+
+    def series(self, name: str) -> List[Tuple[int, WindowStat]]:
+        """``(window, stat)`` for every window that saw ``name``."""
+        out = []
+        for w in sorted(self._windows):
+            stat = self._windows[w].get(name)
+            if stat is not None:
+                out.append((w, stat))
+        return out
+
+    def names(self) -> List[str]:
+        seen = set()
+        for stats in self._windows.values():
+            seen.update(stats)
+        return sorted(seen)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready nested view: ``{window: {name: summary}}`` with
+        stringified window keys, sorted — stable across same-seed runs."""
+        return {
+            str(w): {
+                name: stat.summary()
+                for name, stat in sorted(self._windows[w].items())
+            }
+            for w in sorted(self._windows)
+        }
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TimeSeries windows={len(self._windows)} "
+                f"window_ms={self.window_ms}>")

@@ -186,7 +186,18 @@ class FaultInjector:
         self.trace = trace
         self._streams: Dict[Tuple[int, str], SimRandom] = {}
         for i, win in enumerate(plan.partitions):
+            engine.schedule_at(max(win.t0, engine.now), self._entered, i, win)
             engine.schedule_at(max(win.t1, engine.now), self._healed, i, win)
+
+    def _entered(self, idx: int, win: PartitionWindow) -> None:
+        self.metrics.count("faults.partitions_entered")
+        if self.trace is not None:
+            # a flight-recorder trigger (repro.obs.flight): the black
+            # box snapshots the healthy lead-up as the window opens
+            self.trace.emit(
+                "faults", "partition-entered", window=idx,
+                t0=win.t0, t1=win.t1,
+            )
 
     def _healed(self, idx: int, win: PartitionWindow) -> None:
         self.metrics.count("faults.partitions_healed")

@@ -13,6 +13,13 @@ Counter names are plain dotted strings, e.g.::
     runtime.unwanted           messages received and bounced (§3.2.1)
     charlotte.move_msgs        inter-kernel messages for link moves
 
+Latency recorders are constant-memory: exact running count / total /
+min / max (so benchmark means are exact) plus a log-bucketed
+`repro.obs.hist.StreamingHistogram` for percentiles (≤1% relative
+error, O(occupied buckets) memory, mergeable across shards).  Raw
+samples are never retained — the OBS001 lint rule guards against the
+pattern reappearing.
+
 The full vocabulary and the export formats (JSONL traces, Prometheus
 text) are documented in docs/OBSERVABILITY.md; `repro.obs` holds the
 exporters.
@@ -22,69 +29,95 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.obs.hist import StreamingHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.timeseries import TimeSeries
 
 
 class LatencyRecorder:
-    """Accumulates individual latency samples (ms) and summarises them.
+    """Accumulates latency samples (ms) into streaming statistics.
 
-    Keeps raw samples: the benchmark tables need means, and the fairness
-    experiment (E12) needs maxima over service gaps, so summary-only
-    accumulation would not do.
+    Means, minima and maxima are exact (running scalars accumulated in
+    recording order, so values are bit-identical to summing a raw list);
+    percentiles come from the embedded `StreamingHistogram` and carry
+    its ≤1% quantisation bound; the spread comes from Welford's online
+    variance.  `merge` folds another recorder in for cross-shard
+    aggregation.
     """
 
-    def __init__(self, name: str = "") -> None:
+    __slots__ = ("name", "hist", "_mean", "_m2", "sink")
+
+    def __init__(self, name: str = "",
+                 sink: Optional[Callable[[str, float], None]] = None) -> None:
         self.name = name
-        self.samples: List[float] = []
+        self.hist = StreamingHistogram()
+        self._mean = 0.0  # Welford running mean (stddev only; see mean)
+        self._m2 = 0.0
+        #: optional per-sample forward (the windowed TimeSeries hook)
+        self.sink = sink
 
     def record(self, value: float) -> None:
-        self.samples.append(value)
+        self.hist.record(value)
+        delta = value - self._mean
+        self._mean += delta / self.hist.count
+        self._m2 += delta * (value - self._mean)
+        if self.sink is not None:
+            self.sink(self.name, value)
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self.hist.count
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self.hist.count
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self.hist.total
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else math.nan
+        """Exact ``total / count`` (not the Welford estimate), so bench
+        tables match raw-sample summation bit-for-bit."""
+        n = self.hist.count
+        return self.hist.total / n if n else math.nan
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else math.nan
+        return self.hist.minimum
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else math.nan
+        return self.hist.maximum
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile, p in [0, 100]."""
-        if not self.samples:
-            return math.nan
-        xs = sorted(self.samples)
-        if len(xs) == 1:
-            return xs[0]
-        rank = (p / 100.0) * (len(xs) - 1)
-        lo = int(math.floor(rank))
-        hi = int(math.ceil(rank))
-        if lo == hi:
-            return xs[lo]
-        frac = rank - lo
-        return xs[lo] * (1 - frac) + xs[hi] * frac
+        """Interpolated percentile, p in [0, 100]; ≤1% relative error."""
+        return self.hist.percentile(p)
 
     @property
     def stddev(self) -> float:
-        n = len(self.samples)
+        n = self.hist.count
         if n < 2:
             return 0.0
-        mu = self.mean
-        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+        return math.sqrt(self._m2 / (n - 1))
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other`` in (Chan's parallel variance + bucket sums)."""
+        na, nb = self.hist.count, other.hist.count
+        if nb:
+            if na:
+                delta = other._mean - self._mean
+                n = na + nb
+                self._mean += delta * nb / n
+                self._m2 += other._m2 + delta * delta * na * nb / n
+            else:
+                self._mean = other._mean
+                self._m2 = other._m2
+            self.hist.merge(other.hist)
+        return self
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -106,10 +139,13 @@ class MetricSet:
     def __init__(self) -> None:
         self._counters: Dict[str, float] = defaultdict(float)
         self._latencies: Dict[str, LatencyRecorder] = {}
+        self._ts: Optional["TimeSeries"] = None
 
     # counters ----------------------------------------------------------
     def count(self, name: str, n: float = 1.0) -> None:
         self._counters[name] += n
+        if self._ts is not None:
+            self._ts.record_count(name, n)
 
     def get(self, name: str) -> float:
         return self._counters.get(name, 0.0)
@@ -128,16 +164,35 @@ class MetricSet:
     def latency(self, name: str) -> LatencyRecorder:
         rec = self._latencies.get(name)
         if rec is None:
-            rec = self._latencies[name] = LatencyRecorder(name)
+            sink = self._ts.record_latency if self._ts is not None else None
+            rec = self._latencies[name] = LatencyRecorder(name, sink=sink)
         return rec
 
     def latencies(self) -> Dict[str, LatencyRecorder]:
         return dict(self._latencies)
 
+    # windowed time-series ------------------------------------------------
+    def bind_timeseries(self, ts: Optional["TimeSeries"]) -> None:
+        """Forward every counter increment and latency sample to ``ts``
+        (windowed on simulated time) from now on; ``None`` detaches."""
+        self._ts = ts
+        sink = ts.record_latency if ts is not None else None
+        for rec in self._latencies.values():
+            rec.sink = sink
+
     # utilities -----------------------------------------------------------
     def reset(self) -> None:
         self._counters.clear()
         self._latencies.clear()
+
+    def merge(self, other: "MetricSet") -> "MetricSet":
+        """Fold another set in: counters sum, recorders `merge` — the
+        cross-shard aggregation path for the sharded-engine roadmap."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, rec in other._latencies.items():
+            self.latency(name).merge(rec)
+        return self
 
     def snapshot(self) -> Dict[str, object]:
         """A nested point-in-time view of the whole set::

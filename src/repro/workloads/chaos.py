@@ -204,6 +204,7 @@ def run_chaos_workload(
     plan: Optional[FaultPlan] = None,
     policy: Optional[RecoveryPolicy] = None,
     pace_ms: float = 40.0,
+    instrument=None,
     **cluster_kw,
 ) -> ChaosResult:
     """Run the chaos workload on one backend.
@@ -211,12 +212,18 @@ def run_chaos_workload(
     ``plan``/``policy`` must be installed before any process runs, so
     this helper does it between ``make_cluster`` and ``spawn``.  With
     both ``None`` the run is fault-free (the control row of E14).
+    ``instrument``, when given, is called with the cluster after the
+    fault plane is installed and before any process spawns — the hook
+    ``repro flight --demo`` and ``repro top`` use to attach a flight
+    recorder or a windowed time-series.
     """
     cluster = make_cluster(kind, seed=seed, **cluster_kw)
     if plan is not None:
         cluster.install_faults(plan)
     if policy is not None:
         cluster.install_recovery(policy)
+    if instrument is not None:
+        instrument(cluster)
     client = ChaosClient(count, payload_bytes, pace_ms)
     primary = ChaosServer(payload_bytes)
     backup = ChaosServer(payload_bytes)

@@ -1,0 +1,31 @@
+"""Seeded OBS001 violations: unbounded raw-sample accumulation."""
+
+from collections import deque
+
+#: module-level raw-sample store — grows for the whole process
+ALL_SAMPLES = []
+
+BOUNDED = deque(maxlen=100)  # fine: bounded ring
+
+
+def note(value):
+    ALL_SAMPLES.append(value)  # OBS001: unbounded module-level list
+    BOUNDED.append(value)  # fine
+
+
+class LeakyRecorder:
+    def __init__(self):
+        self.samples = []
+        self.ring = deque(maxlen=16)
+        self.count = 0
+
+    def record(self, value):
+        self.samples.append(value)  # OBS001: raw retention per sample
+        self.ring.append(value)  # fine: bounded
+        self.count += 1
+
+    def drain(self):
+        # not a hot method: result staging lists are fine here
+        out = []
+        out.append(self.count)
+        return out

@@ -15,7 +15,7 @@ def test_bench_quick_writes_valid_json(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["schema"] == "repro.bench"
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15", "S1"}
     assert "seed" in doc and "git_rev" in doc and "timestamp" in doc
 
 

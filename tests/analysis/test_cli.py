@@ -104,3 +104,49 @@ def test_trace_selftest_command(capsys):
     assert main(["trace", "--selftest"]) == 0
     out = capsys.readouterr().out
     assert "all kernels ok" in out
+
+
+def test_flight_demo_writes_and_describes_dumps(tmp_path, capsys):
+    out_dir = tmp_path / "flight"
+    assert main(["flight", "--demo", "--out", str(out_dir),
+                 "--kernel", "charlotte"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert "partition-entered" in out
+    assert "last" in out and "events" in out
+    dumps = sorted(out_dir.glob("*.jsonl"))
+    assert dumps
+
+
+def test_flight_inspects_existing_dump(tmp_path, capsys):
+    out_dir = tmp_path / "flight"
+    assert main(["flight", "--demo", "--out", str(out_dir),
+                 "--kernel", "charlotte"]) == 0
+    capsys.readouterr()
+    dump = sorted(out_dir.glob("*.jsonl"))[0]
+    assert main(["flight", str(dump), "--tail", "5"]) == 0
+    out = capsys.readouterr().out
+    assert f"flight dump {dump.name}" in out
+    assert "reason   partition-entered" in out
+
+
+def test_flight_rejects_a_non_dump(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"schema": "other"}\n')
+    assert main(["flight", str(bogus)]) == 2
+
+
+def test_top_prints_windowed_table(capsys):
+    assert main(["top", "--kernel", "soda", "--quick", "--count", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "t0 ms" in out and "goodput/s" in out
+    assert "fault drops" in out
+    # the partition scenario must show at least one degraded window
+    assert any(line.split() for line in out.splitlines())
+
+
+def test_top_clean_scenario(capsys):
+    assert main(["top", "--kernel", "ideal", "--scenario", "clean",
+                 "--quick", "--count", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "goodput/s" in out

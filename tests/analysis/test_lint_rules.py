@@ -20,6 +20,7 @@ RULE_FIXTURES = {
     "LAY002": "lay002_bad.py",
     "API001": "api001_bad.py",
     "SIM001": "sim001_bad.py",
+    "OBS001": "obs001_bad.py",
 }
 
 
@@ -151,6 +152,39 @@ def test_sim001_allows_tolerance_comparisons():
     """Only the == / != comparisons are flagged, not abs() < eps."""
     result = _lint_fixture("sim001_bad.py", "SIM001")
     assert len(result.findings) == 2
+
+
+def test_obs001_flags_exactly_the_two_seeded_sites():
+    """Bounded deques and cold-path staging lists stay silent."""
+    result = _lint_fixture("obs001_bad.py", "OBS001")
+    assert len(result.findings) == 2
+    messages = " ".join(f.message for f in result.findings)
+    assert "ALL_SAMPLES" in messages
+    assert "LeakyRecorder.record" in messages
+
+
+def test_obs001_exempts_non_hot_methods(tmp_path):
+    src = ("class Collector:\n"
+           "    def __init__(self):\n"
+           "        self.rows = []\n"
+           "    def finish(self, row):\n"
+           "        self.rows.append(row)\n")
+    target = tmp_path / "c.py"
+    target.write_text(src)
+    mod = ModuleInfo.parse(target)
+    assert not lint_modules([mod], rules=[get_rule("OBS001")]).findings
+
+
+def test_obs001_respects_allow_comment(tmp_path):
+    src = ("XS = []\n"
+           "def f(v):\n"
+           "    XS.append(v)  # repro: allow[OBS001] test corpus\n")
+    target = tmp_path / "a.py"
+    target.write_text(src)
+    mod = ModuleInfo.parse(target)
+    result = lint_modules([mod], rules=[get_rule("OBS001")])
+    assert result.exit_code == 0
+    assert all(f.suppressed for f in result.findings)
 
 
 def test_shipped_tree_is_lint_clean():

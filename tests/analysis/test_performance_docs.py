@@ -1,7 +1,7 @@
 """docs/PERFORMANCE.md is a contract: every symbol, CLI flag and
 metric named in its tables must exist in the code, the `bench`
 parser, or the committed baselines, and the before/after table must
-match what `BENCH_PR1.json` / `BENCH_PR6.json` actually say — so the
+match what `BENCH_PR1.json` / `BENCH_PR7.json` actually say — so the
 performance book cannot drift from the hot path it describes."""
 
 import fnmatch
@@ -28,7 +28,7 @@ def _codebase_blob() -> str:
 
 def _bench_keys() -> set:
     keys = set()
-    for name in ("BENCH_PR1.json", "BENCH_PR6.json"):
+    for name in ("BENCH_PR1.json", "BENCH_PR7.json"):
         with open(ROOT / name) as fh:
             for bench in json.load(fh)["benches"].values():
                 keys.update(bench)
@@ -84,7 +84,7 @@ def test_before_after_table_matches_the_committed_baselines():
     """Each `| metric | bench | old | new | ... |` row must agree with
     the two committed baseline documents (to the table's precision)."""
     docs = {}
-    for name in ("BENCH_PR1.json", "BENCH_PR6.json"):
+    for name in ("BENCH_PR1.json", "BENCH_PR7.json"):
         with open(ROOT / name) as fh:
             docs[name] = json.load(fh)["benches"]
     rows = 0
@@ -97,7 +97,7 @@ def test_before_after_table_matches_the_committed_baselines():
         metric, bench, old_s, new_s = m.groups()
         rows += 1
         for doc_name, shown in (("BENCH_PR1.json", old_s),
-                                ("BENCH_PR6.json", new_s)):
+                                ("BENCH_PR7.json", new_s)):
             actual = docs[doc_name][bench][metric]
             stated = float(shown.replace(",", ""))
             assert abs(stated - actual) <= max(abs(actual) * 0.01, 5e-4), (
@@ -108,7 +108,7 @@ def test_before_after_table_matches_the_committed_baselines():
 
 def test_doc_names_the_baselines_and_the_gate_tests():
     text = DOC.read_text()
-    assert DEFAULT_BENCH_FILENAME in text  # BENCH_PR6.json, the baseline
+    assert DEFAULT_BENCH_FILENAME in text  # BENCH_PR7.json, the baseline
     assert "BENCH_PR1.json" in text        # the old trajectory point
     assert "repro.bench-compare" in text
     assert "test_ci_perf_gate_fails_a_deliberately_slowed_codec" in text

@@ -31,4 +31,4 @@ def test_verify_script_passes_and_writes_bench_json(tmp_path, capsys):
     assert "verify: ok" in out
     doc = json.loads((tmp_path / "BENCH_verify.json").read_text())
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15", "S1"}

@@ -23,7 +23,7 @@ def quick_results():
 
 
 def test_bench_ids():
-    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "S1")
+    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "E15", "S1")
 
 
 def test_document_schema_matches_golden_file(quick_results, tmp_path):
@@ -56,8 +56,9 @@ def test_exported_values_are_json_numbers(quick_results):
 def test_quick_values_keep_the_paper_shape(quick_results):
     """Even at smoke counts the simulated quantities reproduce the
     paper's ordering claims (wall-clock S1 values are only positive)."""
-    e1, e4, e5, e13, e14, s1 = (
-        quick_results[k] for k in ("E1", "E4", "E5", "E13", "E14", "S1")
+    e1, e4, e5, e13, e14, e15, s1 = (
+        quick_results[k]
+        for k in ("E1", "E4", "E5", "E13", "E14", "E15", "S1")
     )
     assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
     assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
@@ -89,6 +90,15 @@ def test_quick_values_keep_the_paper_shape(quick_results):
         assert e14[f"{kind}_completed"] > 0
         assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
         assert s1[f"rpc_sim_events_{kind}"] > 0
+    # E15: the telemetry plane's own gates (machine-checked inside the
+    # bench; re-assert the deterministic accuracy numbers here)
+    for mode in ("off", "sampled", "full"):
+        assert e15[f"obs_{mode}_events_per_sec"] > 0.0
+    assert e15["sampled_overhead_frac"] < 0.10
+    assert e15["hist_max_err_frac"] <= 0.01
+    assert e15["hist_merge_bitexact"] == 1.0
+    assert 0.0 < e15["sampled_trace_frac"] < 0.5
+    assert e15["hist_buckets"] * 100 <= e15["hist_samples"]
 
 
 def test_simulated_metrics_are_seed_deterministic():

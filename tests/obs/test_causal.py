@@ -24,7 +24,7 @@ from repro.workloads.rpc import run_rpc_workload
 
 KINDS = ("charlotte", "soda", "chrysalis")
 ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
-BASELINE = os.path.join(ROOT, "BENCH_PR6.json")
+BASELINE = os.path.join(ROOT, "BENCH_PR7.json")
 
 
 # ----------------------------------------------------------------------

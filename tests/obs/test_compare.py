@@ -24,7 +24,7 @@ from repro.obs.compare import (
 )
 
 ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
-BASELINE = os.path.join(ROOT, "BENCH_PR6.json")
+BASELINE = os.path.join(ROOT, "BENCH_PR7.json")
 GOLDEN = os.path.join(os.path.dirname(__file__), "golden_compare_schema.json")
 
 

@@ -1,0 +1,141 @@
+"""FlightRecorder: ring bounds, triggers, dump schema, round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.api import make_cluster
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FLIGHT_SCHEMA_VERSION,
+    TRIGGER_EVENTS,
+    FlightRecorder,
+    describe_flight_dump,
+    load_flight_dump,
+)
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet
+from repro.sim.trace import TraceLog
+
+
+def _log():
+    engine = Engine()
+    return engine, TraceLog(engine)
+
+
+def test_ring_is_bounded(tmp_path):
+    engine, trace = _log()
+    fr = FlightRecorder(trace, tmp_path, capacity=8)
+    for i in range(50):
+        trace.emit("a", "tick", i=i)
+    assert len(fr.ring) == 8
+    assert fr.ring[0].detail["i"] == 42
+
+
+def test_trigger_event_dumps_automatically(tmp_path):
+    engine, trace = _log()
+    metrics = MetricSet()
+    fr = FlightRecorder(trace, tmp_path, metrics=metrics, engine=engine,
+                        kind="ideal", seed=3)
+    trace.emit("a", "tick")
+    trace.emit("faults", "partition-entered", window=0)
+    assert len(fr.dumps) == 1
+    assert fr.dumps[0].name == "flight-000-partition-entered.jsonl"
+    assert metrics.get("obs.flight_dumps") == 1
+    header, snap, events = load_flight_dump(fr.dumps[0])
+    assert header["schema"] == FLIGHT_SCHEMA
+    assert header["version"] == FLIGHT_SCHEMA_VERSION
+    assert header["reason"] == "partition-entered"
+    assert header["kind"] == "ideal" and header["seed"] == 3
+    assert [ev.event for ev in events] == ["tick", "partition-entered"]
+    assert "counters" in snap
+
+
+def test_max_dumps_caps_a_crash_storm(tmp_path):
+    engine, trace = _log()
+    fr = FlightRecorder(trace, tmp_path, max_dumps=2)
+    for _ in range(10):
+        trace.emit("proc", "crash", mode="kill")
+    assert len(fr.dumps) == 2
+    assert len(list(tmp_path.glob("*.jsonl"))) == 2
+
+
+def test_every_trigger_event_is_a_trigger(tmp_path):
+    for trigger in TRIGGER_EVENTS:
+        engine, trace = _log()
+        fr = FlightRecorder(trace, tmp_path / trigger)
+        trace.emit("x", trigger)
+        assert len(fr.dumps) == 1, trigger
+
+
+def test_close_detaches(tmp_path):
+    engine, trace = _log()
+    fr = FlightRecorder(trace, tmp_path)
+    fr.close()
+    fr.close()  # idempotent
+    trace.emit("x", "crash")
+    assert fr.dumps == []
+
+
+def test_manual_dump_and_describe(tmp_path):
+    engine, trace = _log()
+    metrics = MetricSet()
+    metrics.count("faults.dropped", 3)
+    metrics.latency("rpc.roundtrip").record(2.5)
+    fr = FlightRecorder(trace, tmp_path, metrics=metrics, engine=engine,
+                        kind="soda", seed=0)
+    trace.emit("client", "send", link=1)
+    path = fr.dump()
+    text = describe_flight_dump(path)
+    assert "reason   manual" in text
+    assert "kernel soda" in text
+    assert "faults.dropped" in text
+    assert "rpc.roundtrip" in text
+    assert "send" in text
+
+
+def test_load_rejects_foreign_files(tmp_path):
+    p = tmp_path / "x.jsonl"
+    p.write_text(json.dumps({"schema": "other", "version": 1}) + "\n")
+    with pytest.raises(ValueError):
+        load_flight_dump(p)
+    p.write_text(json.dumps(
+        {"schema": FLIGHT_SCHEMA, "version": 99}) + "\n")
+    with pytest.raises(ValueError):
+        load_flight_dump(p)
+    p.write_text("")
+    with pytest.raises(ValueError):
+        load_flight_dump(p)
+
+
+def test_cluster_crash_triggers_installed_recorder(tmp_path):
+    from repro.core.api import Proc
+
+    class Sleeper(Proc):
+        def main(self, ctx):
+            yield from ctx.delay(1000.0)
+
+    cluster = make_cluster("ideal", seed=1)
+    fr = cluster.install_flight_recorder(tmp_path)
+    h = cluster.spawn(Sleeper(), "victim")
+    cluster.engine.run(until=1.0)
+    cluster.crash_process("victim")
+    assert len(fr.dumps) == 1
+    header, _, events = load_flight_dump(fr.dumps[0])
+    assert header["reason"] == "crash"
+    assert header["kind"] == "ideal"
+    assert events[-1].event == "crash"
+    assert events[-1].actor == "victim"
+
+
+def test_same_seed_dumps_are_identical(tmp_path):
+    def one(sub):
+        engine = Engine()
+        trace = TraceLog(engine)
+        fr = FlightRecorder(trace, tmp_path / sub, seed=0, kind="t")
+        for i in range(5):
+            trace.emit("a", "tick", i=i)
+        trace.emit("a", "crash")
+        return fr.dumps[0].read_text()
+
+    assert one("a") == one("b")

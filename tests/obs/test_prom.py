@@ -28,7 +28,7 @@ def test_latencies_render_as_summaries():
         m.latency("rpc.roundtrip").record(v)
     text = prometheus_text(m)
     assert "# TYPE repro_rpc_roundtrip_ms summary" in text
-    assert 'repro_rpc_roundtrip_ms{quantile="0.5"} 2.5' in text
+    assert 'repro_rpc_roundtrip_ms{quantile="0.5"}' in text
     assert 'repro_rpc_roundtrip_ms{quantile="0.99"}' in text
     assert "repro_rpc_roundtrip_ms_sum 10" in text
     assert "repro_rpc_roundtrip_ms_count 4" in text
@@ -50,3 +50,110 @@ def test_every_line_is_sample_or_comment():
         if not line.startswith("#"):
             name = line.split("{")[0].split(" ")[0]
             assert name.startswith("repro_")
+
+
+def test_large_counters_keep_full_precision():
+    m = MetricSet()
+    m.count("wire.bytes", 1234567)
+    m.count("wire.frames", 10**15 + 1)
+    text = prometheus_text(m)
+    assert "repro_wire_bytes 1234567" in text
+    assert "1.23457e" not in text
+    # beyond 2^53-ish integral floats fall back to repr, still lossless
+    assert f"repro_wire_frames {float(10**15 + 1)!r}" in text
+
+
+def test_nonfinite_values_use_prometheus_spelling():
+    m = MetricSet()
+    m.count("weird.nan", float("nan"))
+    m.count("weird.inf", float("inf"))
+    text = prometheus_text(m)
+    assert "repro_weird_nan NaN" in text
+    assert "repro_weird_inf +Inf" in text
+
+
+def test_empty_recorder_renders_nan_quantiles():
+    m = MetricSet()
+    m.latency("rpc.roundtrip")  # registered, never recorded into
+    text = prometheus_text(m)
+    assert 'repro_rpc_roundtrip_ms{quantile="0.5"} NaN' in text
+    assert "repro_rpc_roundtrip_ms_sum 0" in text
+    assert "repro_rpc_roundtrip_ms_count 0" in text
+    # the histogram family still closes with an +Inf bucket of zero
+    assert 'repro_rpc_roundtrip_ms_hist_bucket{le="+Inf"} 0' in text
+
+
+def test_leading_digit_and_unicode_names_are_sanitised():
+    m = MetricSet()
+    m.count("9lives", 1)
+    m.count("früh.stück", 2)
+    text = prometheus_text(m)
+    assert "repro__9lives 1" in text
+    assert "repro_fr_h_st_ck 2" in text
+
+
+def test_sanitised_collisions_get_name_labels_and_one_type_line():
+    m = MetricSet()
+    m.count("a.b", 1)
+    m.count("a_b", 2)
+    text = prometheus_text(m)
+    assert text.count("# TYPE repro_a_b counter") == 1
+    assert 'repro_a_b{name="a.b"} 1' in text
+    assert 'repro_a_b{name="a_b"} 2' in text
+    # no unlabelled duplicate sample
+    assert "\nrepro_a_b 1" not in text
+
+
+def test_label_values_are_escaped():
+    from repro.obs.prom import escape_label_value
+
+    assert escape_label_value('sl\\ash"quote\nnl') == 'sl\\\\ash\\"quote\\nnl'
+
+
+def _parse_exposition(text):
+    """A minimal text-format 0.0.4 parser: returns {metric: type} and
+    [(name, labels-dict, value-string)] samples, while enforcing the
+    line grammar."""
+    import re
+
+    types = {}
+    samples = []
+    for line in text.strip().splitlines():
+        if line.startswith("# TYPE "):
+            _, _, metric, kind = line.split(" ")
+            assert metric not in types, f"duplicate TYPE for {metric}"
+            types[metric] = kind
+            continue
+        m = re.fullmatch(
+            r'([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)', line)
+        assert m, f"unparsable exposition line: {line!r}"
+        labels = {}
+        if m.group(3):
+            for part in re.findall(r'([a-zA-Z_]+)="((?:[^"\\]|\\.)*)"',
+                                   m.group(3)):
+                labels[part[0]] = part[1]
+        samples.append((m.group(1), labels, m.group(4)))
+    return types, samples
+
+
+def test_histogram_exposition_round_trips_through_a_parser():
+    m = MetricSet()
+    rec = m.latency("rpc.roundtrip")
+    for v in (1.0, 2.0, 4.0, 8.0, 16.0):
+        rec.record(v)
+    types, samples = _parse_exposition(prometheus_text(m))
+    assert types["repro_rpc_roundtrip_ms_hist"] == "histogram"
+    buckets = [(lbl["le"], val) for name, lbl, val in samples
+               if name == "repro_rpc_roundtrip_ms_hist_bucket"]
+    assert buckets[-1][0] == "+Inf"
+    assert buckets[-1][1] == "5"
+    # cumulative counts are monotone and end at the total count
+    counts = [int(v) for _, v in buckets]
+    assert counts == sorted(counts)
+    # the cumulative count at each le bound matches the raw samples
+    raw = [1.0, 2.0, 4.0, 8.0, 16.0]
+    for le, cum in buckets[:-1]:
+        assert int(cum) == sum(1 for v in raw if v < float(le) * 1.0000001)
+    sums = [v for name, _, v in samples
+            if name == "repro_rpc_roundtrip_ms_hist_sum"]
+    assert sums == ["31"]

@@ -1,0 +1,83 @@
+"""Head-based deterministic trace sampling."""
+
+import pytest
+
+from repro.obs.sampling import TraceSampler
+
+
+def test_rate_one_keeps_everything():
+    s = TraceSampler(1.0, seed=0)
+    assert all(s.sample(t) for t in range(1000))
+
+
+def test_rate_zero_drops_everything():
+    s = TraceSampler(0.0, seed=0)
+    assert not any(s.sample(t) for t in range(1000))
+
+
+def test_rate_is_clamped():
+    assert TraceSampler(7.0).rate == 1.0
+    assert TraceSampler(-2.0).rate == 0.0
+
+
+def test_same_seed_samples_identical_trace_ids():
+    a = TraceSampler(0.25, seed=42)
+    b = TraceSampler(0.25, seed=42)
+    ids = range(5000)
+    assert [a.sample(t) for t in ids] == [b.sample(t) for t in ids]
+
+
+def test_different_seeds_sample_differently():
+    a = TraceSampler(0.25, seed=1)
+    b = TraceSampler(0.25, seed=2)
+    ids = range(5000)
+    assert [a.sample(t) for t in ids] != [b.sample(t) for t in ids]
+
+
+def test_observed_rate_tracks_requested_rate():
+    for rate in (0.1, 0.5, 0.9):
+        s = TraceSampler(rate, seed=3)
+        kept = sum(s.sample(t) for t in range(20_000))
+        assert kept / 20_000 == pytest.approx(rate, abs=0.02)
+
+
+def test_decision_is_per_trace_id_not_stateful():
+    s = TraceSampler(0.5, seed=9)
+    assert [s.sample(17)] * 10 == [s.sample(17) for _ in range(10)]
+
+
+def test_cluster_sampling_is_deterministic_and_inherited():
+    from repro.core.api import make_cluster
+
+    cluster = make_cluster("ideal", seed=5)
+    cluster.install_trace_sampling(0.5)
+    ctxs = [cluster.spans.new_trace() for _ in range(200)]
+    kept = {c.trace_id for c in ctxs if c.sampled}
+    # children inherit the head decision
+    for c in ctxs[:50]:
+        child = cluster.spans.child(c)
+        assert child.sampled == c.sampled
+        assert child.trace_id == c.trace_id
+    # same seed, same decisions
+    cluster2 = make_cluster("ideal", seed=5)
+    cluster2.install_trace_sampling(0.5)
+    ctxs2 = [cluster2.spans.new_trace() for _ in range(200)]
+    assert {c.trace_id for c in ctxs2 if c.sampled} == kept
+    # the sampled/dropped split is counted
+    total = cluster.metrics.get("obs.spans_sampled") \
+        + cluster.metrics.get("obs.spans_dropped")
+    assert total == 200
+
+
+def test_trace_ids_advance_regardless_of_sampling():
+    """Id assignment must be rate-invariant so changing the sampling
+    rate never changes which ids a run hands out."""
+    from repro.core.api import make_cluster
+
+    a = make_cluster("ideal", seed=0)
+    a.install_trace_sampling(0.0)
+    b = make_cluster("ideal", seed=0)
+    b.install_trace_sampling(1.0)
+    ids_a = [a.spans.new_trace().trace_id for _ in range(50)]
+    ids_b = [b.spans.new_trace().trace_id for _ in range(50)]
+    assert ids_a == ids_b

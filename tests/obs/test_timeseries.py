@@ -1,0 +1,147 @@
+"""TimeSeries: windowing on simulated time, eviction, MetricSet wiring."""
+
+import math
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries, WindowStat
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet
+
+
+class _Clock:
+    """Minimal engine stand-in: just a settable `.now`."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_windowing_by_simulated_time():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=100.0)
+    ts.record_count("ops")
+    clk.now = 99.9
+    ts.record_count("ops")
+    clk.now = 100.0
+    ts.record_count("ops")
+    assert ts.windows() == [0, 1]
+    assert ts.value(0, "ops") == 2.0
+    assert ts.value(1, "ops") == 1.0
+    assert ts.window_span(1) == (100.0, 200.0)
+    assert ts.rate_per_sec(0, "ops") == 20.0
+
+
+def test_latency_stats_per_window():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=50.0)
+    for v in (1.0, 3.0):
+        ts.record_latency("rtt", v)
+    clk.now = 60.0
+    ts.record_latency("rtt", 10.0)
+    s0 = ts.get(0, "rtt")
+    assert s0.count == 2.0 and s0.mean == 2.0
+    assert s0.minimum == 1.0 and s0.maximum == 3.0
+    assert ts.get(1, "rtt").total == 10.0
+    assert ts.get(2, "rtt") is None
+    assert ts.value(2, "rtt") == 0.0
+
+
+def test_retention_evicts_oldest_windows():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=10.0, retain=3)
+    for i in range(6):
+        clk.now = i * 10.0
+        ts.record_count("x")
+    assert len(ts) == 3
+    assert ts.windows() == [3, 4, 5]
+
+
+def test_series_and_names():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=10.0)
+    ts.record_count("a")
+    clk.now = 25.0
+    ts.record_count("b")
+    assert ts.names() == ["a", "b"]
+    assert [w for w, _ in ts.series("a")] == [0]
+    assert [w for w, _ in ts.series("b")] == [2]
+
+
+def test_snapshot_shape():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=100.0)
+    ts.record_latency("rtt", 2.0)
+    snap = ts.snapshot()
+    assert snap == {
+        "0": {"rtt": {"count": 1.0, "sum": 2.0, "min": 2.0, "max": 2.0}}
+    }
+
+
+def test_empty_windowstat_summary_is_nullable():
+    s = WindowStat()
+    assert s.summary() == {"count": 0.0, "sum": 0.0, "min": None, "max": None}
+    assert math.isnan(s.mean)
+
+
+def test_bad_window_rejected():
+    with pytest.raises(ValueError):
+        TimeSeries(_Clock(), window_ms=0.0)
+
+
+def test_metricset_binding_routes_counts_and_latencies():
+    clk = _Clock()
+    ts = TimeSeries(clk, window_ms=100.0)
+    m = MetricSet()
+    pre = m.latency("early")  # recorder created before binding
+    m.bind_timeseries(ts)
+    m.count("ops", 2)
+    pre.record(5.0)          # rebound sink must forward
+    m.latency("late").record(7.0)
+    assert ts.value(0, "ops") == 2.0
+    assert ts.get(0, "early").total == 5.0
+    assert ts.get(0, "late").total == 7.0
+    # cumulative metrics are unaffected by the forwarding
+    assert m.get("ops") == 2.0
+    assert pre.count == 1
+    # detaching stops the forwarding
+    m.bind_timeseries(None)
+    m.count("ops", 1)
+    pre.record(1.0)
+    assert ts.value(0, "ops") == 2.0
+    assert ts.get(0, "early").count == 1.0
+
+
+def test_cluster_install_timeseries_windows_a_real_run():
+    from repro.core.api import BYTES, Operation, Proc, make_cluster
+
+    cluster = make_cluster("ideal", seed=0)
+    ts = cluster.install_timeseries(window_ms=5.0)
+    assert cluster.timeseries is ts
+
+    ECHO = Operation("echo", (BYTES,), (BYTES,))
+
+    class Server(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            yield from ctx.register(ECHO)
+            yield from ctx.open(end)
+            for _ in range(20):
+                inc = yield from ctx.wait_request()
+                yield from ctx.reply(inc, (inc.args[0],))
+
+    class Client(Proc):
+        def main(self, ctx):
+            (end,) = ctx.initial_links
+            for _ in range(20):
+                yield from ctx.connect(end, ECHO, (b"x",))
+                yield from ctx.delay(2.0)
+
+    s = cluster.spawn(Server(), "server")
+    c = cluster.spawn(Client(), "client")
+    cluster.create_link(s, c)
+    cluster.run_until_quiet(max_ms=1e6)
+    # the runtime's own rpc.roundtrip recorder feeds the series
+    rtt_windows = ts.series("rpc.roundtrip")
+    assert len(rtt_windows) >= 2
+    assert sum(stat.count for _, stat in rtt_windows) \
+        == cluster.metrics.latency("rpc.roundtrip").count == 20

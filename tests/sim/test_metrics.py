@@ -32,10 +32,29 @@ def test_latency_summary():
     assert rec.mean == pytest.approx(2.5)
     assert rec.minimum == 1.0
     assert rec.maximum == 4.0
-    assert rec.percentile(50) == pytest.approx(2.5)
+    # percentiles are histogram-backed: exact at the endpoints, within
+    # the ~1% construction bound in between
+    assert rec.percentile(50) == pytest.approx(2.5, rel=0.02)
     assert rec.percentile(0) == 1.0
     assert rec.percentile(100) == 4.0
     assert rec.count == 4
+
+
+def test_latency_merge_matches_single_stream():
+    xs = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+    whole = LatencyRecorder("w")
+    a, b = LatencyRecorder("a"), LatencyRecorder("b")
+    for i, v in enumerate(xs):
+        whole.record(v)
+        (a if i % 2 == 0 else b).record(v)
+    a.merge(b)
+    assert a.count == whole.count
+    assert a.mean == whole.mean
+    assert a.minimum == whole.minimum
+    assert a.maximum == whole.maximum
+    for p in (0, 25, 50, 75, 99, 100):
+        assert a.percentile(p) == whole.percentile(p)
+    assert a.stddev == pytest.approx(whole.stddev)
 
 
 def test_latency_empty_is_nan():
