@@ -8,8 +8,14 @@ than a driver; everything else reports *simulated* time.
 
 import pytest
 
-from repro.core.api import BYTES, Operation, Proc, make_cluster, registered_kernels
-from repro.sim.engine import Engine
+from repro.core.api import (
+    BYTES,
+    Operation,
+    Proc,
+    make_cluster,
+    make_engine,
+    registered_kernels,
+)
 
 ECHO = Operation("echo", (BYTES,), (BYTES,))
 
@@ -17,7 +23,7 @@ ECHO = Operation("echo", (BYTES,), (BYTES,))
 @pytest.mark.benchmark(group="s1")
 def test_s1_engine_event_throughput(benchmark):
     def run():
-        eng = Engine()
+        eng = make_engine("global")
         count = 0
 
         def tick():

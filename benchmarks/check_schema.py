@@ -4,12 +4,14 @@
 
 Validates
 
-  - ``BENCH_PR7.json`` (and any other ``BENCH_*.json`` at the repo
+  - ``BENCH_PR8.json`` (and any other ``BENCH_*.json`` at the repo
     root): schema "repro.bench", ``schema_version`` equal to the code's
     ``BENCH_SCHEMA_VERSION``, and the exact top-level / per-bench key
     structure recorded in ``tests/obs/golden_bench_schema.json``
     (full-mode docs additionally carry the golden's
-    ``benches_full_extra`` keys — the wider E4 payload sweep);
+    ``benches_full_extra`` keys — the wider E4 payload sweep; the E16
+    block's determinism flags and full-mode speedup are additionally
+    value-checked, see ``check_e16_contract``);
   - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
     ``name`` field matching the file name, and rows shaped like the
     header;
@@ -93,6 +95,28 @@ def check_bench_doc(path: str, golden: dict, errors: List[str]) -> None:
             if value is not None and not isinstance(value, (int, float)):
                 errors.append(f"{name}: {bid}.{metric} is "
                               f"{type(value).__name__}, not a JSON number")
+    check_e16_contract(name, doc, errors)
+
+
+def check_e16_contract(name: str, doc: dict, errors: List[str]) -> None:
+    """E16 carries machine-checked claims, not just rates: a committed
+    baseline whose determinism flags are not exactly 1.0, or whose
+    full-mode 8-shard speedup is below the gated 2x, is invalid even if
+    its key structure matches the golden file."""
+    e16 = doc.get("benches", {}).get("E16")
+    if not e16:
+        return  # pre-E16 baselines carry no block; post-E16 nulls are fine
+    for flag in ("scale_digest_match_s1", "scale_digest_match_s8",
+                 "scale_repeat_stable_s8"):
+        value = e16.get(flag)
+        if value is not None and value != 1.0:
+            errors.append(f"{name}: E16.{flag} = {value!r}; a baseline "
+                          f"may only record a passing (1.0) flag")
+    speedup = e16.get("scale_parallel_s8_speedup")
+    if speedup is not None and not doc.get("quick") and speedup < 2.0:
+        errors.append(f"{name}: E16.scale_parallel_s8_speedup = "
+                      f"{speedup} < 2.0 — full-mode baselines must "
+                      f"clear the gated speedup")
 
 
 def check_table_doc(path: str, errors: List[str]) -> None:

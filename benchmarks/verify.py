@@ -1,6 +1,7 @@
 """One-command observability smoke check (make-verify style):
 
     PYTHONPATH=src python benchmarks/verify.py [--out DIR]
+                                               [--sim-backend NAME]
 
 Runs ``python -m repro lint`` (the determinism & layering pass must be
 clean before anything is measured), then ``python -m repro trace
@@ -9,11 +10,16 @@ on every registered kernel), then one
 zero-byte RPC on every backend in the kernel registry (so a freshly
 registered backend cannot silently miss the smoke net), then a seeded
 lossy fault-recovery run per backend (messages must actually drop,
-recovery must actually fire, and goodput must stay positive), followed
-by ``python -m repro bench --quick`` (the full BENCH_*.json export at
-smoke counts), failing on the first non-zero step.  Tier-1 covers the
-same ground piecewise; this script is the single command to confirm
-the whole observability pipeline works in a fresh checkout.
+recovery must actually fire, and goodput must stay positive), then a
+sharded scale smoke on every engine in the `repro.sim.backends`
+registry (each run's digest must match the ``global`` oracle's),
+followed by ``python -m repro bench --quick`` (the full BENCH_*.json
+export at smoke counts), failing on the first non-zero step.
+``--sim-backend NAME`` pins the scale smoke and the bench export to
+one registered engine; unknown names exit non-zero, same as an
+unknown ``bench --only`` id.  Tier-1 covers the same ground
+piecewise; this script is the single command to confirm the whole
+observability pipeline works in a fresh checkout.
 """
 
 from __future__ import annotations
@@ -32,8 +38,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--out", default=None,
                     help="directory for BENCH_verify.json "
                          "(default: a fresh temp dir)")
+    ap.add_argument("--sim-backend", default=None, metavar="NAME",
+                    help="pin the scale smoke and the bench export to "
+                         "one repro.sim.backends engine (default: "
+                         "smoke every registered backend)")
     args = ap.parse_args(argv)
     out_dir = args.out or tempfile.mkdtemp(prefix="repro-verify-")
+
+    from repro.core.api import registered_sim_backends, sim_backend_profile
+
+    if args.sim_backend is not None:
+        try:
+            sim_backend_profile(args.sim_backend)
+        except ValueError as exc:
+            print(f"verify: {exc}", file=sys.stderr)
+            return 2
 
     rc = repro_main(["lint"])
     if rc != 0:
@@ -101,8 +120,38 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{dropped:.0f} dropped, {recovered:.0f} resent, "
               f"{c.goodput_per_s:.1f} op/s)")
 
+    # sharded-engine smoke: the same seeded scale run on every engine
+    # in the backend registry (or the one pinned by --sim-backend)
+    # must reproduce the global oracle's digest bit for bit
+    from repro.workloads.scale import run_scale
+
+    sim_backends = ([args.sim_backend] if args.sim_backend is not None
+                    else list(registered_sim_backends()))
+    oracle = run_scale("global", 2, clients=64, requests=2, seed=1)
+    for name in sim_backends:
+        try:
+            r = run_scale(name, 2, clients=64, requests=2, seed=1)
+        except Exception as exc:  # noqa: BLE001 - smoke check reports all
+            print(f"verify: sim-backend smoke FAILED on {name}: {exc}",
+                  file=sys.stderr)
+            return 1
+        if r.events <= 0 or r.completed <= 0:
+            print(f"verify: sim-backend smoke on {name} fired no events",
+                  file=sys.stderr)
+            return 1
+        if r.digest != oracle.digest:
+            print(f"verify: sim-backend smoke on {name} diverged from "
+                  f"the global oracle (digest {r.digest[:16]} != "
+                  f"{oracle.digest[:16]})", file=sys.stderr)
+            return 1
+        print(f"verify: sim-backend smoke ok on {name} "
+              f"({r.events} events, digest {r.digest[:16]})")
+
     bench_path = os.path.join(out_dir, "BENCH_verify.json")
-    rc = repro_main(["bench", "--quick", "--out", bench_path])
+    bench_argv = ["bench", "--quick", "--out", bench_path]
+    if args.sim_backend is not None:
+        bench_argv += ["--sim-backend", args.sim_backend]
+    rc = repro_main(bench_argv)
     if rc != 0:
         print("verify: bench --quick FAILED", file=sys.stderr)
         return rc

@@ -9,6 +9,7 @@ rationale lives in docs/LINT.md.
 ``LAY002``  capability attributes missing from `KernelCapabilities`
 ``API001``  `RecoveryExhausted` swallowed without trace
 ``SIM001``  float equality on simulated timestamps
+``SIM002``  direct engine construction bypassing `repro.sim.backends`
 ``OBS001``  unbounded raw-sample accumulation in the telemetry plane
 =========  ==========================================================
 """

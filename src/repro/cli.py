@@ -6,7 +6,7 @@
     python -m repro figure2                 # live figure-2 chart
     python -m repro migrate --kernel soda --hops 8 --loss 0.5
     python -m repro sizes                   # the E2 code-size table
-    python -m repro bench                   # E1..E15/S1 -> BENCH_*.json
+    python -m repro bench                   # E1..E16/S1 -> BENCH_*.json
     python -m repro trace --kernel soda --by-layer --critical-path
     python -m repro chaos                   # fault injection + recovery
     python -m repro lint                    # determinism/layering checks
@@ -31,7 +31,12 @@ from repro.analysis.complexity import (
     runtime_package_stats,
 )
 from repro.analysis.report import Table
-from repro.core.api import kernel_profile, kernel_profiles, registered_kernels
+from repro.core.api import (
+    kernel_profile,
+    kernel_profiles,
+    registered_kernels,
+    registered_sim_backends,
+)
 from repro.obs import compare as compare_mod
 from repro.obs.bench import BENCH_IDS
 
@@ -205,7 +210,8 @@ def _cmd_bench(args) -> int:
         return _bench_compare(args)
     try:
         results = run_benches(bench_ids=args.only, seed=args.seed,
-                              quick=args.quick)
+                              quick=args.quick,
+                              sim_backend=args.sim_backend)
     except ValueError as exc:
         print(f"repro bench: {exc}", file=sys.stderr)
         return 2
@@ -409,6 +415,7 @@ def _cmd_flight(args) -> int:
         run_chaos_workload(
             args.kernel, count=12, seed=args.seed,
             plan=partitioned_plan(quick=True), policy=chaos_policy(),
+            sim_backend=args.sim_backend,
             instrument=lambda cluster: recorders.append(
                 cluster.install_flight_recorder(args.out)
             ),
@@ -436,6 +443,49 @@ def _cmd_flight(args) -> int:
     return 0
 
 
+def _top_scale(args) -> int:
+    """`top --scenario scale`: per-window telemetry of the E16 sharded
+    workload.  Every shard keeps its own windowed `TimeSeries`; the
+    merged series (`TimeSeries.merged`) is what gets rendered — not
+    shard 0's slice."""
+    from repro.workloads.scale import run_scale
+
+    r = run_scale(
+        args.sim_backend, args.shards, clients=args.clients,
+        requests=2, seed=args.seed, window_ms=args.window,
+    )
+    ts = r.timeseries
+    if ts is None:  # pragma: no cover - run_scale always builds series
+        print("repro top: scale run produced no time-series",
+              file=sys.stderr)
+        return 2
+    t = Table(
+        f"per-window scale telemetry on {args.sim_backend} "
+        f"(shards={args.shards}, clients={args.clients}, "
+        f"window={args.window:g} ms, seed={args.seed})",
+        ["t0 ms", "completed", "goodput/s", "mean rtt ms", "max rtt ms",
+         "remote", "dropped", "retries", "moves"],
+    )
+    for w in ts.windows():
+        t0, _ = ts.window_span(w)
+        rtt = ts.get(w, "scale.rtt")
+        t.add(
+            t0,
+            ts.value(w, "scale.completed"),
+            ts.rate_per_sec(w, "scale.completed"),
+            rtt.mean if rtt else 0.0,
+            rtt.maximum if rtt else 0.0,
+            ts.value(w, "scale.remote"),
+            ts.value(w, "scale.dropped"),
+            ts.value(w, "scale.retries"),
+            ts.value(w, "scale.moves"),
+        )
+    t.show()
+    print(f"{r.events} events across {r.shards} shard(s); "
+          f"digest {r.digest[:16]}")
+    return 0
+
+
 def _cmd_top(args) -> int:
     from repro.workloads.chaos import (
         chaos_policy,
@@ -444,6 +494,8 @@ def _cmd_top(args) -> int:
         run_chaos_workload,
     )
 
+    if args.scenario == "scale":
+        return _top_scale(args)
     if args.scenario == "lossy":
         plan = lossy_plan()
         label = "lossy"
@@ -457,6 +509,7 @@ def _cmd_top(args) -> int:
     run_chaos_workload(
         args.kernel, count=args.count, seed=args.seed,
         plan=plan, policy=chaos_policy() if plan is not None else None,
+        sim_backend=args.sim_backend,
         instrument=lambda cluster: series.append(
             cluster.install_timeseries(args.window)
         ),
@@ -622,15 +675,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the E1/E4/E5/E13/E14/E15/S1 workloads and write "
+        help="run the E1/E4/E5/E13/E14/E15/E16/S1 workloads and write "
              "BENCH_*.json",
     )
     p.add_argument("--quick", action="store_true",
                    help="smoke-test iteration counts (same schema)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
-                   help="output path (default: BENCH_PR7.json at the "
+                   help="output path (default: BENCH_PR8.json at the "
                         "repo root; '-' writes the JSON to stdout)")
+    p.add_argument("--sim-backend", default=None, metavar="NAME",
+                   help="pin backend-aware benches (E16/S1) to one "
+                        "repro.sim.backends engine instead of sweeping "
+                        "all of them (unknown names exit 2)")
     p.add_argument("--only", nargs="+", metavar="BENCH", type=str.upper,
                    help=f"subset of {' '.join(BENCH_IDS)} "
                         "(unknown names exit 2)")
@@ -682,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", choices=registered_kernels(),
                    default=_default_kernel("chaos"),
                    help="backend for --demo")
+    p.add_argument("--sim-backend", choices=registered_sim_backends(),
+                   default="global",
+                   help="simulation engine for --demo")
     p.add_argument("--out", default="flight", metavar="DIR",
                    help="--demo dump directory (default: ./flight)")
     p.add_argument("--tail", type=int, default=20,
@@ -696,8 +756,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--kernel", choices=registered_kernels(),
                    default=_default_kernel("chaos"))
-    p.add_argument("--scenario", choices=("partition", "lossy", "clean"),
+    p.add_argument("--scenario",
+                   choices=("partition", "lossy", "clean", "scale"),
                    default="partition")
+    p.add_argument("--sim-backend", choices=registered_sim_backends(),
+                   default="global",
+                   help="simulation engine; with --scenario scale the "
+                        "per-shard series are merged before rendering")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard count for --scenario scale")
+    p.add_argument("--clients", type=int, default=2000,
+                   help="client population for --scenario scale")
     p.add_argument("--window", type=float, default=100.0,
                    help="window width in simulated ms")
     p.add_argument("--count", type=int, default=30)

@@ -76,6 +76,12 @@ from repro.core.types import (
     Operation,
     RecordType,
 )
+from repro.sim.backends import (
+    SimBackendProfile,
+    make_engine,
+    registered_sim_backends,
+    sim_backend_profile,
+)
 from repro.sim.failure import CrashMode
 from repro.sim.faults import FaultPlan, FaultSpec
 
@@ -96,7 +102,9 @@ def make_cluster(
     ``kind`` is any backend registered in `repro.core.ports`.  Extra
     keyword arguments are forwarded to the cluster constructor (e.g.
     ``broadcast_loss=`` for SODA, ``tuned=True`` for Chrysalis,
-    ``reply_acks=True`` for Charlotte's E7 ablation).
+    ``reply_acks=True`` for Charlotte's E7 ablation, and
+    ``sim_backend=``/``shards=`` to run the cluster on an engine from
+    `repro.sim.backends`).
     """
     cluster_cls = kernel_profile(kind).load_cluster()
     return cluster_cls(seed=seed, costmodel=costmodel, **kwargs)
@@ -113,6 +121,10 @@ __all__ = [
     "paper_kernels",
     "kernel_profile",
     "kernel_profiles",
+    "SimBackendProfile",
+    "make_engine",
+    "registered_sim_backends",
+    "sim_backend_profile",
     "CostModel",
     "ClusterBase",
     "ProcessHandle",

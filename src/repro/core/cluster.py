@@ -26,7 +26,7 @@ from repro.obs.causal import SpanTracker
 from repro.obs.flight import FlightRecorder
 from repro.obs.sampling import TraceSampler
 from repro.obs.timeseries import TimeSeries
-from repro.sim.engine import Engine
+from repro.sim.backends import make_engine
 from repro.sim.failure import CrashMode
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.futures import FutureState
@@ -73,9 +73,20 @@ class ClusterBase:
         costmodel: Optional[CostModel] = None,
         nodes: int = 16,
         profile: bool = False,
+        sim_backend: str = "global",
+        shards: int = 1,
+        lookahead_ms: Optional[float] = None,
     ) -> None:
         self.seed = seed
-        self.engine = Engine(profile=profile)
+        #: which `repro.sim.backends` engine executes this cluster.
+        #: Cluster workloads never tag shards, so on the sharded
+        #: backends they run in exact global order (the oracle path)
+        #: and stay bit-identical to the global engine.
+        self.sim_backend = sim_backend
+        self.engine = make_engine(
+            sim_backend, shards=shards, lookahead_ms=lookahead_ms,
+            profile=profile,
+        )
         self.metrics = MetricSet()
         self.registry = LinkRegistry()
         self.trace = TraceLog(self.engine)

@@ -6,30 +6,36 @@ E5 (Chrysalis latency + tuning), E13 (causal critical-path layer
 attribution, repro.obs.causal), E14 (goodput and tail latency under a
 seeded network partition, repro.workloads.chaos), E15 (the telemetry
 plane's own overhead: events/sec with observability off / sampled /
-full, plus streaming-histogram accuracy and merge checks) and S1
-(simulator wall-clock throughput) — and writes one machine-readable
+full, plus streaming-histogram accuracy and merge checks), E16 (the
+engine-scaling experiment: 100k+ simulated clients on every
+`repro.sim.backends` engine, events/sec by shard count, with the
+cross-backend determinism digests machine-checked) and S1 (simulator
+wall-clock throughput) — and writes one machine-readable
 ``BENCH_*.json`` so the performance trajectory of the repository is
 tracked across PRs.  The authoritative assertion-carrying harness
 remains ``pytest benchmarks/ --benchmark-only``; this runner trades
 its tables for a stable schema::
 
-    {"schema": "repro.bench", "schema_version": 5,
+    {"schema": "repro.bench", "schema_version": 6,
      "seed": 0, "git_rev": "<rev|unknown>",
      "timestamp": "<UTC ISO-8601>", "quick": false,
      "benches": {bench_id: {metric: value}}}
 
-E13, E14 and S1 iterate the kernel registry (`repro.core.ports`), so
-a newly registered backend shows up in the document without edits
+E13, E14 and S1 iterate the kernel registry (`repro.core.ports`), and
+E16 iterates the sim-backend registry (`repro.sim.backends`), so a
+newly registered backend shows up in the document without edits
 here.  ``schema_version`` history: 3 = the ``ideal`` backend joined
 every per-kernel metric family; 4 = the E14 fault-recovery bench
 joined ``benches``; 5 = the E15 observability-overhead bench joined
 ``benches`` and latency percentiles became streaming-histogram
-derived (`repro.obs.hist`).
+derived (`repro.obs.hist`); 6 = the E16 sharded-engine scaling bench
+joined ``benches``.
 
-Simulated quantities are deterministic for a seed; the ``s1.*`` and
-``obs_*_events_per_sec`` wall clock metrics are real time and
-machine-dependent by design.  ``--quick`` shrinks iteration counts so
-the whole run is test-suite cheap (the schema is unchanged).
+Simulated quantities are deterministic for a seed; the ``s1.*``,
+``obs_*_events_per_sec`` and ``scale_*_events_per_sec`` wall clock
+metrics are real time and machine-dependent by design.  ``--quick``
+shrinks iteration counts so the whole run is test-suite cheap (the
+schema is unchanged).
 """
 
 from __future__ import annotations
@@ -46,8 +52,8 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.jsonl import json_safe
 
-BENCH_SCHEMA_VERSION = 5
-DEFAULT_BENCH_FILENAME = "BENCH_PR7.json"
+BENCH_SCHEMA_VERSION = 6
+DEFAULT_BENCH_FILENAME = "BENCH_PR8.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
 E4_SWEEP_QUICK = (0, 1024, 2048)
@@ -124,11 +130,15 @@ def bench_e5(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     }
 
 
-def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+def bench_s1(
+    seed: int = 0, quick: bool = False, sim_backend: Optional[str] = None
+) -> Dict[str, float]:
     """S1 — substrate wall-clock throughput: bare engine dispatch plus
     a full RPC conversation simulated on every registered kernel.  Real
     seconds, so these values are machine-dependent (unlike everything
-    else here)."""
+    else here).  ``sim_backend`` selects which `repro.sim.backends`
+    engine executes the dispatch loop and the cluster conversations
+    (default: ``global``)."""
     from repro.core.api import (
         BYTES,
         Operation,
@@ -136,10 +146,11 @@ def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
         make_cluster,
         registered_kernels,
     )
-    from repro.sim.engine import Engine
+    from repro.sim.backends import make_engine
 
+    backend = sim_backend or "global"
     ticks = 2_000 if quick else 20_000
-    eng = Engine()
+    eng = make_engine(backend)
     fired = {"n": 0}
 
     def tick():
@@ -176,7 +187,7 @@ def bench_s1(seed: int = 0, quick: bool = False) -> Dict[str, float]:
                 yield from ctx.connect(end, ECHO, (b"x" * 64,))
 
     for kind in registered_kernels():
-        cluster = make_cluster(kind, seed=seed)
+        cluster = make_cluster(kind, seed=seed, sim_backend=backend)
         s = cluster.spawn(Server(), "server")
         c = cluster.spawn(Client(), "client")
         cluster.create_link(s, c)
@@ -486,26 +497,184 @@ def bench_e15(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     return out
 
 
-_BENCHES: Dict[str, Callable[[int, bool], Dict[str, float]]] = {
+def bench_e16(
+    seed: int = 0, quick: bool = False, sim_backend: Optional[str] = None
+) -> Dict[str, float]:
+    """E16 — engine scaling: the `repro.workloads.scale` population
+    (100k+ clients in full mode) runs on every backend registered in
+    `repro.sim.backends`, reporting host events/sec by shard count.
+
+    Two families of claim, both machine-checked on every run:
+
+    * **Determinism**: wherever two backends executed the same
+      (seed, shards) configuration, their `ScaleResult` digests — a
+      SHA-256 over every per-shard metric snapshot — must be
+      bit-identical, and re-running ``sharded-parallel`` at 8 shards
+      must reproduce its own digest exactly.  A mismatch raises, so a
+      baseline violating the determinism contract cannot be written.
+    * **Scaling** (full mode): ``sharded-parallel`` at 8 shards must
+      clear **2×** the ``global`` single-heap backend's events/sec on
+      the identical workload — per-shard heaps with windowed dispatch
+      beat one global heap's per-event comparison cost even on one
+      core; forked workers (``workers=``) add real parallelism on
+      multi-core hosts.
+
+    ``sim_backend`` restricts the sweep to one registered backend
+    (unknown names raise the registry's ValueError, which the CLI
+    turns into exit 2, exactly like an unknown ``--only``); the
+    metric keys for backends that did not run stay ``None`` so the
+    document schema never varies.  The ``scale_*_events_per_sec``
+    values are real wall-clock rates (machine-dependent, like S1);
+    digests, flags and the rtt quantiles are deterministic for a seed.
+    """
+    from repro.sim.backends import registered_sim_backends, sim_backend_profile
+    from repro.workloads.scale import run_scale
+
+    if sim_backend is not None:
+        sim_backend_profile(sim_backend)  # unknown name -> ValueError
+        backends: Tuple[str, ...] = (sim_backend,)
+    else:
+        backends = registered_sim_backends()
+    clients = 4_000 if quick else 100_000
+    requests = 2 if quick else 4
+    short_names = {
+        "global": "global",
+        "sharded-serial": "serial",
+        "sharded-parallel": "parallel",
+    }
+
+    out: Dict[str, Optional[float]] = {
+        "scale_clients": float(clients),
+        "scale_events_total": None,
+        "scale_global_s1_events_per_sec": None,
+        "scale_global_s8_events_per_sec": None,
+        "scale_serial_s1_events_per_sec": None,
+        "scale_serial_s8_events_per_sec": None,
+        "scale_parallel_s1_events_per_sec": None,
+        "scale_parallel_s2_events_per_sec": None,
+        "scale_parallel_s4_events_per_sec": None,
+        "scale_parallel_s8_events_per_sec": None,
+        "scale_parallel_s8_speedup": None,
+        "scale_digest_match_s1": None,
+        "scale_digest_match_s8": None,
+        "scale_repeat_stable_s8": None,
+        "scale_rtt_mean_ms": None,
+        "scale_rtt_p99_ms": None,
+    }
+
+    # same hygiene as E15: collect before each timed run and keep the
+    # collector out of the timed region, so a run's rate does not
+    # depend on how much garbage the previous eight runs left behind
+    import gc
+
+    runs: Dict[Tuple[str, int], object] = {}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for backend in backends:
+            short = short_names.get(backend, backend.replace("-", "_"))
+            counts = (1, 2, 4, 8) if backend == "sharded-parallel" \
+                else (1, 8)
+            for shards in counts:
+                gc.enable()
+                gc.collect()
+                gc.disable()
+                t_start = perf_counter()
+                r = run_scale(backend, shards, clients=clients,
+                              requests=requests, seed=seed)
+                wall = perf_counter() - t_start
+                runs[(backend, shards)] = r
+                out[f"scale_{short}_s{shards}_events_per_sec"] = (
+                    r.events / wall if wall else 0.0
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    # cross-backend determinism: every backend that ran a (seed, k)
+    # configuration must agree on the digest and the event count
+    for k in (1, 8):
+        ran = {b: runs[(b, k)] for b in backends if (b, k) in runs}
+        if len(ran) < 2:
+            continue
+        digests = {b: r.digest for b, r in ran.items()}
+        events = {b: r.events for b, r in ran.items()}
+        if len(set(digests.values())) != 1 or len(set(events.values())) != 1:
+            raise AssertionError(
+                f"E16: same-seed runs diverged across backends at "
+                f"shards={k}: digests={digests} events={events}"
+            )
+        out[f"scale_digest_match_s{k}"] = 1.0
+
+    # repeat stability: the parallel backend (or whichever backend was
+    # selected) must reproduce its own 8-shard digest exactly
+    stable_backend = (
+        "sharded-parallel" if "sharded-parallel" in backends else backends[-1]
+    )
+    base = runs.get((stable_backend, 8))
+    if base is not None:
+        again = run_scale(stable_backend, 8, clients=clients,
+                          requests=requests, seed=seed)
+        if again.digest != base.digest or again.events != base.events:
+            raise AssertionError(
+                f"E16: {stable_backend} at 8 shards is not repeat-stable "
+                f"for seed {seed}: {base.digest} != {again.digest}"
+            )
+        out["scale_repeat_stable_s8"] = 1.0
+
+    ref = runs.get(("sharded-parallel", 8)) or next(iter(runs.values()))
+    out["scale_events_total"] = float(ref.events)
+    rtt = ref.metrics.latency("scale.rtt")
+    if rtt.count:
+        out["scale_rtt_mean_ms"] = rtt.mean
+        out["scale_rtt_p99_ms"] = rtt.percentile(99)
+
+    par = out["scale_parallel_s8_events_per_sec"]
+    base_rate = out["scale_global_s8_events_per_sec"]
+    if par and base_rate:
+        out["scale_parallel_s8_speedup"] = par / base_rate
+        if not quick and out["scale_parallel_s8_speedup"] < 2.0:
+            raise AssertionError(
+                f"E16: sharded-parallel at 8 shards must clear 2x the "
+                f"global backend on the scale workload; measured "
+                f"{out['scale_parallel_s8_speedup']:.2f}x "
+                f"({par:,.0f} vs {base_rate:,.0f} events/s)"
+            )
+    return out
+
+
+_BENCHES: Dict[str, Callable[..., Dict[str, float]]] = {
     "E1": bench_e1,
     "E4": bench_e4,
     "E5": bench_e5,
     "E13": bench_e13,
     "E14": bench_e14,
     "E15": bench_e15,
+    "E16": bench_e16,
     "S1": bench_s1,
 }
 
 BENCH_IDS: Tuple[str, ...] = tuple(_BENCHES)
+
+#: benches that execute on a selectable `repro.sim.backends` engine
+BACKEND_AWARE_BENCHES = frozenset({"E16", "S1"})
 
 
 def run_benches(
     bench_ids: Optional[Iterable[str]] = None,
     seed: int = 0,
     quick: bool = False,
+    sim_backend: Optional[str] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Run the selected benches (all of them by default) and return
-    ``{bench_id: {metric: value}}``."""
+    ``{bench_id: {metric: value}}``.  ``sim_backend`` routes the
+    backend-aware benches (E16, S1) through one registered
+    `repro.sim.backends` engine; an unknown name raises the registry's
+    ValueError before anything runs (the CLI maps it to exit 2, the
+    same contract as an unknown bench id)."""
+    if sim_backend is not None:
+        from repro.sim.backends import sim_backend_profile
+
+        sim_backend_profile(sim_backend)  # unknown -> ValueError
     ids = list(bench_ids) if bench_ids else list(BENCH_IDS)
     results = {}
     for bid in ids:
@@ -514,7 +683,10 @@ def run_benches(
             raise ValueError(
                 f"unknown bench {bid!r}; expected one of {BENCH_IDS}"
             )
-        results[key] = _BENCHES[key](seed=seed, quick=quick)
+        kwargs = {"seed": seed, "quick": quick}
+        if key in BACKEND_AWARE_BENCHES:
+            kwargs["sim_backend"] = sim_backend
+        results[key] = _BENCHES[key](**kwargs)
     return results
 
 
@@ -552,7 +724,7 @@ def write_bench_json(
     quick: bool = False,
 ) -> Tuple[Dict[str, object], str]:
     """Wrap ``results`` in the versioned envelope and write it (default:
-    ``BENCH_PR7.json`` at the repo root; ``"-"`` writes to stdout).
+    ``BENCH_PR8.json`` at the repo root; ``"-"`` writes to stdout).
     Returns (document, path)."""
     if path is None:
         path = os.path.join(repo_root(), DEFAULT_BENCH_FILENAME)

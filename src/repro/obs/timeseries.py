@@ -45,6 +45,17 @@ class WindowStat:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def merge(self, other: "WindowStat") -> "WindowStat":
+        """Fold another aggregate of the same (window, metric) in —
+        exact: counts and sums add, extrema take the min/max."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -139,6 +150,46 @@ class TimeSeries:
             }
             for w in sorted(self._windows)
         }
+
+    # merging -----------------------------------------------------------
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Fold another series with the same ``window_ms`` in: aligned
+        windows merge stat-by-stat (`WindowStat.merge`), missing
+        windows copy over.  This is how per-shard series from a
+        sharded run become one rendering — `repro top` merges *before*
+        windowing output instead of showing only shard 0."""
+        if other.window_ms != self.window_ms:
+            raise ValueError(
+                f"cannot merge series with window_ms={other.window_ms} "
+                f"into window_ms={self.window_ms}"
+            )
+        for w in sorted(other._windows):
+            stats = self._windows.get(w)
+            if stats is None:
+                stats = self._windows[w] = {}
+            for name, stat in other._windows[w].items():
+                mine = stats.get(name)
+                if mine is None:
+                    mine = stats[name] = WindowStat()
+                mine.merge(stat)
+        while len(self._windows) > self.retain:
+            self._windows.popitem(last=False)
+        return self
+
+    @classmethod
+    def merged(cls, series: List["TimeSeries"]) -> Optional["TimeSeries"]:
+        """A fresh series holding the merge of ``series`` (which are
+        left untouched).  None for an empty list."""
+        if not series:
+            return None
+        out = cls(None, series[0].window_ms,
+                  retain=max(s.retain for s in series))
+        for s in series:
+            out.merge(s)
+        # window keys may interleave across shards: keep eviction order
+        # chronological, like a single-engine series
+        out._windows = OrderedDict(sorted(out._windows.items()))
+        return out
 
     def __len__(self) -> int:
         return len(self._windows)

@@ -123,7 +123,25 @@ class Engine:
 
     The engine deliberately has no notion of processes; see
     `repro.sim.tasks.Task` for coroutine driving.
+
+    Construction note: layers above ``repro.sim`` obtain engines through
+    the `repro.sim.backends` registry (``make_engine``), never by
+    calling ``Engine(...)`` directly — the SIM002 lint rule enforces
+    this so every workload can run on the sharded backends unchanged.
     """
+
+    #: shard count — the global engine is always a single shard; the
+    #: sharded backends (`repro.sim.backends`) override this
+    shards: int = 1
+    #: conservative-synchronization lookahead (ms); adopted from the
+    #: interconnect's latency floor (`note_link_floor`) unless set
+    #: explicitly via the backend registry
+    lookahead_ms: float = 0.0
+    #: smallest guaranteed per-link transit time any network model has
+    #: registered; 0.0 until a model reports one
+    link_floor_ms: float = 0.0
+    #: whether `lookahead_ms` tracks `link_floor_ms` automatically
+    _lookahead_auto: bool = True
 
     def __init__(self, profile: bool = False) -> None:
         self.now: float = 0.0
@@ -131,6 +149,10 @@ class Engine:
         self._seq: int = 0
         self._events_fired: int = 0
         self._running: bool = False
+        #: per-shard cross-shard message receivers (`bind_receiver`)
+        self._receivers: Dict[int, Callable[..., Any]] = {}
+        #: per-shard result extractors (`bind_harvest`)
+        self._harvest: Dict[int, Callable[[], Any]] = {}
         #: optional hook called as trace(engine, event) before each event
         self.trace_hook: Optional[Callable[["Engine", Event], None]] = None
         #: per-callback dispatch statistics; None unless ``profile=True``
@@ -172,6 +194,99 @@ class Engine:
         """Schedule ``fn(*args)`` at the current instant (after pending
         same-instant events)."""
         return self.schedule(0.0, fn, *args)
+
+    def defer(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget `schedule`: no cancellation handle is
+        returned.  The sharded backends skip allocating one entirely;
+        here it only drops the return value, but workloads that use
+        ``defer`` run unchanged — and faster — on every backend."""
+        self.schedule(delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # shard-tagged scheduling
+    #
+    # The global engine is a single shard, so these are degenerate
+    # forms of the API the sharded backends (`repro.sim.backends`)
+    # implement with real per-shard queues.  Workloads written against
+    # this surface run bit-identically on every registered backend.
+    # ------------------------------------------------------------------
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shards:
+            raise EngineError(
+                f"shard {shard} out of range for {self.shards}-shard engine"
+            )
+
+    def schedule_on(
+        self, shard: int, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """`schedule` onto an explicit shard's queue (here: the only
+        queue)."""
+        self._check_shard(shard)
+        return self.schedule(delay, fn, *args)
+
+    def defer_on(
+        self, shard: int, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> None:
+        """`defer` onto an explicit shard's queue."""
+        self._check_shard(shard)
+        self.schedule(delay, fn, *args)
+
+    def shard_now(self, shard: int) -> float:
+        """The shard-local clock — on the global engine, `now`."""
+        self._check_shard(shard)
+        return self.now
+
+    def bind_receiver(self, shard: int, fn: Callable[..., Any]) -> None:
+        """Register ``fn`` as the cross-shard message receiver for
+        ``shard``: `post` targets it by shard id, so messages stay
+        addressable when shards live in other worker processes."""
+        self._check_shard(shard)
+        self._receivers[shard] = fn
+
+    def post(self, shard: int, delay: float, key: str, *args: Any) -> None:
+        """Deliver a cross-shard message: ``receiver(key, *args)`` on
+        ``shard``, ``delay`` ms from now.
+
+        ``delay`` must be at least `lookahead_ms` — on the sharded
+        backends that bound is what makes conservative windows safe;
+        the global engine enforces the same contract (trivially, at
+        0.0) so a workload cannot pass here and fail there.
+        """
+        self._check_shard(shard)
+        if delay < self.lookahead_ms:
+            raise EngineError(
+                f"cross-shard post delay {delay} ms is below the "
+                f"lookahead bound {self.lookahead_ms} ms"
+            )
+        fn = self._receivers.get(shard)
+        if fn is None:
+            raise EngineError(f"no receiver bound on shard {shard}")
+        self.schedule(delay, fn, key, *args)
+
+    def note_link_floor(self, floor_ms: float) -> None:
+        """A `repro.sim.network` model reports its guaranteed minimum
+        transit time.  The smallest reported floor becomes the
+        conservative-synchronization lookahead (unless one was pinned
+        explicitly through the backend registry): no frame can arrive
+        sooner, so windows of that width are safe on every backend."""
+        if floor_ms <= 0.0:
+            return
+        if self.link_floor_ms <= 0.0 or floor_ms < self.link_floor_ms:
+            self.link_floor_ms = floor_ms
+            if self._lookahead_auto:
+                self.lookahead_ms = floor_ms
+
+    def bind_harvest(self, shard: int, fn: Callable[[], Any]) -> None:
+        """Register the callable that extracts ``shard``'s final
+        results.  `harvest` runs them after the simulation; on the
+        multiprocess backend they run *inside* the worker owning the
+        shard, so this is the only way to get per-shard state back."""
+        self._check_shard(shard)
+        self._harvest[shard] = fn
+
+    def harvest(self) -> List[Any]:
+        """Collect per-shard results, in shard order."""
+        return [self._harvest[s]() for s in sorted(self._harvest)]
 
     # ------------------------------------------------------------------
     # execution
@@ -225,11 +340,16 @@ class Engine:
         fired = 0
         self._running = True
         try:
-            while self._heap:
+            # driven through `_peek_time`/`step` (not `self._heap`
+            # directly) so backends with their own queue layout — the
+            # sharded-serial oracle — inherit this loop unchanged
+            while True:
                 if max_events is not None and fired >= max_events:
                     break
                 nxt = self._peek_time()
-                if until is not None and nxt is not None and nxt > until:
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
                     self.now = max(self.now, until)
                     break
                 if not self.step():

@@ -20,6 +20,13 @@ network exacted a heavy toll"):
 A network model answers one question: *how long after the send
 instant does a frame of n bytes arrive?* Kernels add their own CPU
 costs on top (see `repro.analysis.costmodel`).
+
+Each model also exposes `min_latency_ms`, a guaranteed lower bound on
+any frame's transit time (the zero-byte, zero-backoff case).  Models
+report it to the engine (`Engine.note_link_floor`), where it becomes
+the conservative-synchronization lookahead for the sharded backends
+(`repro.sim.backends`): no message can cross shards faster than that
+bound, so event windows of that width are safe.
 """
 
 from __future__ import annotations
@@ -60,6 +67,17 @@ class NetworkModel:
     def transit_time(self, nbytes: int) -> float:
         """Milliseconds from send to delivery for an ``nbytes`` frame."""
         raise NotImplementedError
+
+    @property
+    def min_latency_ms(self) -> float:
+        """Guaranteed lower bound on `transit_time` for any frame —
+        the lookahead for conservative sharded execution."""
+        raise NotImplementedError
+
+    def _register_floor(self) -> None:
+        """Report the latency floor to the engine (subclasses call this
+        once their rate parameters are set)."""
+        self.engine.note_link_floor(self.min_latency_ms)
 
     def deliver(
         self,
@@ -115,11 +133,17 @@ class TokenRing(NetworkModel):
         self.stations = stations
         #: ms per byte at the ring rate
         self.per_byte_ms = _BITS / (rate_mbit * 1e3)
+        self._register_floor()
 
     def transit_time(self, nbytes: int) -> float:
         # token wait + serialisation; ring propagation is negligible at
         # building scale and folded into access_delay.
         return self.access_delay_ms + nbytes * self.per_byte_ms
+
+    @property
+    def min_latency_ms(self) -> float:
+        # every frame waits at least the token-access delay
+        return self.access_delay_ms
 
 
 class CSMABus(NetworkModel):
@@ -150,10 +174,16 @@ class CSMABus(NetworkModel):
         self.max_backoff_ms = max_backoff_ms
         self.broadcast_loss = broadcast_loss
         self.per_byte_ms = _BITS / (rate_mbit * 1e3)
+        self._register_floor()
 
     def transit_time(self, nbytes: int) -> float:
         backoff = self.rng.uniform(0.0, self.max_backoff_ms)
         return self.base_access_ms + backoff + nbytes * self.per_byte_ms
+
+    @property
+    def min_latency_ms(self) -> float:
+        # the zero-backoff case still pays the base bus-access time
+        return self.base_access_ms
 
     def broadcast(
         self,
@@ -202,6 +232,12 @@ class SharedMemoryInterconnect(NetworkModel):
         #: microsecond inputs are converted to ms, the project-wide unit
         self.per_byte_ms = per_byte_us / 1e3
         self.hop_ms = hop_us / 1e3
+        self._register_floor()
 
     def transit_time(self, nbytes: int) -> float:
         return self.hop_ms + nbytes * self.per_byte_ms
+
+    @property
+    def min_latency_ms(self) -> float:
+        # a zero-byte control hop still crosses the switch once
+        return self.hop_ms

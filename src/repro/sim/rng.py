@@ -28,6 +28,11 @@ class SimRandom:
         self.seed = seed
         self.name = name
         self._rng = random.Random(f"{seed}\x00{name}")
+        # `random` and `uniform` are pure delegation on simulator hot
+        # paths (every event draws jitter); bind the underlying stream's
+        # methods directly so each draw costs one call, not two
+        self.random = self._rng.random
+        self.uniform = self._rng.uniform
 
     def child(self, name: str) -> "SimRandom":
         """Derive an independent stream tied to ``name``."""

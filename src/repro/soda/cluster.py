@@ -42,12 +42,13 @@ class SodaCluster(ClusterBase):
         pair_request_limit: Optional[int] = None,
         cache_size: int = 64,
         profile: bool = False,
+        **engine_kw,
     ) -> None:
         self.broadcast_loss = broadcast_loss
         self.pair_request_limit = pair_request_limit
         self.cache_size = cache_size
         super().__init__(seed=seed, costmodel=costmodel, nodes=nodes,
-                         profile=profile)
+                         profile=profile, **engine_kw)
 
     def _setup_hardware(self) -> None:
         costs = self.costmodel.soda

@@ -27,8 +27,12 @@ from repro.workloads.adversarial import (
     run_open_close_scenario,
 )
 from repro.workloads.skew import run_skewed_load
+from repro.workloads.scale import ShardSim, ScaleResult, run_scale
 
 __all__ = [
+    "ShardSim",
+    "ScaleResult",
+    "run_scale",
     "PingServer",
     "PingClient",
     "run_rpc_workload",

@@ -1,0 +1,292 @@
+"""The E16 scale workload: 100k+ clients against sharded servers.
+
+This is the workload the ROADMAP's million-client north star is
+measured by.  Each shard owns a population of clients round-tripping
+requests against a shard-local server; a deterministic subset of
+clients is *remote* and sends every request to a server on another
+shard via `Engine.post` (lookahead-bounded cross-shard messages).
+Unlike the LYNX workloads, it speaks the engine's shard-tagged surface
+directly — it is an engine-scaling experiment, not a kernel
+comparison — and therefore runs unchanged on every backend registered
+in `repro.sim.backends`.
+
+Determinism is the point, not an afterthought:
+
+* every shard draws from its own `SimRandom` child stream
+  (``scale/shard<i>``), consumed in shard-local event order, which is
+  identical on every backend;
+* every shard accumulates its own `MetricSet` (and optionally its own
+  windowed `TimeSeries`), retrieved through `Engine.bind_harvest` so
+  results come back even from forked workers;
+* `ShardSim.digest` reduces a shard's final state to a SHA-256 over a
+  stable JSON rendering; `ScaleResult.digest` combines the per-shard
+  digests in shard order.  Same seed ⇒ same digest, across backends,
+  shard counts held fixed, repeats, and worker counts (test-pinned in
+  `tests/sim/test_scale_workload.py` and machine-checked by E16).
+
+Two fault knobs exercise the conservative-window edge cases:
+``partition=(lo, hi)`` drops cross-shard sends issued inside the
+simulated-time window (the client retries after
+``retry_timeout_ms``), and ``moves=[(t, origin, new_target)]``
+migrates an origin shard's remote server to a different shard at time
+``t`` — link migration with endpoints on different shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.timeseries import TimeSeries
+from repro.sim.backends import make_engine
+from repro.sim.metrics import MetricSet
+from repro.sim.rng import SimRandom
+
+__all__ = ["ShardSim", "ScaleResult", "run_scale"]
+
+#: simulated cost shape (ms): shard-local request/reply legs and the
+#: cross-shard base latency.  The cross-shard base sits above the
+#: default lookahead with jitter that keeps arrival timestamps off the
+#: barrier grid (ties across shards would make the parallel interleave
+#: order-sensitive).
+LOCAL_REQUEST_MS = 0.08
+LOCAL_REPLY_MS = 0.06
+SERVICE_MS = 0.02
+REMOTE_BASE_MS = 0.3
+JITTER_MS = 0.05
+
+
+class ShardSim:
+    """One shard of the scale workload: clients, a server, metrics."""
+
+    def __init__(
+        self,
+        eng,
+        shard: int,
+        shards: int,
+        *,
+        clients: int,
+        requests: int,
+        seed: int,
+        remote_every: int = 8,
+        retry_timeout_ms: float = 2.0,
+        partition: Optional[Tuple[float, float]] = None,
+        window_ms: Optional[float] = None,
+    ) -> None:
+        self.eng = eng
+        self.shard = shard
+        self.shards = shards
+        self.clients = clients
+        self.requests = requests
+        self.remote_every = remote_every
+        self.retry_timeout_ms = retry_timeout_ms
+        self.partition = partition
+        self.rng = SimRandom(seed, "scale").child(f"shard{shard}")
+        self.metrics = MetricSet()
+        self.timeseries: Optional[TimeSeries] = None
+        if window_ms is not None:
+            self.timeseries = TimeSeries(eng, window_ms)
+            self.metrics.bind_timeseries(self.timeseries)
+        self.rtt = self.metrics.latency("scale.rtt")
+        #: which shard this shard's *remote* clients currently target
+        #: (mutated by scheduled `moves`)
+        self.remote_target = (shard + 1) % shards
+        # every one of the ~12 events per request goes through these;
+        # bind them once so the callbacks pay one call each, not an
+        # attribute chain (identical on every backend, so the shared
+        # per-event cost shrinks without touching the engines)
+        self._defer = eng.defer
+        self._post = eng.post
+        self._shard_now = eng.shard_now
+        self._count = self.metrics.count
+        self._record_rtt = self.rtt.record
+        self._uniform = self.rng.uniform
+
+    # -- wiring --------------------------------------------------------
+    def start(self) -> None:
+        eng = self.eng
+        eng.bind_receiver(self.shard, self._receive)
+        eng.bind_harvest(self.shard, self.harvest)
+        for c in range(self.clients):
+            think = self.rng.uniform(0.0, 2.0)
+            eng.defer_on(self.shard, think, self._request, c, self.requests)
+
+    def schedule_move(self, at_ms: float, new_target: int) -> None:
+        """At ``at_ms``, point this shard's remote clients at a server
+        on ``new_target`` (the cross-shard link-migration knob)."""
+        self.eng.defer_on(self.shard, at_ms, self._move, new_target)
+
+    def _move(self, new_target: int) -> None:
+        self.remote_target = new_target
+        self.metrics.count("scale.moves")
+
+    # -- the request chain ---------------------------------------------
+    def _request(self, c: int, n: int) -> None:
+        self._count("scale.requests")
+        sent = self._shard_now(self.shard)
+        if self.remote_every and c % self.remote_every == 0:
+            target = self.remote_target
+            win = self.partition
+            if win is not None and win[0] <= sent < win[1]:
+                # the fault plane severed cross-shard links: the send
+                # is lost and the client re-issues after its timeout
+                self._count("scale.dropped")
+                self._count("scale.retries")
+                self._defer(self.retry_timeout_ms, self._request, c, n)
+                return
+            self._count("scale.remote")
+            delay = REMOTE_BASE_MS + self._uniform(0.0, JITTER_MS)
+            self._post(target, delay, "req", self.shard, c, n, sent)
+        else:
+            delay = LOCAL_REQUEST_MS + self._uniform(0.0, JITTER_MS)
+            self._defer(delay, self._serve, c, n, sent)
+
+    def _serve(self, c: int, n: int, sent: float) -> None:
+        self._count("scale.served")
+        delay = (
+            SERVICE_MS
+            + LOCAL_REPLY_MS
+            + self._uniform(0.0, JITTER_MS)
+        )
+        self._defer(delay, self._complete, c, n, sent)
+
+    def _receive(self, key: str, origin: int, c: int, n: int, sent: float) -> None:
+        if key == "req":
+            # serve the remote request, reply across the shard boundary
+            self._count("scale.served_remote")
+            delay = (
+                SERVICE_MS
+                + REMOTE_BASE_MS
+                + self._uniform(0.0, JITTER_MS)
+            )
+            self._post(origin, delay, "rep", self.shard, c, n, sent)
+        else:  # "rep": the reply landed back on the requesting shard
+            self._complete(c, n, sent)
+
+    def _complete(self, c: int, n: int, sent: float) -> None:
+        self._record_rtt(self._shard_now(self.shard) - sent)
+        self._count("scale.completed")
+        if n > 1:
+            think = self._uniform(0.2, 1.8)
+            self._defer(think, self._request, c, n - 1)
+
+    # -- results -------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over this shard's final state, stable across
+        backends and repeats for a seed."""
+        state = {
+            "shard": self.shard,
+            "snapshot": self.metrics.snapshot(),
+        }
+        blob = json.dumps(state, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def harvest(self) -> Dict[str, Any]:
+        """The per-shard result payload (`Engine.bind_harvest`).  Must
+        be picklable: the time-series is detached from the engine and
+        the metric sinks are unbound before it crosses a process
+        boundary."""
+        digest = self.digest()
+        ts = self.timeseries
+        if ts is not None:
+            self.metrics.bind_timeseries(None)
+            ts.engine = None
+        return {
+            "shard": self.shard,
+            "digest": digest,
+            "metrics": self.metrics,
+            "timeseries": ts,
+        }
+
+
+@dataclass
+class ScaleResult:
+    """One scale run: events, digests, merged metrics."""
+
+    backend: str
+    shards: int
+    clients: int
+    requests: int
+    events: int
+    sim_ms: float
+    shard_digests: Tuple[str, ...]
+    #: per-shard `MetricSet`s folded into one (`MetricSet.merge`, which
+    #: merges the `StreamingHistogram`s bit-exactly)
+    metrics: MetricSet
+    #: per-shard windowed series merged for rendering (`repro top`);
+    #: None unless the run was built with ``window_ms``
+    timeseries: Optional[TimeSeries] = None
+    payloads: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        blob = json.dumps(self.shard_digests).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    @property
+    def completed(self) -> float:
+        return self.metrics.get("scale.completed")
+
+
+def run_scale(
+    backend: str = "global",
+    shards: int = 1,
+    *,
+    clients: int = 1000,
+    requests: int = 2,
+    seed: int = 0,
+    remote_every: int = 8,
+    lookahead_ms: float = 0.25,
+    workers: Optional[int] = None,
+    window_ms: Optional[float] = None,
+    partition: Optional[Tuple[float, float]] = None,
+    moves: Optional[Sequence[Tuple[float, int, int]]] = None,
+    retry_timeout_ms: float = 2.0,
+) -> ScaleResult:
+    """Run the scale workload on a registered backend.
+
+    ``clients`` is the *total* population, dealt round-robin across
+    ``shards``.  The same parameters produce the same digest on every
+    backend — the E16 determinism gate runs exactly this function.
+    """
+    eng = make_engine(
+        backend, shards=shards, lookahead_ms=lookahead_ms, workers=workers
+    )
+    per_shard = [clients // shards] * shards
+    for i in range(clients % shards):
+        per_shard[i] += 1
+    sims = [
+        ShardSim(
+            eng, s, shards,
+            clients=per_shard[s], requests=requests, seed=seed,
+            remote_every=remote_every, retry_timeout_ms=retry_timeout_ms,
+            partition=partition, window_ms=window_ms,
+        )
+        for s in range(shards)
+    ]
+    for sim in sims:
+        sim.start()
+    for at_ms, origin, new_target in moves or ():
+        sims[origin].schedule_move(at_ms, new_target)
+    events = eng.run()
+    payloads = eng.harvest()
+    merged = MetricSet()
+    series: List[TimeSeries] = []
+    for payload in payloads:
+        merged.merge(payload["metrics"])
+        if payload["timeseries"] is not None:
+            series.append(payload["timeseries"])
+    return ScaleResult(
+        backend=backend,
+        shards=shards,
+        clients=clients,
+        requests=requests,
+        events=events,
+        sim_ms=max(eng.shard_now(s) for s in range(shards)),
+        shard_digests=tuple(p["digest"] for p in payloads),
+        metrics=merged,
+        timeseries=TimeSeries.merged(series) if series else None,
+        payloads=list(payloads),
+    )

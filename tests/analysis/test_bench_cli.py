@@ -15,7 +15,8 @@ def test_bench_quick_writes_valid_json(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["schema"] == "repro.bench"
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15",
+                                   "E16", "S1"}
     assert "seed" in doc and "git_rev" in doc and "timestamp" in doc
 
 
@@ -39,3 +40,28 @@ def test_bench_unknown_only_name_exits_nonzero(capsys):
     assert main(["bench", "--quick", "--only", "E99"]) == 2
     err = capsys.readouterr().err
     assert "E99" in err
+
+
+def test_bench_pinned_sim_backend_restricts_the_sweep(tmp_path):
+    out = tmp_path / "BENCH_backend.json"
+    assert main(["bench", "--quick", "--only", "E16",
+                 "--sim-backend", "sharded-serial",
+                 "--out", str(out)]) == 0
+    e16 = json.loads(out.read_text())["benches"]["E16"]
+    assert e16["scale_serial_s1_events_per_sec"] > 0
+    assert e16["scale_serial_s8_events_per_sec"] > 0
+    # backends that did not run stay null, so the schema never varies
+    assert e16["scale_global_s1_events_per_sec"] is None
+    assert e16["scale_parallel_s8_speedup"] is None
+    # only one backend ran: no cross-backend digest to compare, but the
+    # selected backend must still be repeat-stable
+    assert e16["scale_digest_match_s8"] is None
+    assert e16["scale_repeat_stable_s8"] == 1.0
+
+
+def test_bench_unknown_sim_backend_exits_nonzero(capsys):
+    assert main(["bench", "--quick", "--only", "E16",
+                 "--sim-backend", "turbo"]) == 2
+    err = capsys.readouterr().err
+    assert "turbo" in err
+    assert "sharded-parallel" in err  # the registry lists valid names

@@ -20,6 +20,7 @@ RULE_FIXTURES = {
     "LAY002": "lay002_bad.py",
     "API001": "api001_bad.py",
     "SIM001": "sim001_bad.py",
+    "SIM002": "sim002_bad.py",
     "OBS001": "obs001_bad.py",
 }
 
@@ -152,6 +153,28 @@ def test_sim001_allows_tolerance_comparisons():
     """Only the == / != comparisons are flagged, not abs() < eps."""
     result = _lint_fixture("sim001_bad.py", "SIM001")
     assert len(result.findings) == 2
+
+
+def test_sim002_flags_both_seeded_constructions():
+    """The plain call and the dotted form, but not make_engine."""
+    result = _lint_fixture("sim002_bad.py", "SIM002")
+    assert len(result.findings) == 2
+    messages = " ".join(f.message for f in result.findings)
+    assert "Engine(...)" in messages
+    assert "ShardedParallelEngine(...)" in messages
+
+
+def test_sim002_exempts_the_backend_registry(tmp_path):
+    """The registry package's factories are the sanctioned callers."""
+    src = ("from repro.sim.engine import Engine\n"
+           "def factory(profile=False):\n"
+           "    return Engine(profile=profile)\n")
+    target = tmp_path / "src" / "repro" / "sim" / "backends" / "__init__.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(src)
+    mod = ModuleInfo.parse(target, root=tmp_path)
+    assert mod.package == ("sim", "backends")
+    assert not lint_modules([mod], rules=[get_rule("SIM002")]).findings
 
 
 def test_obs001_flags_exactly_the_two_seeded_sites():

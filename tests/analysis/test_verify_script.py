@@ -28,7 +28,20 @@ def test_verify_script_passes_and_writes_bench_json(tmp_path, capsys):
     for kind in registered_kernels():
         assert f"verify: rpc smoke ok on {kind}" in out
         assert f"verify: fault smoke ok on {kind}" in out
+    # every registered sim backend is smoked against the global oracle
+    from repro.sim.backends import registered_sim_backends
+
+    for name in registered_sim_backends():
+        assert f"verify: sim-backend smoke ok on {name}" in out
     assert "verify: ok" in out
     doc = json.loads((tmp_path / "BENCH_verify.json").read_text())
     assert doc["quick"] is True
-    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15", "S1"}
+    assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15",
+                                   "E16", "S1"}
+
+
+def test_verify_script_rejects_unknown_sim_backend(capsys):
+    mod = _load_verify()
+    assert mod.main(["--sim-backend", "turbo"]) == 2
+    err = capsys.readouterr().err
+    assert "turbo" in err

@@ -23,7 +23,7 @@ def quick_results():
 
 
 def test_bench_ids():
-    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "E15", "S1")
+    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "E15", "E16", "S1")
 
 
 def test_document_schema_matches_golden_file(quick_results, tmp_path):
@@ -56,9 +56,9 @@ def test_exported_values_are_json_numbers(quick_results):
 def test_quick_values_keep_the_paper_shape(quick_results):
     """Even at smoke counts the simulated quantities reproduce the
     paper's ordering claims (wall-clock S1 values are only positive)."""
-    e1, e4, e5, e13, e14, e15, s1 = (
+    e1, e4, e5, e13, e14, e15, e16, s1 = (
         quick_results[k]
-        for k in ("E1", "E4", "E5", "E13", "E14", "E15", "S1")
+        for k in ("E1", "E4", "E5", "E13", "E14", "E15", "E16", "S1")
     )
     assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
     assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
@@ -99,6 +99,19 @@ def test_quick_values_keep_the_paper_shape(quick_results):
     assert e15["hist_merge_bitexact"] == 1.0
     assert 0.0 < e15["sampled_trace_frac"] < 0.5
     assert e15["hist_buckets"] * 100 <= e15["hist_samples"]
+    # E16: sharded-engine scaling (digest equality is machine-checked
+    # inside the bench — a divergence raises before values come back)
+    assert e16["scale_digest_match_s1"] == 1.0
+    assert e16["scale_digest_match_s8"] == 1.0
+    assert e16["scale_repeat_stable_s8"] == 1.0
+    assert e16["scale_events_total"] > 0
+    assert e16["scale_rtt_p99_ms"] >= e16["scale_rtt_mean_ms"] > 0.0
+    for short in ("global", "serial"):
+        for shards in (1, 8):
+            assert e16[f"scale_{short}_s{shards}_events_per_sec"] > 0.0
+    for shards in (1, 2, 4, 8):
+        assert e16[f"scale_parallel_s{shards}_events_per_sec"] > 0.0
+    assert e16["scale_parallel_s8_speedup"] > 0.0
 
 
 def test_simulated_metrics_are_seed_deterministic():

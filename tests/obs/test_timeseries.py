@@ -111,6 +111,63 @@ def test_metricset_binding_routes_counts_and_latencies():
     assert ts.get(0, "early").count == 1.0
 
 
+def test_windowstat_merge_is_exact():
+    a, b = WindowStat(), WindowStat()
+    for v in (1.0, 3.0):
+        a.add(v)
+    b.add(10.0)
+    a.merge(b)
+    assert a.count == 3.0 and a.total == 14.0
+    assert a.minimum == 1.0 and a.maximum == 10.0
+    # merging an empty aggregate changes nothing
+    a.merge(WindowStat())
+    assert a.summary() == {"count": 3.0, "sum": 14.0, "min": 1.0,
+                           "max": 10.0}
+
+
+def test_merge_folds_aligned_and_missing_windows():
+    clk_a, clk_b = _Clock(), _Clock()
+    a = TimeSeries(clk_a, window_ms=10.0)
+    b = TimeSeries(clk_b, window_ms=10.0)
+    a.record_count("ops", 2)
+    clk_b.now = 5.0
+    b.record_count("ops", 3)        # aligned: window 0 merges
+    clk_b.now = 25.0
+    b.record_latency("rtt", 4.0)    # missing in a: window 2 copies over
+    a.merge(b)
+    assert a.value(0, "ops") == 5.0
+    assert a.get(2, "rtt").total == 4.0
+    assert a.windows() == [0, 2]
+    # the source series is untouched
+    assert b.value(0, "ops") == 3.0
+
+
+def test_merge_rejects_mismatched_window_widths():
+    a = TimeSeries(_Clock(), window_ms=10.0)
+    b = TimeSeries(_Clock(), window_ms=20.0)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_merged_classmethod_combines_per_shard_series():
+    """The `repro top --scenario scale` path: one series per shard,
+    merged into a fresh chronological series for rendering."""
+    shards = []
+    for offset in (0.0, 15.0, 31.0):
+        clk = _Clock()
+        ts = TimeSeries(clk, window_ms=10.0)
+        clk.now = offset
+        ts.record_count("ops")
+        ts.record_latency("rtt", offset + 1.0)
+        shards.append(ts)
+    merged = TimeSeries.merged(shards)
+    assert merged is not None
+    assert merged.windows() == [0, 1, 3]
+    assert sum(merged.value(w, "ops") for w in merged.windows()) == 3.0
+    assert merged.get(3, "rtt").maximum == 32.0
+    assert TimeSeries.merged([]) is None
+
+
 def test_cluster_install_timeseries_windows_a_real_run():
     from repro.core.api import BYTES, Operation, Proc, make_cluster
 

@@ -118,11 +118,14 @@ def test_every_op_completes_once_or_raises_typed(seed, drop, dup, delay,
 @given(seed=st.integers(0, 2**16))
 @settings(max_examples=10, deadline=None)
 def test_same_seed_same_outcome(seed):
-    """The whole faulted conversation is a pure function of the seed."""
+    """The whole faulted conversation is a pure function of the seed —
+    and of the seed only: executing it on the sharded-serial engine
+    (`repro.sim.backends`) instead of the global heap changes nothing."""
 
-    def run():
+    def run(sim_backend="global", shards=1):
         plan = FaultPlan().drop(0.3).duplicate(0.2).delay(10.0)
-        cluster = make_cluster("ideal", seed=seed)
+        cluster = make_cluster("ideal", seed=seed,
+                               sim_backend=sim_backend, shards=shards)
         cluster.install_faults(plan)
         cluster.install_recovery(POLICY)
         server = EchoServer()
@@ -136,4 +139,6 @@ def test_same_seed_same_outcome(seed):
                 dict(cluster.metrics.counters("recovery.")),
                 cluster.engine.now)
 
-    assert run() == run()
+    reference = run()
+    assert run() == reference
+    assert run(sim_backend="sharded-serial", shards=4) == reference
