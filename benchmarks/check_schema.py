@@ -11,7 +11,9 @@ Validates
     (full-mode docs additionally carry the golden's
     ``benches_full_extra`` keys — the wider E4 payload sweep; the E16
     block's determinism flags and full-mode speedup are additionally
-    value-checked, see ``check_e16_contract``);
+    value-checked, see ``check_e16_contract``, and the E17 block's
+    exactly-once flag and full-mode client floor likewise, see
+    ``check_e17_contract``);
   - ``benchmarks/out/*.json``: schema "repro.table" version 1, the
     ``name`` field matching the file name, and rows shaped like the
     header;
@@ -96,6 +98,7 @@ def check_bench_doc(path: str, golden: dict, errors: List[str]) -> None:
                 errors.append(f"{name}: {bid}.{metric} is "
                               f"{type(value).__name__}, not a JSON number")
     check_e16_contract(name, doc, errors)
+    check_e17_contract(name, doc, errors)
 
 
 def check_e16_contract(name: str, doc: dict, errors: List[str]) -> None:
@@ -117,6 +120,27 @@ def check_e16_contract(name: str, doc: dict, errors: List[str]) -> None:
         errors.append(f"{name}: E16.scale_parallel_s8_speedup = "
                       f"{speedup} < 2.0 — full-mode baselines must "
                       f"clear the gated speedup")
+
+
+def check_e17_contract(name: str, doc: dict, errors: List[str]) -> None:
+    """E17's measured half is machine-dependent, but its *claims* are
+    not: a committed baseline either ran the real transport with
+    exactly-once intact (1.0) or skipped it entirely (nulls) — there is
+    no valid in-between; and a full-mode run that did execute must have
+    sustained the gated thousand concurrent client coroutines."""
+    e17 = doc.get("benches", {}).get("E17")
+    if not e17:
+        return  # pre-E17 baselines carry no block
+    flag = e17.get("net_exactly_once")
+    if flag is not None and flag != 1.0:
+        errors.append(f"{name}: E17.net_exactly_once = {flag!r}; a "
+                      f"baseline may only record a passing (1.0) flag "
+                      f"or a null skip")
+    clients = e17.get("net_meas_clients")
+    if clients is not None and not doc.get("quick") and clients < 1000:
+        errors.append(f"{name}: E17.net_meas_clients = {clients:.0f} "
+                      f"< 1000 — full-mode baselines must sustain the "
+                      f"gated concurrent-client floor")
 
 
 def check_table_doc(path: str, errors: List[str]) -> None:

@@ -12,9 +12,12 @@ registered backend cannot silently miss the smoke net), then a seeded
 lossy fault-recovery run per backend (messages must actually drop,
 recovery must actually fire, and goodput must stay positive), then a
 sharded scale smoke on every engine in the `repro.sim.backends`
-registry (each run's digest must match the ``global`` oracle's),
-followed by ``python -m repro bench --quick`` (the full BENCH_*.json
-export at smoke counts), failing on the first non-zero step.
+registry (each run's digest must match the ``global`` oracle's), then
+a real-transport smoke (one spawned node process, real sockets, one
+forced retry — exactly-once accounting must hold; hosts that forbid
+sockets skip it with the reason), followed by ``python -m repro bench
+--quick`` (the full BENCH_*.json export at smoke counts), failing on
+the first non-zero step.
 ``--sim-backend NAME`` pins the scale smoke and the bench export to
 one registered engine; unknown names exit non-zero, same as an
 unknown ``bench --only`` id.  Tier-1 covers the same ground
@@ -67,11 +70,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     # one RPC on every backend the registry knows about — including
     # ones registered after this script was written
     from repro.core.api import registered_kernels
+    from repro.net import TransportUnavailable
     from repro.workloads.rpc import run_rpc_workload
 
     for kind in registered_kernels():
         try:
             r = run_rpc_workload(kind, 0, count=1)
+        except TransportUnavailable as exc:
+            print(f"verify: rpc smoke skipped on {kind} "
+                  f"(this host forbids sockets: {exc})")
+            continue
         except Exception as exc:  # noqa: BLE001 - smoke check reports all
             print(f"verify: rpc smoke FAILED on {kind}: {exc}",
                   file=sys.stderr)
@@ -96,6 +104,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             c = run_chaos_workload(kind, count=8, seed=1,
                                    plan=lossy_plan(), policy=chaos_policy())
+        except TransportUnavailable as exc:
+            print(f"verify: fault smoke skipped on {kind} "
+                  f"(this host forbids sockets: {exc})")
+            continue
         except Exception as exc:  # noqa: BLE001 - smoke check reports all
             print(f"verify: fault smoke FAILED on {kind}: {exc}",
                   file=sys.stderr)
@@ -146,6 +158,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"verify: sim-backend smoke ok on {name} "
               f"({r.events} events, digest {r.digest[:16]})")
+
+    # real-transport smoke: one spawned node process, a few client
+    # coroutines through real sockets, one forced retry — the measured
+    # path of the E17 bench at the smallest size that still proves
+    # exactly-once (completed + exhausted == issued, the retransmission
+    # absorbed as a server-side duplicate, never re-executed)
+    from repro.net.load import query_stats, run_load
+    from repro.net.supervisor import NodeSupervisor, SpawnFailed
+
+    try:
+        with NodeSupervisor() as sup:
+            node = sup.spawn("verify", drop_first=1)
+            load = run_load([node.endpoint], clients=2, requests=2)
+            stats = query_stats(node.endpoint)
+    except (TransportUnavailable, SpawnFailed, OSError) as exc:
+        print(f"verify: real-transport smoke skipped "
+              f"(this host forbids sockets/subprocesses: {exc})")
+        load = stats = None
+    if load is not None:
+        if not load.exactly_once or load.completed != load.issued:
+            print(f"verify: real-transport smoke broke exactly-once "
+                  f"(issued={load.issued}, completed={load.completed}, "
+                  f"exhausted={load.exhausted})", file=sys.stderr)
+            return 1
+        if load.retries < 1 or stats["duplicates"] < 1:
+            print(f"verify: real-transport smoke forced no retry "
+                  f"(retries={load.retries}, "
+                  f"duplicates={stats['duplicates']})", file=sys.stderr)
+            return 1
+        if stats["executed_unique"] != load.issued:
+            print(f"verify: real-transport smoke re-executed a request "
+                  f"(unique={stats['executed_unique']} != "
+                  f"issued={load.issued})", file=sys.stderr)
+            return 1
+        print(f"verify: real-transport smoke ok ({load.completed} ops, "
+              f"{load.retries} retried, {stats['duplicates']} duplicate(s) "
+              f"absorbed, {load.throughput_per_s:.0f} op/s)")
 
     bench_path = os.path.join(out_dir, "BENCH_verify.json")
     bench_argv = ["bench", "--quick", "--out", bench_path]

@@ -12,6 +12,8 @@
     python -m repro lint                    # determinism/layering checks
     python -m repro flight --demo           # black-box dump + inspector
     python -m repro top                     # per-window chaos telemetry
+    python -m repro net serve --socket S    # real-transport node process
+    python -m repro net load S --clients N  # wall-clock load generator
 
 Intended for exploration; the authoritative experiment harness (with
 assertions and saved tables) is ``pytest benchmarks/ --benchmark-only``.
@@ -400,6 +402,24 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _reject_sim_backend(kernel: Optional[str],
+                        sim_backend: Optional[str]) -> bool:
+    """True (message printed) when an explicit ``--sim-backend`` is
+    combined with a real-transport backend — the knob selects a
+    *simulation* engine, and the real backend's network is the OS."""
+    if sim_backend is None or kernel is None:
+        return False
+    if not kernel_profile(kernel).real_transport:
+        return False
+    print(
+        f"repro: --sim-backend {sim_backend!r} does not apply to "
+        f"{kernel!r}: the real-transport backend runs on real OS "
+        "sockets, not a simulation engine (drop --sim-backend)",
+        file=sys.stderr,
+    )
+    return True
+
+
 def _cmd_flight(args) -> int:
     from repro.obs.flight import describe_flight_dump
 
@@ -411,11 +431,13 @@ def _cmd_flight(args) -> int:
             run_chaos_workload,
         )
 
+        if _reject_sim_backend(args.kernel, args.sim_backend):
+            return 2
         recorders = []
         run_chaos_workload(
             args.kernel, count=12, seed=args.seed,
             plan=partitioned_plan(quick=True), policy=chaos_policy(),
-            sim_backend=args.sim_backend,
+            sim_backend=args.sim_backend or "global",
             instrument=lambda cluster: recorders.append(
                 cluster.install_flight_recorder(args.out)
             ),
@@ -450,8 +472,9 @@ def _top_scale(args) -> int:
     shard 0's slice."""
     from repro.workloads.scale import run_scale
 
+    backend = args.sim_backend or "global"
     r = run_scale(
-        args.sim_backend, args.shards, clients=args.clients,
+        backend, args.shards, clients=args.clients,
         requests=2, seed=args.seed, window_ms=args.window,
     )
     ts = r.timeseries
@@ -460,7 +483,7 @@ def _top_scale(args) -> int:
               file=sys.stderr)
         return 2
     t = Table(
-        f"per-window scale telemetry on {args.sim_backend} "
+        f"per-window scale telemetry on {backend} "
         f"(shards={args.shards}, clients={args.clients}, "
         f"window={args.window:g} ms, seed={args.seed})",
         ["t0 ms", "completed", "goodput/s", "mean rtt ms", "max rtt ms",
@@ -496,6 +519,8 @@ def _cmd_top(args) -> int:
 
     if args.scenario == "scale":
         return _top_scale(args)
+    if _reject_sim_backend(args.kernel, args.sim_backend):
+        return 2
     if args.scenario == "lossy":
         plan = lossy_plan()
         label = "lossy"
@@ -509,7 +534,7 @@ def _cmd_top(args) -> int:
     run_chaos_workload(
         args.kernel, count=args.count, seed=args.seed,
         plan=plan, policy=chaos_policy() if plan is not None else None,
-        sim_backend=args.sim_backend,
+        sim_backend=args.sim_backend or "global",
         instrument=lambda cluster: series.append(
             cluster.install_timeseries(args.window)
         ),
@@ -582,6 +607,52 @@ def _cmd_lint(args) -> int:
     else:
         print(render_text(result))
     return result.exit_code
+
+
+def _cmd_net_serve(args) -> int:
+    from repro.net.server import serve_forever
+
+    if (args.socket is None) == (args.tcp is None):
+        print("repro net serve: give exactly one of --socket PATH or "
+              "--tcp PORT", file=sys.stderr)
+        return 2
+    serve_forever(args.name, socket_path=args.socket, port=args.tcp,
+                  drop_first=args.drop_first)
+    return 0
+
+
+def _cmd_net_load(args) -> int:
+    from repro.core.recovery import RecoveryPolicy
+    from repro.net.load import run_load
+
+    policy = RecoveryPolicy(
+        timeout_ms=args.timeout_ms, max_retries=args.retries,
+        backoff_factor=2.0, jitter_frac=0.0,
+    )
+    r = run_load(args.endpoints, clients=args.clients,
+                 requests=args.requests, payload_bytes=args.payload,
+                 policy=policy)
+    t = Table(
+        f"real-transport load: {args.clients} clients x "
+        f"{args.requests} requests",
+        ["quantity", "value"],
+    )
+    t.add("issued", r.issued)
+    t.add("completed", r.completed)
+    t.add("exhausted", r.exhausted)
+    t.add("retries", r.retries)
+    t.add("failovers", r.failovers)
+    t.add("wall s", r.wall_s)
+    t.add("throughput /s", r.throughput_per_s)
+    t.add("rtt mean ms", r.rtt.mean)
+    t.add("rtt p99 ms", r.rtt.percentile(99.0))
+    t.show()
+    if not r.exactly_once:
+        print("repro net load: accounting broke exactly-once "
+              f"(completed {r.completed} + exhausted {r.exhausted} "
+              f"!= issued {r.issued})", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_sizes(args) -> int:
@@ -675,14 +746,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="run the E1/E4/E5/E13/E14/E15/E16/S1 workloads and write "
-             "BENCH_*.json",
+        help="run the E1/E4/E5/E13/E14/E15/E16/E17/S1 workloads and "
+             "write BENCH_*.json",
     )
     p.add_argument("--quick", action="store_true",
                    help="smoke-test iteration counts (same schema)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
-                   help="output path (default: BENCH_PR8.json at the "
+                   help="output path (default: BENCH_PR9.json at the "
                         "repo root; '-' writes the JSON to stdout)")
     p.add_argument("--sim-backend", default=None, metavar="NAME",
                    help="pin backend-aware benches (E16/S1) to one "
@@ -740,8 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=_default_kernel("chaos"),
                    help="backend for --demo")
     p.add_argument("--sim-backend", choices=registered_sim_backends(),
-                   default="global",
-                   help="simulation engine for --demo")
+                   default=None,
+                   help="simulation engine for --demo (default: global; "
+                        "rejected for real-transport kernels)")
     p.add_argument("--out", default="flight", metavar="DIR",
                    help="--demo dump directory (default: ./flight)")
     p.add_argument("--tail", type=int, default=20,
@@ -760,9 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("partition", "lossy", "clean", "scale"),
                    default="partition")
     p.add_argument("--sim-backend", choices=registered_sim_backends(),
-                   default="global",
-                   help="simulation engine; with --scenario scale the "
-                        "per-shard series are merged before rendering")
+                   default=None,
+                   help="simulation engine (default: global; rejected "
+                        "for real-transport kernels); with --scenario "
+                        "scale the per-shard series are merged before "
+                        "rendering")
     p.add_argument("--shards", type=int, default=4,
                    help="shard count for --scenario scale")
     p.add_argument("--clients", type=int, default=2000,
@@ -774,6 +848,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the short partition window / smoke counts")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_top)
+
+    p = sub.add_parser(
+        "net",
+        help="real-transport processes: node server + wall-clock load "
+             "generator (repro.net)",
+    )
+    netsub = p.add_subparsers(dest="net_command", required=True)
+
+    s = netsub.add_parser(
+        "serve", help="run one node server process (prints "
+                      "'REPRO-NET READY <endpoint>' when bound)",
+    )
+    s.add_argument("--name", default="node",
+                   help="node name reported in __stats__")
+    s.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on this Unix-domain socket path")
+    s.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                   help="serve on 127.0.0.1:PORT (0 = ephemeral)")
+    s.add_argument("--drop-first", type=int, default=0, metavar="N",
+                   help="execute but withhold the reply for the first N "
+                        "distinct requests (forces client retries; the "
+                        "retransmit must hit the dedup cache)")
+    s.set_defaults(fn=_cmd_net_serve)
+
+    ld = netsub.add_parser(
+        "load", help="drive concurrent client coroutines at node "
+                     "servers with wall-clock timeout/retry/failover",
+    )
+    ld.add_argument("endpoints", nargs="+", metavar="ENDPOINT",
+                    help="server addresses (UDS path or host:port), "
+                         "in failover order")
+    ld.add_argument("--clients", type=int, default=8)
+    ld.add_argument("--requests", type=int, default=4,
+                    help="requests per client")
+    ld.add_argument("--payload", type=int, default=32)
+    ld.add_argument("--timeout-ms", type=float, default=1000.0,
+                    help="recovery-policy first-attempt timeout")
+    ld.add_argument("--retries", type=int, default=3,
+                    help="recovery-policy retransmissions per address")
+    ld.set_defaults(fn=_cmd_net_load)
 
     p = sub.add_parser(
         "trace",

@@ -142,6 +142,12 @@ class ClusterBase:
         ``rt_shutdown`` calls this).  Clusters whose kernels track
         per-process liveness deregister the process here."""
 
+    def close(self) -> None:
+        """Release any OS resources the backend holds.  Simulated
+        backends hold none, so this is a no-op; the real-transport
+        backend closes its switch connection here.  Safe to call more
+        than once."""
+
     # ------------------------------------------------------------------
     # process management
     # ------------------------------------------------------------------

@@ -276,6 +276,11 @@ class KernelProfile:
     #: zero-arg lazy loader returning the hand-coded raw-RPC baseline
     #: function (E1's "no LYNX runtime" floor), or None
     raw_rpc: Optional[Callable[[], Callable]] = None
+    #: True when this backend's data plane is a real OS transport:
+    #: clusters may raise `repro.net.TransportUnavailable` on hosts
+    #: that forbid sockets, and simulator-only knobs (``--sim-backend``)
+    #: do not apply — the CLI rejects the combination with exit 2
+    real_transport: bool = False
 
     def load_cluster(self) -> type:
         return self.factory()
@@ -399,6 +404,12 @@ def _ideal_cluster() -> type:
     return IdealCluster
 
 
+def _real_asyncio_cluster() -> type:
+    from repro.net.cluster import NetCluster
+
+    return NetCluster
+
+
 register_kernel(KernelProfile(
     name="charlotte",
     title="Charlotte: asynchronous packet-switched kernel (§3)",
@@ -474,6 +485,25 @@ register_kernel(KernelProfile(
     trace_events=frozenset({"send"}),
     metric_namespaces=frozenset({"ideal"}),
     time_scale=0.05,
+))
+
+register_kernel(KernelProfile(
+    name="real-asyncio",
+    title="real-asyncio: ideal semantics over real OS sockets",
+    factory=_real_asyncio_cluster,
+    paper=False,
+    capabilities=KernelCapabilities(
+        bounces_unwanted=False,
+        server_feels_abort=True,
+        recovers_aborted_enclosures=True,
+        detects_processor_failure=True,
+    ),
+    runtime_modules=("repro.net.runtime", "repro.net.kernel"),
+    trace_events=frozenset({"send"}),
+    metric_namespaces=frozenset({"net"}),
+    cost_attr="ideal",
+    time_scale=0.05,
+    real_transport=True,
 ))
 
 

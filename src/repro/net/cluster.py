@@ -1,0 +1,70 @@
+"""The real-transport cluster: ideal control plane, socket data plane."""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.core.cluster import ClusterBase, ProcessHandle
+from repro.core.links import EndRef
+from repro.net.kernel import NetKernel
+from repro.net.runtime import NetRuntime
+from repro.sim.failure import CrashMode
+
+
+class NetCluster(ClusterBase):
+    """A cluster whose every message crosses a real OS socket.
+
+    Routing, mailboxes, crash unwinding and costs are the ideal
+    backend's; the difference is `NetKernel._transit`, which will not
+    let a message reach its destination without the bytes having gone
+    through the process-wide switch (`repro.net.hub`) and back.  The
+    switch round-trip is synchronous in simulated time, so same-seed
+    runs stay bit-identical — what real transport does *not* keep
+    deterministic is wall-clock timing, which only the distributed
+    `serve`/`load` path (and the E17 bench) measures.
+
+    Real transport has exactly one event order; simulator sharding is
+    meaningless here, so only ``sim_backend="global"`` is accepted
+    (the CLI rejects the combination with exit 2).
+    """
+
+    KIND = "real-asyncio"
+
+    def __init__(self, seed: int = 0, costmodel=None, **kwargs) -> None:
+        backend = kwargs.get("sim_backend", "global")
+        if backend != "global":
+            raise ValueError(
+                f"the {self.KIND!r} backend runs on real sockets; "
+                f"--sim-backend {backend!r} does not apply (only 'global')"
+            )
+        super().__init__(seed=seed, costmodel=costmodel, **kwargs)
+
+    def _setup_hardware(self) -> None:
+        from repro.net.hub import hub_connect
+
+        self.kernel = NetKernel(self.registry, self.metrics)
+        self.kernel.attach(hub_connect())
+        # sockets are not garbage: close on drop even without close()
+        self._finalizer = weakref.finalize(self, self.kernel.detach)
+
+    def close(self) -> None:
+        self._finalizer()
+
+    def make_runtime(self, handle: ProcessHandle) -> NetRuntime:
+        return NetRuntime(handle, self)
+
+    def create_link(self, a: ProcessHandle, b: ProcessHandle) -> None:
+        link = self.registry.alloc_link(a.name, b.name)
+        ref_a, ref_b = EndRef(link, 0), EndRef(link, 1)
+        a.runtime.preload_end(ref_a)
+        b.runtime.preload_end(ref_b)
+        self.kernel.route[ref_a] = a.runtime
+        self.kernel.route[ref_b] = b.runtime
+
+    def on_crash(self, handle: ProcessHandle, mode: CrashMode) -> None:
+        # a processor failure runs no process-side cleanup; the kernel
+        # (which survives) unwinds the dead process's links itself
+        if mode is CrashMode.PROCESSOR:
+            self.kernel.process_crashed(
+                handle.runtime, f"crash: processor of {handle.name} failed"
+            )

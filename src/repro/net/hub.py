@@ -1,0 +1,193 @@
+"""The in-process switch: one asyncio socket server per Python process.
+
+The registered ``real-asyncio`` backend keeps its control plane (the
+routing and mailbox tables in `repro.net.kernel.NetKernel`) in memory,
+but its *data plane* is real: every message is framed and round-tripped
+through the switch this module runs — an asyncio server on a
+Unix-domain socket (TCP 127.0.0.1 where UDS is unavailable) living in
+one daemon thread shared by every cluster in the process.  The
+round-trip is synchronous from the simulation's point of view, which
+is what keeps the backend deterministic: the engine's event order
+never depends on socket timing, only the bytes do.
+
+Hosts that forbid sockets entirely raise `TransportUnavailable`; the
+conformance suite converts that into a skip-with-reason, and the
+benches record ``None`` for the real-transport metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import struct
+import tempfile
+import threading
+from typing import Optional, Tuple
+
+from repro.net.frames import LENGTH_PREFIX, MAX_FRAME_BYTES
+
+#: wall-clock cap on any single blocking socket operation — a hung
+#: switch must surface as an error, never a silent test-suite hang
+SOCKET_TIMEOUT_S = 30.0
+
+
+class TransportUnavailable(RuntimeError):
+    """This host cannot run the real transport (sockets forbidden)."""
+
+
+async def _echo_connection(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+    """Per-connection switch loop: read one length-prefixed frame,
+    write it straight back.  The value is not the echo — it is that
+    the bytes genuinely crossed the OS socket layer both ways."""
+    try:
+        while True:
+            head = await reader.readexactly(LENGTH_PREFIX.size)
+            (n,) = LENGTH_PREFIX.unpack(head)
+            if n > MAX_FRAME_BYTES:
+                break
+            body = await reader.readexactly(n)
+            writer.write(head + body)
+            await writer.drain()
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        pass
+    finally:
+        writer.close()
+
+
+class Hub:
+    """Lazily started singleton switch for this Python process."""
+
+    _lock = threading.Lock()
+    _instance: Optional["Hub"] = None
+
+    def __init__(self) -> None:
+        self.endpoint: Optional[Tuple] = None  # ("unix", path) | ("tcp", host, port)
+        self._error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-hub", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(SOCKET_TIMEOUT_S)
+        if self.endpoint is None:
+            raise TransportUnavailable(
+                f"could not start the socket switch: {self._error!r}"
+            )
+
+    @classmethod
+    def shared(cls) -> "Hub":
+        with cls._lock:
+            if cls._instance is None:
+                cls._instance = cls()
+            return cls._instance
+
+    # -- the switch thread ---------------------------------------------
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._start_server())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        loop.run_forever()
+
+    async def _start_server(self) -> None:
+        if hasattr(socket, "AF_UNIX"):
+            try:
+                path = os.path.join(
+                    tempfile.mkdtemp(prefix="repro-net-"), "switch.sock"
+                )
+                await asyncio.start_unix_server(_echo_connection, path=path)
+                self.endpoint = ("unix", path)
+                return
+            except (OSError, NotImplementedError):
+                pass  # fall through to TCP loopback
+        server = await asyncio.start_server(
+            _echo_connection, host="127.0.0.1", port=0
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        self.endpoint = ("tcp", host, port)
+
+
+class HubConnection:
+    """One cluster's blocking connection to the switch.
+
+    ``roundtrip`` sends a framed body and blocks until the switch
+    echoes it back — the synchronous discipline that makes the
+    real-transport backend exactly as deterministic as ``ideal``.
+    """
+
+    __slots__ = ("_sock", "frames", "bytes_moved")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self.frames = 0
+        self.bytes_moved = 0
+
+    def roundtrip(self, body: bytes) -> bytes:
+        sock = self._sock
+        if sock is None:
+            raise TransportUnavailable("connection to the switch is closed")
+        head = LENGTH_PREFIX.pack(len(body))
+        try:
+            sock.sendall(head + body)
+            echoed_head = self._read_exact(LENGTH_PREFIX.size)
+            (n,) = LENGTH_PREFIX.unpack(echoed_head)
+            echoed = self._read_exact(n)
+        except (OSError, struct.error) as exc:
+            raise TransportUnavailable(
+                f"switch round-trip failed: {exc}"
+            ) from exc
+        self.frames += 1
+        self.bytes_moved += len(head) + len(body)
+        return echoed
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise TransportUnavailable("switch closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._sock is None
+
+
+def hub_connect() -> HubConnection:
+    """Open one blocking connection to the process-wide switch."""
+    hub = Hub.shared()
+    endpoint = hub.endpoint
+    try:
+        if endpoint[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(SOCKET_TIMEOUT_S)
+            sock.connect(endpoint[1])
+        else:
+            sock = socket.create_connection(
+                endpoint[1:], timeout=SOCKET_TIMEOUT_S
+            )
+    except OSError as exc:
+        raise TransportUnavailable(
+            f"cannot connect to the switch at {endpoint!r}: {exc}"
+        ) from exc
+    return HubConnection(sock)

@@ -1,0 +1,153 @@
+"""The real-transport kernel: ideal semantics, socket data plane.
+
+Tables and semantics are the ideal kernel's — owner routes, per-end
+mailboxes, receipt-at-consumption, shared abort/destroy bookkeeping —
+but no message reaches a mailbox by reference.  `post` and `deliver`
+serialise the `WireMessage` into a frame, push the bytes through the
+process-wide socket switch (`repro.net.hub`), decode the bytes that
+came back, and apply the *decoded* message.  Whatever the destination
+runtime observes has genuinely survived the OS socket layer — payload,
+enclosure refs, error code, causal span and all (the frame codec's
+round-trip property is what the conformance suite then exercises
+end to end).
+
+The round-trip is synchronous in simulated time, so determinism is
+untouched: event order never depends on socket timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set, TYPE_CHECKING
+
+from repro.core.links import EndRef
+from repro.core.wire import WireMessage
+from repro.net.frames import decode_frame, encode_frame
+from repro.net.hub import HubConnection, hub_connect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.runtime import NetRuntime
+
+
+class NetKernel:
+    """Ideal-shaped kernel whose delivery path is a real socket."""
+
+    def __init__(self, registry, metrics) -> None:
+        self.registry = registry
+        self.metrics = metrics
+        #: owning runtime of each registered end
+        self.route: Dict[EndRef, "NetRuntime"] = {}
+        #: unconsumed messages, keyed by the *destination* end
+        self.mailbox: Dict[EndRef, Deque[WireMessage]] = {}
+        #: destroyed links and why
+        self.destroyed: Dict[int, str] = {}
+        #: consumed-then-aborted request seqs, keyed by requester end
+        self.aborted: Dict[EndRef, Set[int]] = {}
+        self._conn: Optional[HubConnection] = None
+
+    # -- the data plane ------------------------------------------------
+    def attach(self, conn: HubConnection) -> None:
+        self._conn = conn
+
+    def detach(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def _transit(self, msg: WireMessage) -> WireMessage:
+        """Send ``msg`` over the wire and return what the wire gave
+        back.  Callers must use the returned message, not the
+        original — that substitution is the whole point."""
+        body = encode_frame(msg)
+        echoed = self._conn.roundtrip(body)
+        self.metrics.count("net.frames")
+        self.metrics.count("net.frame_bytes", len(body))
+        return decode_frame(echoed)
+
+    # -- ideal-kernel surface ------------------------------------------
+    def owner(self, ref: EndRef):
+        return self.route.get(ref)
+
+    def box(self, ref: EndRef) -> Deque[WireMessage]:
+        return self.mailbox.setdefault(ref, deque())
+
+    def is_destroyed(self, ref: EndRef) -> bool:
+        return ref.link in self.destroyed
+
+    def post(self, dest: EndRef, msg: WireMessage) -> None:
+        """Queue the wire's copy of ``msg`` for ``dest``."""
+        wired = self._transit(msg)
+        self.box(dest).append(wired)
+        self.metrics.count(f"wire.messages.{wired.kind.value}")
+        self.metrics.count("wire.bytes", wired.wire_size)
+        self.metrics.count("net.handoffs")
+        owner = self.route.get(dest)
+        if owner is not None:
+            owner._wake()
+
+    def deliver(self, dest: EndRef, msg: WireMessage) -> None:
+        """Hand the wire's copy of a reply straight to the requester
+        (replies are always wanted, §3.2.1 — no mailbox stop)."""
+        wired = self._transit(msg)
+        self.metrics.count(f"wire.messages.{wired.kind.value}")
+        self.metrics.count("wire.bytes", wired.wire_size)
+        self.metrics.count("net.handoffs")
+        owner = self.route.get(dest)
+        if owner is not None:
+            owner.deliver_reply(dest, wired)
+
+    def withdraw(self, dest: EndRef, seq: int) -> bool:
+        """Remove an unconsumed request before its receipt, if possible."""
+        box = self.mailbox.get(dest)
+        if box:
+            for msg in list(box):
+                if msg.seq == seq:
+                    box.remove(msg)
+                    self.metrics.count("net.withdrawals")
+                    return True
+        return False
+
+    def destroy_link(self, ref: EndRef, reason: str) -> None:
+        """Mark the link of ``ref`` dead and unwind both mailboxes:
+        unconsumed messages were never received, so their senders get
+        bounces (enclosures come home), then the surviving peer is told
+        the link is gone."""
+        if ref.link in self.destroyed:
+            return
+        self.destroyed[ref.link] = reason
+        peer = ref.peer
+        # messages TO ``ref`` were sent by the peer and never received
+        for msg in self.mailbox.pop(ref, ()):
+            sender = self.route.get(peer)
+            if sender is not None:
+                sender.notify_bounce(peer, msg.seq)
+        # messages FROM ``ref`` sitting unconsumed at the peer
+        owner = self.route.get(ref)
+        for msg in self.mailbox.pop(peer, ()):
+            if owner is not None:
+                owner.notify_bounce(ref, msg.seq)
+        self.aborted.pop(ref, None)
+        self.aborted.pop(peer, None)
+        peer_rt = self.route.get(peer)
+        if peer_rt is not None:
+            peer_rt.notify_destroyed(peer, reason, crash="crash" in reason)
+        self.route.pop(ref, None)
+
+    def process_crashed(self, runtime, reason: str) -> None:
+        """A processor failed: every link routed to ``runtime`` dies.
+        The dead side ran no cleanup, so the kernel does it: bounces
+        for the peers' unreceived messages, loss records for the dead
+        side's in-transit enclosures, crash notices all around."""
+        dead = [ref for ref, rt in self.route.items() if rt is runtime]
+        # unroute first so no upcall lands in the dead process
+        for ref in dead:
+            self.route.pop(ref, None)
+        for ref in dead:
+            if ref.link in self.destroyed:
+                continue
+            # enclosures the dead process had in transit are gone
+            for msg in self.mailbox.get(ref.peer, ()):
+                for enc in msg.enclosures:
+                    self.registry.record_lost(enc)
+            self.destroy_link(ref, reason)
+            self.registry.record_destroyed(ref.link, reason)

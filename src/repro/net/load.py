@@ -1,0 +1,236 @@
+"""The load generator: thousands of client coroutines over real sockets.
+
+One asyncio loop runs every client concurrently; each client owns its
+connection, issues pipelined-one-at-a-time requests, and runs the
+paper's *runtime-placement* recovery discipline — the same
+`repro.core.recovery.RecoveryPolicy` knobs the simulator uses, but
+driven by wall-clock timers (``asyncio.wait_for``) instead of engine
+events:
+
+* attempt ``k`` waits ``policy.backoff_ms(k)`` for the reply, so the
+  policy's exponential backoff *is* the widening wait window;
+* after ``max_retries`` unanswered retransmissions on an address the
+  client fails over to the next address (sticky, like the chaos
+  workload) — or, with no addresses left, records the request as
+  **exhausted**: the wall-clock analogue of `RecoveryExhausted`,
+  reported as a count rather than raised so a million-request run
+  aggregates instead of dying;
+* a refused or reset connection is crash detection: no timeout is
+  waited, the client fails over immediately.
+
+Client-observed **exactly-once** is an accounting identity the E17
+bench machine-checks: ``completed + exhausted == issued``, each
+completed request matched to exactly one reply, with the server-side
+``duplicates`` counter proving retransmissions were absorbed by the
+dedup table rather than re-executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass, field
+from time import perf_counter  # repro: allow[DET001] — measuring real-transport wall-clock RTT is the purpose of this module
+from typing import List, Optional, Tuple
+
+from repro.core.recovery import RecoveryPolicy
+from repro.core.wire import MsgKind, WireMessage
+from repro.net.frames import (
+    LENGTH_PREFIX,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_frame,
+)
+from repro.net.server import STATS_OP
+from repro.obs.hist import StreamingHistogram
+
+#: wall-clock knobs suited to a loaded asyncio loop (the simulator's
+#: chaos policy times out in 25 ms — realistic for simulated links,
+#: flappy for a thousand coroutines sharing one real event loop)
+DEFAULT_LOAD_POLICY = RecoveryPolicy(
+    timeout_ms=1000.0, max_retries=3, backoff_factor=2.0, jitter_frac=0.0
+)
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one `run_load` call."""
+
+    clients: int
+    requests_per_client: int
+    issued: int = 0
+    completed: int = 0
+    exhausted: int = 0
+    retries: int = 0
+    failovers: int = 0
+    connect_errors: int = 0
+    wall_s: float = 0.0
+    rtt: StreamingHistogram = field(default_factory=StreamingHistogram)
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def exactly_once(self) -> bool:
+        """The client-side half of the exactly-once check: every issued
+        request has exactly one outcome."""
+        return self.completed + self.exhausted == self.issued
+
+
+async def _open(endpoint: str) -> Tuple[asyncio.StreamReader,
+                                        asyncio.StreamWriter]:
+    if ":" in endpoint and not os.path.exists(endpoint):
+        host, port = endpoint.rsplit(":", 1)
+        return await asyncio.open_connection(host, int(port))
+    return await asyncio.open_unix_connection(endpoint)
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> WireMessage:
+    head = await reader.readexactly(LENGTH_PREFIX.size)
+    (n,) = LENGTH_PREFIX.unpack(head)
+    return decode_frame(await reader.readexactly(n))
+
+
+class _Client:
+    """One client coroutine's connection + recovery state."""
+
+    __slots__ = ("cid", "endpoints", "addr_idx", "reader", "writer")
+
+    def __init__(self, cid: int, endpoints: List[str]) -> None:
+        self.cid = cid
+        self.endpoints = endpoints
+        self.addr_idx = 0  # sticky: failover advances, never returns
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    def _drop_connection(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        self.reader = self.writer = None
+
+    async def _ensure_connected(self) -> bool:
+        if self.writer is not None:
+            return True
+        try:
+            self.reader, self.writer = await _open(
+                self.endpoints[self.addr_idx]
+            )
+            return True
+        except OSError:
+            return False
+
+    async def _attempt(self, frame: bytes, seq: int,
+                       wait_ms: float) -> Optional[WireMessage]:
+        """One send + bounded wait.  None = timed out (retry);
+        ConnectionError propagates = the server is gone (fail over)."""
+        self.writer.write(frame)
+        await self.writer.drain()
+        deadline = perf_counter() + wait_ms / 1000.0
+        while True:
+            remaining = deadline - perf_counter()
+            if remaining <= 0:
+                return None
+            try:
+                msg = await asyncio.wait_for(
+                    _read_frame(self.reader), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                return None
+            except (asyncio.IncompleteReadError, FrameError) as exc:
+                raise ConnectionResetError("server closed mid-read") from exc
+            if msg.kind is MsgKind.REPLY and msg.reply_to == seq:
+                return msg
+            # a stale reply to an attempt we already timed out on:
+            # ignore it and keep waiting inside the same window
+
+    async def run(self, requests: int, payload: bytes,
+                  policy: RecoveryPolicy, report: LoadReport) -> None:
+        for seq in range(1, requests + 1):
+            report.issued += 1
+            frame = pack_frame(encode_frame(WireMessage(
+                kind=MsgKind.REQUEST, seq=seq, opname="ping",
+                sighash=self.cid, payload=payload, sent_at=0.0,
+            )))
+            t0 = perf_counter()
+            done = False
+            while not done:
+                attempt = 0
+                while attempt <= policy.max_retries:
+                    if not await self._ensure_connected():
+                        report.connect_errors += 1
+                        break  # crash detection: fail over at once
+                    try:
+                        msg = await self._attempt(
+                            frame, seq, policy.backoff_ms(attempt)
+                        )
+                    except (ConnectionError, OSError):
+                        self._drop_connection()
+                        break  # reset mid-flight: fail over at once
+                    if msg is not None:
+                        report.completed += 1
+                        report.rtt.record((perf_counter() - t0) * 1000.0)
+                        done = True
+                        break
+                    attempt += 1
+                    report.retries += 1
+                if done:
+                    break
+                # this address is out of budget (or dead): fail over
+                self._drop_connection()
+                if self.addr_idx + 1 < len(self.endpoints):
+                    self.addr_idx += 1
+                    report.failovers += 1
+                else:
+                    report.exhausted += 1
+                    break
+        self._drop_connection()
+
+
+async def _run_load(endpoints: List[str], clients: int, requests: int,
+                    payload_bytes: int, policy: RecoveryPolicy,
+                    report: LoadReport) -> None:
+    payload = b"x" * payload_bytes
+    tasks = [
+        _Client(cid, list(endpoints)).run(requests, payload, policy, report)
+        for cid in range(clients)
+    ]
+    await asyncio.gather(*tasks)
+
+
+def run_load(endpoints: List[str], clients: int = 8, requests: int = 4,
+             payload_bytes: int = 32,
+             policy: Optional[RecoveryPolicy] = None) -> LoadReport:
+    """Drive ``clients`` concurrent coroutines against ``endpoints``.
+
+    Each client issues ``requests`` sequential pings, retrying and
+    failing over per ``policy`` (`DEFAULT_LOAD_POLICY` when omitted).
+    """
+    if policy is None:
+        policy = DEFAULT_LOAD_POLICY
+    report = LoadReport(clients=clients, requests_per_client=requests)
+    t0 = perf_counter()
+    asyncio.run(_run_load(endpoints, clients, requests, payload_bytes,
+                          policy, report))
+    report.wall_s = perf_counter() - t0
+    return report
+
+
+def query_stats(endpoint: str) -> dict:
+    """Ask a live node for its dedup counters (the ``__stats__`` op)."""
+
+    async def _query() -> dict:
+        reader, writer = await _open(endpoint)
+        try:
+            writer.write(pack_frame(encode_frame(WireMessage(
+                kind=MsgKind.REQUEST, seq=0, opname=STATS_OP, sent_at=0.0,
+            ))))
+            await writer.drain()
+            reply = await _read_frame(reader)
+            return json.loads(reply.payload.decode("utf-8"))
+        finally:
+            writer.close()
+
+    return asyncio.run(_query())

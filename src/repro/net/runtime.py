@@ -1,0 +1,124 @@
+"""The LYNX runtime for the real-transport backend.
+
+Identical hook-for-hook to the ideal runtime — same single charged
+handoff, same receipt-at-consumption, same shared aborted-seq
+screening — because the backends are *meant* to be semantically
+indistinguishable: the divergence is in the data plane (`NetKernel`
+pushes every message through a real socket), not in the contract.
+Keeping the simulated shapes ideal-identical is what makes the E17
+measured-vs-simulated comparison meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.exceptions import RequestAborted
+from repro.core.links import ConnectWaiter, EndRef, EndState
+from repro.core.runtime import LynxRuntimeBase
+from repro.core.wire import WireMessage
+from repro.sim.tasks import sleep
+
+
+class NetRuntime(LynxRuntimeBase):
+    """Socket transport behind ideal semantics; see module docstring."""
+
+    RUNTIME_NAME = "net"
+
+    def __init__(self, handle, cluster) -> None:
+        super().__init__(handle, cluster)
+        self.costs = cluster.costmodel.ideal
+        self.kernel = cluster.kernel
+
+    def runtime_costs(self):
+        return self.cluster.costmodel.ideal.runtime
+
+    # ------------------------------------------------------------------
+    # transport hooks
+    # ------------------------------------------------------------------
+    def rt_new_link(self) -> Generator:
+        link = self.registry.alloc_link(self.name, self.name)
+        ref_a, ref_b = EndRef(link, 0), EndRef(link, 1)
+        self.kernel.route[ref_a] = self
+        self.kernel.route[ref_b] = self
+        return ref_a, ref_b
+        yield
+
+    def _handoff(self, msg: WireMessage) -> Generator:
+        """Charge the one simulated cost of the transport and span it;
+        the *wire* cost is paid inside `NetKernel._transit`."""
+        t0 = self.engine.now
+        yield sleep(self.engine, self.costs.delivery_ms)
+        if msg.span is not None:
+            self.cluster.spans.emit(
+                msg.span, "kernel", "handoff", self.name, t0, self.engine.now
+            )
+
+    def rt_send_request(self, es: EndState, msg: WireMessage) -> Generator:
+        if self.kernel.is_destroyed(es.ref):
+            raise self.destroyed_error(self.kernel.destroyed[es.ref.link])
+        yield from self._handoff(msg)
+        self.kernel.post(es.ref.peer, msg)
+
+    def rt_send_reply(self, es: EndState, msg: WireMessage) -> Generator:
+        requester = es.ref.peer
+        if self.kernel.is_destroyed(es.ref):
+            raise self.destroyed_error(self.kernel.destroyed[es.ref.link])
+        aborted = self.kernel.aborted.get(requester)
+        if aborted and msg.reply_to in aborted:
+            aborted.discard(msg.reply_to)
+            raise RequestAborted(
+                f"requester aborted seq {msg.reply_to} on {es.ref}"
+            )
+        yield from self._handoff(msg)
+        self.kernel.deliver(requester, msg)
+        # delivery is the receipt: unblock the replying coroutine now
+        self.notify_receipt(es.ref, msg.seq)
+
+    def rt_block_wait(self) -> Generator:
+        yield self.wakeup_future()
+
+    def rt_request_available(self, es: EndState) -> bool:
+        return bool(self.kernel.mailbox.get(es.ref))
+
+    def rt_take_request(self, es: EndState) -> Generator:
+        box = self.kernel.mailbox.get(es.ref)
+        if not box:
+            return None
+        msg = box.popleft()
+        # receipt-at-consumption: unconsumed requests stay withdrawable
+        sender = self.kernel.owner(es.ref.peer)
+        if sender is not None:
+            sender.notify_receipt(es.ref.peer, msg.seq)
+        return msg
+        yield
+
+    def rt_destroy(self, es: EndState, reason: str) -> Generator:
+        why = self.crash_tagged(reason)
+        # our unconsumed sends: the base already cleared ``outgoing``,
+        # so bring their enclosures home directly before the kernel
+        # drops the mailboxes
+        for msg in self.kernel.mailbox.get(es.ref.peer, ()):
+            self._restore_enclosures(msg)
+        self.kernel.destroy_link(es.ref, why)
+        return
+        yield
+
+    def rt_abort_connect(self, es: EndState, waiter: ConnectWaiter) -> Generator:
+        if self.kernel.withdraw(es.ref.peer, waiter.seq):
+            return True
+        # consumed already: flag the seq so the reply raises on the
+        # server side (same capability surface as the ideal kernel)
+        self.kernel.aborted.setdefault(es.ref, set()).add(waiter.seq)
+        return False
+        yield
+
+    def rt_adopt_end(self, ref: EndRef, meta: dict) -> Generator:
+        self.kernel.route[ref] = self
+        reason: Optional[str] = self.kernel.destroyed.get(ref.link)
+        if reason is not None:
+            self.notify_destroyed(ref, reason, crash="crash" in reason)
+        elif self.kernel.mailbox.get(ref):
+            self._wake()
+        return
+        yield

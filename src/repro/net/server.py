@@ -1,0 +1,152 @@
+"""A real node process: the asyncio server behind ``repro net serve``.
+
+Speaks the frame protocol of `repro.net.frames` over a Unix-domain or
+TCP socket.  Semantics are the paper's server half, reduced to what
+the E17 measurements need:
+
+* a REQUEST executes **at most once per server**: the dedup table keys
+  on ``(sighash, seq)`` — the load generator uses ``sighash`` as the
+  client id — and a duplicate arrival replays the cached reply bytes
+  instead of re-executing (the `duplicates` stat is the proof that
+  retransmissions happened and were absorbed);
+* ``--drop-first N`` makes the first arrival of the first ``N``
+  distinct requests execute but *withholds the reply*, deterministically
+  forcing the client's wall-clock timeout/retry path so a test run can
+  assert ``retries >= 1`` and ``duplicates >= 1`` without real packet
+  loss;
+* the ``__stats__`` operation returns the counters as JSON, so the
+  harness can interrogate a server before crashing it.
+
+On startup the process prints ``REPRO-NET READY <endpoint>`` on stdout
+— the supervisor's spawn handshake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.core.wire import MsgKind, WireMessage
+from repro.net.frames import (
+    LENGTH_PREFIX,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    pack_frame,
+)
+
+#: the control operation answered with the server's counters
+STATS_OP = "__stats__"
+
+#: stdout handshake line, watched by `repro.net.supervisor`
+READY_PREFIX = "REPRO-NET READY"
+
+
+class NodeServer:
+    """One node's request executor + dedup table."""
+
+    def __init__(self, name: str, drop_first: int = 0) -> None:
+        self.name = name
+        self.drop_first = drop_first
+        #: (sighash, seq) -> cached reply frame body
+        self.reply_cache: Dict[Tuple[int, int], bytes] = {}
+        self.requests_seen = 0
+        self.executed_unique = 0
+        self.duplicates = 0
+        self.dropped_replies = 0
+        self._reply_seq = 0
+
+    # -- request handling ----------------------------------------------
+    def _reply_to(self, req: WireMessage, payload: bytes) -> bytes:
+        self._reply_seq += 1
+        return encode_frame(WireMessage(
+            kind=MsgKind.REPLY,
+            seq=self._reply_seq,
+            reply_to=req.seq,
+            opname=req.opname,
+            sighash=req.sighash,
+            payload=payload,
+            sent_at=0.0,
+            span=req.span,
+        ))
+
+    def handle(self, req: WireMessage) -> Optional[bytes]:
+        """Process one request; return the reply frame body to send,
+        or None when the reply is deliberately withheld."""
+        if req.opname == STATS_OP:
+            return self._reply_to(req, json.dumps(self.stats()).encode())
+        self.requests_seen += 1
+        key = (req.sighash, req.seq)
+        cached = self.reply_cache.get(key)
+        if cached is not None:
+            # a retransmission: exactly-once means replay, not re-execute
+            self.duplicates += 1
+            return cached
+        self.executed_unique += 1
+        reply = self._reply_to(req, req.payload)
+        self.reply_cache[key] = reply
+        if self.drop_first > 0:
+            # execute, cache, but stay silent: the client must time out
+            # and retransmit, and the retransmit must hit the cache
+            self.drop_first -= 1
+            self.dropped_replies += 1
+            return None
+        return reply
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "requests_seen": self.requests_seen,
+            "executed_unique": self.executed_unique,
+            "duplicates": self.duplicates,
+            "dropped_replies": self.dropped_replies,
+        }
+
+    # -- the asyncio half ----------------------------------------------
+    async def _connection(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                head = await reader.readexactly(LENGTH_PREFIX.size)
+                (n,) = LENGTH_PREFIX.unpack(head)
+                body = await reader.readexactly(n)
+                try:
+                    req = decode_frame(body)
+                except FrameError:
+                    break  # protocol violation: drop the connection
+                reply = self.handle(req)
+                if reply is not None:
+                    writer.write(pack_frame(reply))
+                    await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def serve(self, socket_path: Optional[str] = None,
+                    port: Optional[int] = None) -> None:
+        """Bind, announce readiness on stdout, and serve forever."""
+        if socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._connection, path=socket_path
+            )
+            endpoint = socket_path
+        else:
+            server = await asyncio.start_server(
+                self._connection, host="127.0.0.1", port=port or 0
+            )
+            endpoint = "127.0.0.1:%d" % server.sockets[0].getsockname()[1]
+        print(f"{READY_PREFIX} {endpoint}", flush=True)
+        async with server:
+            await server.serve_forever()
+
+
+def serve_forever(name: str, socket_path: Optional[str] = None,
+                  port: Optional[int] = None, drop_first: int = 0) -> None:
+    """Blocking entry point used by ``python -m repro net serve``."""
+    node = NodeServer(name, drop_first=drop_first)
+    try:
+        asyncio.run(node.serve(socket_path=socket_path, port=port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass

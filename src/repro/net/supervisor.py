@@ -1,0 +1,170 @@
+"""Process supervision for real node processes.
+
+`NodeSupervisor` spawns each node as ``python -m repro net serve``
+(its own interpreter, its own asyncio loop, its own socket), confirms
+liveness through the ``REPRO-NET READY <endpoint>`` stdout handshake,
+and detects crashes two ways — the supervisor side sees the exit code,
+the client side sees ``ECONNREFUSED``/EOF — both of which feed the
+load generator's failover path.  ``crash()`` is deliberate failure
+injection (SIGKILL: the node runs no cleanup, like the simulator's
+PROCESSOR crash mode); ``stop_all()`` is orderly teardown and is safe
+to call twice.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import subprocess
+import sys
+import tempfile
+from time import monotonic  # repro: allow[DET001] — wall-clock spawn deadlines for real OS processes
+from typing import Dict, List, Optional
+
+from repro.net.server import READY_PREFIX
+
+#: wall seconds a freshly spawned node gets to print its READY line
+SPAWN_DEADLINE_S = 20.0
+
+
+class SpawnFailed(RuntimeError):
+    """A node process died or stalled before announcing readiness."""
+
+
+class NodeProcess:
+    """One supervised node: the Popen handle plus its endpoint."""
+
+    def __init__(self, name: str, proc: subprocess.Popen,
+                 endpoint: str) -> None:
+        self.name = name
+        self.proc = proc
+        #: UDS path, or ``host:port`` when serving TCP
+        self.endpoint = endpoint
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        return self.proc.poll()
+
+
+def _await_ready(proc: subprocess.Popen, deadline_s: float) -> str:
+    """Block until the child prints its READY line; return the endpoint."""
+    fd = proc.stdout.fileno()
+    os.set_blocking(fd, False)
+    sel = selectors.DefaultSelector()
+    sel.register(fd, selectors.EVENT_READ)
+    buf = b""
+    deadline = monotonic() + deadline_s
+    try:
+        while True:
+            if b"\n" in buf:
+                line, _, rest = buf.partition(b"\n")
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith(READY_PREFIX):
+                    return text[len(READY_PREFIX):].strip()
+                buf = rest
+                continue
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                raise SpawnFailed(
+                    f"node did not become ready within {deadline_s:.0f}s"
+                )
+            if proc.poll() is not None:
+                raise SpawnFailed(
+                    f"node exited with {proc.returncode} before READY"
+                )
+            if sel.select(timeout=min(remaining, 0.2)):
+                chunk = os.read(fd, 4096)
+                if not chunk:
+                    raise SpawnFailed("node closed stdout before READY")
+                buf += chunk
+    finally:
+        sel.close()
+
+
+class NodeSupervisor:
+    """Spawn, monitor, crash, and tear down real node processes."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, NodeProcess] = {}
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def _socket_dir(self) -> str:
+        if self._tmpdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-nodes-")
+        return self._tmpdir.name
+
+    def spawn(self, name: str, tcp: bool = False,
+              drop_first: int = 0) -> NodeProcess:
+        """Start one node and wait for its READY handshake."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)
+        ))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        cmd: List[str] = [sys.executable, "-m", "repro", "net", "serve",
+                          "--name", name]
+        if tcp:
+            cmd += ["--tcp", "0"]
+        else:
+            cmd += ["--socket", os.path.join(self._socket_dir(),
+                                             f"{name}.sock")]
+        if drop_first:
+            cmd += ["--drop-first", str(drop_first)]
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env
+        )
+        try:
+            endpoint = _await_ready(proc, SPAWN_DEADLINE_S)
+        except SpawnFailed:
+            proc.kill()
+            proc.wait()
+            raise
+        node = NodeProcess(name, proc, endpoint)
+        self.nodes[name] = node
+        return node
+
+    def alive(self, name: str) -> bool:
+        return name in self.nodes and self.nodes[name].alive
+
+    def crash(self, name: str) -> None:
+        """Hard-kill a node (no cleanup runs — the PROCESSOR mode of
+        the real world).  Clients learn of the death through refused
+        connections; the supervisor through the exit code."""
+        node = self.nodes[name]
+        node.proc.kill()
+        node.proc.wait()
+
+    def stop_all(self) -> None:
+        """Orderly teardown of every node still running."""
+        for node in self.nodes.values():
+            if node.alive:
+                node.proc.terminate()
+        for node in self.nodes.values():
+            try:
+                node.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                node.proc.kill()
+                node.proc.wait()
+            if node.proc.stdout is not None:
+                node.proc.stdout.close()
+        self.nodes.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "NodeSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop_all()

@@ -9,14 +9,17 @@ plane's own overhead: events/sec with observability off / sampled /
 full, plus streaming-histogram accuracy and merge checks), E16 (the
 engine-scaling experiment: 100k+ simulated clients on every
 `repro.sim.backends` engine, events/sec by shard count, with the
-cross-backend determinism digests machine-checked) and S1 (simulator
-wall-clock throughput) — and writes one machine-readable
-``BENCH_*.json`` so the performance trajectory of the repository is
-tracked across PRs.  The authoritative assertion-carrying harness
-remains ``pytest benchmarks/ --benchmark-only``; this runner trades
+cross-backend determinism digests machine-checked), E17 (the
+real-transport backend: measured wall-clock RTT/throughput over real
+OS sockets side by side with the simulator's shapes, exactly-once
+machine-checked) and S1 (simulator wall-clock throughput) — and
+writes one machine-readable ``BENCH_*.json`` so the performance
+trajectory of the repository is tracked across PRs.  The
+authoritative assertion-carrying harness remains
+``pytest benchmarks/ --benchmark-only``; this runner trades
 its tables for a stable schema::
 
-    {"schema": "repro.bench", "schema_version": 6,
+    {"schema": "repro.bench", "schema_version": 7,
      "seed": 0, "git_rev": "<rev|unknown>",
      "timestamp": "<UTC ISO-8601>", "quick": false,
      "benches": {bench_id: {metric: value}}}
@@ -29,13 +32,16 @@ every per-kernel metric family; 4 = the E14 fault-recovery bench
 joined ``benches``; 5 = the E15 observability-overhead bench joined
 ``benches`` and latency percentiles became streaming-histogram
 derived (`repro.obs.hist`); 6 = the E16 sharded-engine scaling bench
-joined ``benches``.
+joined ``benches``; 7 = the E17 real-transport bench joined
+``benches`` and the ``real-asyncio`` backend joined the per-kernel
+metric families (its keys are ``None`` on hosts that forbid sockets,
+so the document schema never varies).
 
 Simulated quantities are deterministic for a seed; the ``s1.*``,
-``obs_*_events_per_sec`` and ``scale_*_events_per_sec`` wall clock
-metrics are real time and machine-dependent by design.  ``--quick``
-shrinks iteration counts so the whole run is test-suite cheap (the
-schema is unchanged).
+``obs_*_events_per_sec``, ``scale_*_events_per_sec`` and
+``net_meas_*`` metrics are real time and machine-dependent by
+design.  ``--quick`` shrinks iteration counts so the whole run is
+test-suite cheap (the schema is unchanged).
 """
 
 from __future__ import annotations
@@ -52,8 +58,8 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.jsonl import json_safe
 
-BENCH_SCHEMA_VERSION = 6
-DEFAULT_BENCH_FILENAME = "BENCH_PR8.json"
+BENCH_SCHEMA_VERSION = 7
+DEFAULT_BENCH_FILENAME = "BENCH_PR9.json"
 
 E4_SWEEP = (0, 256, 512, 1024, 1536, 2048, 3072, 4096)
 E4_SWEEP_QUICK = (0, 1024, 2048)
@@ -143,9 +149,11 @@ def bench_s1(
         BYTES,
         Operation,
         Proc,
+        kernel_profile,
         make_cluster,
         registered_kernels,
     )
+    from repro.net import TransportUnavailable
     from repro.sim.backends import make_engine
 
     backend = sim_backend or "global"
@@ -187,7 +195,20 @@ def bench_s1(
                 yield from ctx.connect(end, ECHO, (b"x" * 64,))
 
     for kind in registered_kernels():
-        cluster = make_cluster(kind, seed=seed, sim_backend=backend)
+        # real-transport backends have exactly one event order; a
+        # non-global *simulation* engine does not apply to them, and a
+        # host that forbids sockets cannot run them — either way the
+        # keys stay None so the document schema never varies
+        if kernel_profile(kind).real_transport and backend != "global":
+            out[f"rpc_sim_wall_ms_{kind}"] = None
+            out[f"rpc_sim_events_{kind}"] = None
+            continue
+        try:
+            cluster = make_cluster(kind, seed=seed, sim_backend=backend)
+        except TransportUnavailable:
+            out[f"rpc_sim_wall_ms_{kind}"] = None
+            out[f"rpc_sim_events_{kind}"] = None
+            continue
         s = cluster.spawn(Server(), "server")
         c = cluster.spawn(Client(), "client")
         cluster.create_link(s, c)
@@ -198,6 +219,7 @@ def bench_s1(
             raise RuntimeError(f"S1 rpc conversation hung on {kind}")
         out[f"rpc_sim_wall_ms_{kind}"] = wall * 1e3
         out[f"rpc_sim_events_{kind}"] = float(cluster.engine.events_fired)
+        cluster.close()
     return out
 
 
@@ -216,13 +238,22 @@ def bench_e13(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     floor: everything above it is protocol, not semantics.
     """
     from repro.core.api import registered_kernels
+    from repro.net import TransportUnavailable
     from repro.obs.causal import CausalGraph
     from repro.workloads.rpc import run_rpc_workload
 
     count = 2 if quick else 5
     out: Dict[str, float] = {}
     for kind in registered_kernels():
-        r = run_rpc_workload(kind, 0, count=count, seed=seed)
+        try:
+            r = run_rpc_workload(kind, 0, count=count, seed=seed)
+        except TransportUnavailable:
+            for layer in ("runtime", "kernel", "network", "app"):
+                out[f"{kind}_{layer}_ms"] = None
+            out[f"{kind}_total_ms"] = None
+            out[f"{kind}_runtime_share"] = None
+            out[f"{kind}_kernel_share"] = None
+            continue
         graph = CausalGraph.from_trace(r.trace)
         tids = graph.traces()[1:]  # drop the workload's warm-up trip
         layers = graph.by_layer(tids)
@@ -260,6 +291,7 @@ def bench_e14(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     stretches to the window length).
     """
     from repro.core.api import kernel_profile, registered_kernels
+    from repro.net import TransportUnavailable
     from repro.workloads.chaos import (
         chaos_policy,
         partitioned_plan,
@@ -270,11 +302,19 @@ def bench_e14(seed: int = 0, quick: bool = False) -> Dict[str, float]:
     out: Dict[str, float] = {}
     placements: Dict[str, Tuple[str, float]] = {}
     for kind in registered_kernels():
-        clean = run_chaos_workload(kind, count=count, seed=seed)
-        faulted = run_chaos_workload(
-            kind, count=count, seed=seed,
-            plan=partitioned_plan(quick), policy=chaos_policy(),
-        )
+        try:
+            clean = run_chaos_workload(kind, count=count, seed=seed)
+            faulted = run_chaos_workload(
+                kind, count=count, seed=seed,
+                plan=partitioned_plan(quick), policy=chaos_policy(),
+            )
+        except TransportUnavailable:
+            for metric in ("clean_goodput_per_s", "faulted_goodput_per_s",
+                           "goodput_retention", "completed", "failed_over",
+                           "max_rtt_ms", "p99_rtt_ms", "retries",
+                           "kernel_retransmits"):
+                out[f"{kind}_{metric}"] = None
+            continue
         out[f"{kind}_clean_goodput_per_s"] = clean.goodput_per_s
         out[f"{kind}_faulted_goodput_per_s"] = faulted.goodput_per_s
         out[f"{kind}_goodput_retention"] = (
@@ -642,6 +682,181 @@ def bench_e16(
     return out
 
 
+def bench_e17(seed: int = 0, quick: bool = False) -> Dict[str, float]:
+    """E17 — real transport, measured against the simulator's shapes.
+
+    Two halves, one document:
+
+    * **Simulated**: the RPC workload on the registered ``real-asyncio``
+      backend (every message round-tripped through a real OS socket,
+      synchronously in simulated time).  Machine-checked: its simulated
+      RTT is *bit-identical* to the ``ideal`` backend's — the transport
+      changed, the semantics did not.
+    * **Measured**: `repro.net.supervisor` spawns real node processes
+      (``python -m repro net serve`` over UDS), and the
+      `repro.net.load` generator drives concurrent client coroutines
+      with wall-clock `RecoveryPolicy` timeout/retry/failover.  The
+      primary server's ``--drop-first`` deterministically withholds its
+      first few replies, forcing the retry path; then the primary is
+      hard-killed and a second load wave must detect the crash
+      (refused connections) and fail over to the backup.
+
+    Machine-checked on every run (an `AssertionError` makes
+    ``bench --quick --only E17`` exit non-zero):
+
+    * **exactly-once-or-exhausted**: ``completed + exhausted ==
+      issued`` in both waves, with zero exhausted here (a live backup
+      always exists); the server's ``duplicates`` counter must show
+      the forced retransmissions were absorbed by the dedup cache, and
+      ``executed_unique`` must equal the wave's completed count — no
+      request ran twice on a server;
+    * **crash-driven failover**: every wave-B client must record
+      exactly one failover;
+    * **report contract**: with the transport available, every
+      ``net_*`` metric must be present (non-None) and the
+      measured-vs-simulated RTT ratio positive;
+    * **scale** (full mode): at least 1000 concurrent client
+      coroutines.
+
+    On hosts that forbid sockets or subprocesses, ``net_available`` is
+    0.0 and every other key stays ``None`` — same document schema.
+    ``net_meas_*`` values are wall-clock and machine-dependent (like
+    S1); the ``net_sim_*`` half is deterministic for a seed.
+    """
+    from repro.core.recovery import RecoveryPolicy
+    from repro.net import TransportUnavailable
+    from repro.net.load import query_stats, run_load
+    from repro.net.supervisor import NodeSupervisor, SpawnFailed
+    from repro.workloads.rpc import run_rpc_workload
+
+    out: Dict[str, Optional[float]] = {
+        "net_available": 0.0,
+        "net_sim_rtt_ms": None,
+        "net_sim_ideal_rtt_ms": None,
+        "net_sim_wire_msgs": None,
+        "net_meas_clients": None,
+        "net_meas_servers": None,
+        "net_meas_ops": None,
+        "net_meas_completed": None,
+        "net_meas_exhausted": None,
+        "net_meas_retries": None,
+        "net_meas_duplicates": None,
+        "net_meas_failovers": None,
+        "net_meas_rtt_mean_ms": None,
+        "net_meas_rtt_p50_ms": None,
+        "net_meas_rtt_p99_ms": None,
+        "net_meas_throughput_per_s": None,
+        "net_meas_vs_sim_rtt_ratio": None,
+        "net_exactly_once": None,
+    }
+    clients = 24 if quick else 1000
+    requests = 2 if quick else 3
+    drop_first = 4 if quick else 8
+    policy = RecoveryPolicy(
+        timeout_ms=250.0 if quick else 1000.0, max_retries=3,
+        backoff_factor=2.0, jitter_frac=0.0,
+    )
+
+    # -- simulated half -------------------------------------------------
+    try:
+        sim = run_rpc_workload("real-asyncio", 0, count=5, seed=seed)
+    except TransportUnavailable:
+        return out
+    ideal = run_rpc_workload("ideal", 0, count=5, seed=seed)
+    out["net_sim_rtt_ms"] = sim.mean_ms
+    out["net_sim_ideal_rtt_ms"] = ideal.mean_ms
+    out["net_sim_wire_msgs"] = sim.messages
+    if sim.rtts != ideal.rtts:
+        raise AssertionError(
+            f"E17: the real-asyncio backend's simulated shape must be "
+            f"bit-identical to ideal's (same semantics, different data "
+            f"plane); got {sim.rtts} != {ideal.rtts}"
+        )
+
+    # -- measured half --------------------------------------------------
+    try:
+        with NodeSupervisor() as sup:
+            primary = sup.spawn("primary", drop_first=drop_first)
+            backup = sup.spawn("backup")
+            endpoints = [primary.endpoint, backup.endpoint]
+
+            wave_a = run_load(endpoints, clients=clients,
+                              requests=requests, policy=policy)
+            stats = query_stats(primary.endpoint)
+            sup.crash("primary")
+            wave_b = run_load(endpoints, clients=clients, requests=1,
+                              policy=policy)
+            stats_b = query_stats(backup.endpoint)
+    except (TransportUnavailable, SpawnFailed, OSError):
+        return out
+
+    checks = []
+    if not (wave_a.exactly_once and wave_b.exactly_once):
+        checks.append("completed + exhausted != issued")
+    if wave_a.exhausted or wave_b.exhausted:
+        checks.append(
+            f"exhausted with a live backup present "
+            f"({wave_a.exhausted}+{wave_b.exhausted})"
+        )
+    if wave_a.retries < 1 or stats["duplicates"] < 1:
+        checks.append(
+            f"drop-first must force retries ({wave_a.retries}) absorbed "
+            f"as duplicates ({stats['duplicates']})"
+        )
+    if stats["executed_unique"] != wave_a.completed:
+        checks.append(
+            f"a request ran other-than-once on the primary: "
+            f"{stats['executed_unique']} executed != "
+            f"{wave_a.completed} completed"
+        )
+    if wave_b.failovers != wave_b.clients:
+        checks.append(
+            f"every wave-B client must fail over off the crashed "
+            f"primary exactly once ({wave_b.failovers} != "
+            f"{wave_b.clients})"
+        )
+    if stats_b["executed_unique"] != wave_b.completed:
+        checks.append(
+            f"a request ran other-than-once on the backup: "
+            f"{stats_b['executed_unique']} executed != "
+            f"{wave_b.completed} completed"
+        )
+    if not quick and clients < 1000:
+        checks.append(f"full mode must sustain >=1000 clients ({clients})")
+    if checks:
+        raise AssertionError(
+            "E17 exactly-once/failover contract broke: " + "; ".join(checks)
+        )
+
+    out["net_available"] = 1.0
+    out["net_meas_clients"] = float(clients)
+    out["net_meas_servers"] = 2.0
+    out["net_meas_ops"] = float(wave_a.issued + wave_b.issued)
+    out["net_meas_completed"] = float(wave_a.completed + wave_b.completed)
+    out["net_meas_exhausted"] = float(wave_a.exhausted + wave_b.exhausted)
+    out["net_meas_retries"] = float(wave_a.retries + wave_b.retries)
+    out["net_meas_duplicates"] = float(stats["duplicates"]
+                                       + stats_b["duplicates"])
+    out["net_meas_failovers"] = float(wave_a.failovers + wave_b.failovers)
+    out["net_meas_rtt_mean_ms"] = wave_a.rtt.mean
+    out["net_meas_rtt_p50_ms"] = wave_a.rtt.percentile(50.0)
+    out["net_meas_rtt_p99_ms"] = wave_a.rtt.percentile(99.0)
+    out["net_meas_throughput_per_s"] = wave_a.throughput_per_s
+    out["net_meas_vs_sim_rtt_ratio"] = (
+        wave_a.rtt.mean / sim.mean_ms if sim.mean_ms else 0.0
+    )
+    out["net_exactly_once"] = 1.0
+    # the report contract: available means *fully* reported
+    missing = [k for k, v in out.items() if v is None]
+    if missing or out["net_meas_vs_sim_rtt_ratio"] <= 0.0:
+        raise AssertionError(
+            f"E17 measured-vs-simulated report contract broke: "
+            f"missing={missing} "
+            f"ratio={out['net_meas_vs_sim_rtt_ratio']}"
+        )
+    return out
+
+
 _BENCHES: Dict[str, Callable[..., Dict[str, float]]] = {
     "E1": bench_e1,
     "E4": bench_e4,
@@ -650,6 +865,7 @@ _BENCHES: Dict[str, Callable[..., Dict[str, float]]] = {
     "E14": bench_e14,
     "E15": bench_e15,
     "E16": bench_e16,
+    "E17": bench_e17,
     "S1": bench_s1,
 }
 
@@ -724,7 +940,7 @@ def write_bench_json(
     quick: bool = False,
 ) -> Tuple[Dict[str, object], str]:
     """Wrap ``results`` in the versioned envelope and write it (default:
-    ``BENCH_PR8.json`` at the repo root; ``"-"`` writes to stdout).
+    ``BENCH_PR9.json`` at the repo root; ``"-"`` writes to stdout).
     Returns (document, path)."""
     if path is None:
         path = os.path.join(repo_root(), DEFAULT_BENCH_FILENAME)

@@ -16,7 +16,7 @@ def test_bench_quick_writes_valid_json(tmp_path, capsys):
     assert doc["schema"] == "repro.bench"
     assert doc["quick"] is True
     assert set(doc["benches"]) == {"E1", "E4", "E5", "E13", "E14", "E15",
-                                   "E16", "S1"}
+                                   "E16", "E17", "S1"}
     assert "seed" in doc and "git_rev" in doc and "timestamp" in doc
 
 

@@ -1,0 +1,82 @@
+"""The registered ``real-asyncio`` backend: ideal semantics, real bytes.
+
+Reproducibility over real transport, stated once and pinned here:
+
+* **deterministic for a seed** — everything the *simulated* half
+  produces (RTT shapes, message counts, event order).  The backend
+  round-trips every message through the switch *synchronously* in
+  simulated time, so socket scheduling can never reorder engine
+  events; same seed, same run, bit-identical to ``ideal``.
+* **not deterministic** — wall-clock timing: the distributed
+  ``serve``/``load`` path and every ``net_meas_*`` number in the E17
+  bench depend on the host and the moment, exactly like S1.
+"""
+
+import pytest
+
+from repro.core.api import kernel_profile, make_cluster, registered_kernels
+from repro.core.wire import MsgKind, WireMessage
+from repro.net import TransportUnavailable
+from repro.net.cluster import NetCluster
+from repro.workloads.rpc import run_rpc_workload
+
+
+def _rpc(kind, **kw):
+    try:
+        return run_rpc_workload(kind, count=6, seed=3, **kw)
+    except TransportUnavailable as exc:
+        pytest.skip(f"this host forbids sockets ({exc})")
+
+
+def _cluster(**kw):
+    try:
+        return make_cluster("real-asyncio", **kw)
+    except TransportUnavailable as exc:
+        pytest.skip(f"this host forbids sockets ({exc})")
+
+
+def test_registered_with_the_real_transport_flag():
+    assert "real-asyncio" in registered_kernels()
+    assert kernel_profile("real-asyncio").real_transport
+    for kind in ("charlotte", "soda", "chrysalis", "ideal"):
+        assert not kernel_profile(kind).real_transport
+
+
+def test_same_seed_runs_are_bit_identical():
+    a, b = _rpc("real-asyncio"), _rpc("real-asyncio")
+    assert a.rtts == b.rtts
+    assert (a.messages, a.wire_bytes) == (b.messages, b.wire_bytes)
+
+
+def test_matches_the_ideal_backend_shape_exactly():
+    real, ideal = _rpc("real-asyncio"), _rpc("ideal")
+    assert real.rtts == ideal.rtts
+    assert (real.messages, real.wire_bytes) == (ideal.messages,
+                                                ideal.wire_bytes)
+
+
+def test_transit_substitutes_the_wires_copy():
+    cluster = _cluster(seed=1)
+    try:
+        msg = WireMessage(kind=MsgKind.REQUEST, seq=9, opname="ping",
+                          sighash=2**63, payload=b"over the wire")
+        wired = cluster.kernel._transit(msg)
+        # content-identical, but a distinct object rebuilt from bytes
+        assert wired == msg
+        assert wired is not msg
+        assert cluster.metrics.get("net.frames") == 1
+        assert cluster.metrics.get("net.frame_bytes") > 0
+    finally:
+        cluster.close()
+
+
+def test_rejects_a_simulation_backend_choice():
+    with pytest.raises(ValueError, match="real sockets"):
+        NetCluster(seed=0, sim_backend="sharded:2")
+
+
+def test_close_is_idempotent_and_releases_the_socket():
+    cluster = _cluster(seed=0)
+    cluster.close()
+    assert cluster.kernel._conn is None
+    cluster.close()

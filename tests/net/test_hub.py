@@ -1,0 +1,38 @@
+"""The in-process switch: bytes really cross the OS socket layer."""
+
+import pytest
+
+from repro.net.hub import Hub, TransportUnavailable, hub_connect
+
+
+def _connect():
+    try:
+        return hub_connect()
+    except TransportUnavailable as exc:
+        pytest.skip(f"this host forbids sockets ({exc})")
+
+
+def test_roundtrip_echoes_and_counts():
+    conn = _connect()
+    try:
+        assert conn.roundtrip(b"hello switch") == b"hello switch"
+        assert conn.roundtrip(b"") == b""
+        assert conn.frames == 2
+        # 4-byte length prefix per frame + the bodies
+        assert conn.bytes_moved == 2 * 4 + len(b"hello switch")
+    finally:
+        conn.close()
+
+
+def test_hub_is_a_process_singleton():
+    _connect().close()
+    assert Hub.shared() is Hub.shared()
+
+
+def test_closed_connection_refuses_roundtrips():
+    conn = _connect()
+    conn.close()
+    assert conn.closed
+    conn.close()  # idempotent
+    with pytest.raises(TransportUnavailable):
+        conn.roundtrip(b"late")

@@ -23,7 +23,8 @@ def quick_results():
 
 
 def test_bench_ids():
-    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "E15", "E16", "S1")
+    assert BENCH_IDS == ("E1", "E4", "E5", "E13", "E14", "E15", "E16",
+                         "E17", "S1")
 
 
 def test_document_schema_matches_golden_file(quick_results, tmp_path):
@@ -56,9 +57,10 @@ def test_exported_values_are_json_numbers(quick_results):
 def test_quick_values_keep_the_paper_shape(quick_results):
     """Even at smoke counts the simulated quantities reproduce the
     paper's ordering claims (wall-clock S1 values are only positive)."""
-    e1, e4, e5, e13, e14, e15, e16, s1 = (
+    e1, e4, e5, e13, e14, e15, e16, e17, s1 = (
         quick_results[k]
-        for k in ("E1", "E4", "E5", "E13", "E14", "E15", "E16", "S1")
+        for k in ("E1", "E4", "E5", "E13", "E14", "E15", "E16", "E17",
+                  "S1")
     )
     assert e1["lynx_rpc0_ms"] > e1["raw_rpc0_ms"]          # §3.3 overhead
     assert e1["lynx_rpc1000_ms"] > e1["lynx_rpc0_ms"]
@@ -87,9 +89,12 @@ def test_quick_values_keep_the_paper_shape(quick_results):
     assert e14["charlotte_failed_over"] == 0     # absolutes give no signal
     assert e14["charlotte_kernel_retransmits"] > 0
     for kind in registered_kernels():
-        assert e14[f"{kind}_completed"] > 0
-        assert s1[f"rpc_sim_wall_ms_{kind}"] > 0.0
-        assert s1[f"rpc_sim_events_{kind}"] > 0
+        # the real-transport backend's entries are None on hosts that
+        # forbid sockets — present (and positive) everywhere else
+        for value in (e14[f"{kind}_completed"],
+                      s1[f"rpc_sim_wall_ms_{kind}"],
+                      s1[f"rpc_sim_events_{kind}"]):
+            assert value is None or value > 0
     # E15: the telemetry plane's own gates (machine-checked inside the
     # bench; re-assert the deterministic accuracy numbers here)
     for mode in ("off", "sampled", "full"):
@@ -112,6 +117,18 @@ def test_quick_values_keep_the_paper_shape(quick_results):
     for shards in (1, 2, 4, 8):
         assert e16[f"scale_parallel_s{shards}_events_per_sec"] > 0.0
     assert e16["scale_parallel_s8_speedup"] > 0.0
+    # E17: real transport (the hard gates — exactly-once, failover
+    # accounting, the report contract — are machine-checked inside the
+    # bench; re-assert the headline claims when the host allows it)
+    if e17["net_available"] == 1.0:
+        assert e17["net_exactly_once"] == 1.0
+        assert e17["net_sim_rtt_ms"] == e17["net_sim_ideal_rtt_ms"]
+        assert e17["net_meas_completed"] == e17["net_meas_ops"] > 0
+        assert e17["net_meas_duplicates"] >= 1
+        assert e17["net_meas_vs_sim_rtt_ratio"] > 0.0
+    else:
+        assert all(v is None for k, v in e17.items()
+                   if k != "net_available")
 
 
 def test_simulated_metrics_are_seed_deterministic():
