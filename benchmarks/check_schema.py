@@ -27,8 +27,15 @@ Validates
     report must match ``tests/obs/golden_compare_schema.json`` — the
     compare format cannot drift without a golden update either;
   - ``LINT_BASELINE.json``: schema "repro.lint-baseline" version 1,
-    every entry naming a registered lint rule and carrying a
-    non-empty justifying ``note`` (docs/LINT.md).
+    every entry naming a registered lint rule — shallow *or*
+    whole-program — and carrying a non-empty justifying ``note``
+    (docs/LINT.md);
+  - the ``lint --deep`` JSON report: generated in-process over the
+    shipped tree and held to ``tests/analysis/golden_lint_schema.json``
+    (version 2: top-level ``deep`` flag, per-rule ``scope``, and the
+    golden's ``deep_rule_ids`` all present as ``program``-scoped
+    rules), then downgraded to the version-1 shape and round-tripped
+    through `load_lint_report` so archived v1 artifacts keep loading.
 
 A bench whose keys change without a golden-file update (and a schema-
 version bump) fails here — this is the CI job that makes "the baseline
@@ -249,6 +256,7 @@ def check_flight_dump(path: str, errors: List[str]) -> None:
 
 
 def check_lint_baseline(path: str, errors: List[str]) -> None:
+    from repro.analysis.flow import registered_deep_rules
     from repro.analysis.lint import (
         BaselineError,
         load_baseline,
@@ -262,10 +270,74 @@ def check_lint_baseline(path: str, errors: List[str]) -> None:
         errors.append(str(exc))
         return
     known = {r.id for r in registered_rules()}
+    known.update(r.id for r in registered_deep_rules())
     for e in entries:
         if e.rule not in known:
             errors.append(f"{name}: entry grandfathers unknown rule "
                           f"{e.rule!r} (registered: {sorted(known)})")
+
+
+def check_lint_report(errors: List[str]) -> None:
+    """Generate the ``lint --deep`` report over the shipped tree and
+    hold it to the v2 golden, then prove the v1 loader still works."""
+    from repro.analysis.lint import load_lint_report, run_lint
+    from repro.analysis.lint.report import (
+        LINT_SCHEMA_VERSION,
+        LintReportError,
+        lint_json_doc,
+    )
+
+    golden_path = os.path.join(ROOT, "tests", "analysis",
+                               "golden_lint_schema.json")
+    name = "lint --deep report"
+    if not os.path.exists(golden_path) or not os.path.isdir(
+        os.path.join(ROOT, "src", "repro")
+    ):
+        # a stripped checkout (no tests/ or no src/) has nothing to
+        # hold the report to; the bench/table gates above still apply
+        print(f"check_schema: {name} skipped (stripped checkout)")
+        return
+    with open(golden_path) as fh:
+        golden = json.load(fh)
+    if golden["schema_version"] != LINT_SCHEMA_VERSION:
+        errors.append(
+            f"{os.path.relpath(golden_path, ROOT)}: golden "
+            f"schema_version {golden['schema_version']} != code's "
+            f"{LINT_SCHEMA_VERSION} — update the golden file"
+        )
+    doc = lint_json_doc(run_lint(root=ROOT, deep=True))
+    if sorted(doc) != golden["top_level"]:
+        errors.append(f"{name}: top-level keys {sorted(doc)} != "
+                      f"{golden['top_level']}")
+        return
+    if doc["deep"] is not True:
+        errors.append(f"{name}: deep flag is {doc['deep']!r}, not True")
+    deep_ids = sorted(r for r, e in doc["rules"].items()
+                      if e.get("scope") == "program")
+    if deep_ids != golden["deep_rule_ids"]:
+        errors.append(f"{name}: program-scoped rules {deep_ids} != "
+                      f"golden deep_rule_ids {golden['deep_rule_ids']}")
+    shallow_ids = sorted(r for r, e in doc["rules"].items()
+                         if e.get("scope") == "module")
+    if shallow_ids != golden["rule_ids"]:
+        errors.append(f"{name}: module-scoped rules {shallow_ids} != "
+                      f"golden rule_ids {golden['rule_ids']}")
+    if doc["exit_code"] != 0:
+        errors.append(f"{name}: the shipped tree is not deep-clean "
+                      f"(exit_code {doc['exit_code']})")
+    v1 = {k: v for k, v in doc.items() if k != "deep"}
+    v1["schema_version"] = 1
+    v1["rules"] = {rid: {k: v for k, v in entry.items() if k != "scope"}
+                   for rid, entry in doc["rules"].items()}
+    try:
+        loaded = load_lint_report(v1)
+    except LintReportError as exc:
+        errors.append(f"{name}: v1 round-trip failed: {exc}")
+        return
+    if loaded["schema_version"] != LINT_SCHEMA_VERSION or loaded["deep"]:
+        errors.append(f"{name}: v1 round-trip did not normalize to the "
+                      f"v2 shape (version {loaded['schema_version']}, "
+                      f"deep {loaded['deep']!r})")
 
 
 def main() -> int:
@@ -302,13 +374,15 @@ def main() -> int:
     else:
         check_lint_baseline(baseline, errors)
 
+    check_lint_report(errors)
+
     if errors:
         for e in errors:
             print(f"check_schema: {e}", file=sys.stderr)
         return 1
     print(f"check_schema: ok ({len(bench_docs)} bench baseline(s), "
           f"{len(table_docs)} tables, {len(flight_docs)} flight "
-          f"dump(s), lint baseline)")
+          f"dump(s), lint baseline, deep lint report)")
     return 0
 
 

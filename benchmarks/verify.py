@@ -3,8 +3,10 @@
     PYTHONPATH=src python benchmarks/verify.py [--out DIR]
                                                [--sim-backend NAME]
 
-Runs ``python -m repro lint`` (the determinism & layering pass must be
-clean before anything is measured), then ``python -m repro trace
+Runs ``python -m repro lint --deep`` (the determinism & layering pass
+*and* the whole-program rules must be clean before anything is
+measured, and the deep pass must finish inside a wall budget so the
+analysis never becomes the slow stage), then ``python -m repro trace
 --selftest`` (span trees, critical-path coverage and the Chrome export
 on every registered kernel), then one
 zero-byte RPC on every backend in the kernel registry (so a freshly
@@ -31,7 +33,13 @@ import argparse
 import os
 import sys
 import tempfile
+import time
 from typing import List, Optional
+
+#: wall budget for the full `lint --deep` pass over the shipped tree —
+#: parse + link + four interprocedural rules; generous next to the
+#: bench stages, tight enough to catch an accidentally quadratic rule
+LINT_DEEP_BUDGET_S = 30.0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -57,10 +65,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"verify: {exc}", file=sys.stderr)
             return 2
 
-    rc = repro_main(["lint"])
+    t0 = time.perf_counter()
+    rc = repro_main(["lint", "--deep"])
+    elapsed = time.perf_counter() - t0
     if rc != 0:
-        print("verify: lint FAILED", file=sys.stderr)
+        print("verify: lint --deep FAILED", file=sys.stderr)
         return rc
+    if elapsed > LINT_DEEP_BUDGET_S:
+        print(f"verify: lint --deep took {elapsed:.1f}s > "
+              f"{LINT_DEEP_BUDGET_S:.0f}s budget — the whole-program "
+              f"pass may not become the slow stage", file=sys.stderr)
+        return 1
+    print(f"verify: lint --deep ok in {elapsed:.1f}s "
+          f"(budget {LINT_DEEP_BUDGET_S:.0f}s)")
 
     rc = repro_main(["trace", "--selftest"])
     if rc != 0:

@@ -1,0 +1,46 @@
+"""Whole-program static analysis (`python -m repro lint --deep`).
+
+The per-file lint (`repro.analysis.lint`) checks what one AST can
+show.  This package links every parsed module into a `ProgramGraph` —
+import graph, symbol table, conservative call graph — and runs
+*interprocedural* rules over it: races on fork-shared state, lookahead
+floors violated by constant-foldable delays, blocking calls buried
+under helpers inside coroutines, and recovery signals swallowed far
+from where they were raised.
+
+Entry points: `build_program` links `ModuleInfo`s; `registered_deep_rules`
+lists the shipped rules; the lint runner (`run_lint(deep=True)`) wires
+both into the normal finding/baseline/report pipeline.
+"""
+
+from repro.analysis.flow.core import (
+    DeepRule,
+    DeepViolation,
+    deep_rule,
+    get_deep_rule,
+    registered_deep_rules,
+)
+from repro.analysis.flow.fold import fold_lower_bound
+from repro.analysis.flow.graph import (
+    CallEdge,
+    ClassInfo,
+    FunctionInfo,
+    ModuleGraph,
+    ProgramGraph,
+    build_program,
+)
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "DeepRule",
+    "DeepViolation",
+    "FunctionInfo",
+    "ModuleGraph",
+    "ProgramGraph",
+    "build_program",
+    "deep_rule",
+    "fold_lower_bound",
+    "get_deep_rule",
+    "registered_deep_rules",
+]

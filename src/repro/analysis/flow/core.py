@@ -1,0 +1,113 @@
+"""Deep (whole-program) rule registry.
+
+A *deep rule* is the interprocedural counterpart of
+`repro.analysis.lint.core.Rule`: instead of one module at a time, its
+check receives the linked `ProgramGraph` and yields ``(module,
+node_or_line, message)`` triples — the module locates the finding, so
+one rule can report across files in a single pass.
+
+Deep rules share everything else with the shallow registry: the same
+`Finding` type, the same per-line ``# repro: allow[RULE]`` suppression
+(resolved against the module the finding lands in), the same baseline
+matching, and the same report/severity vocabulary.  They live in a
+separate registry keyed off ``scope="program"`` so ``python -m repro
+lint`` stays fast by default and ``--deep`` opts into the linked pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple, Union
+
+from repro.analysis.lint.core import SEVERITIES, Finding
+
+from .graph import ModuleGraph, ProgramGraph
+
+__all__ = [
+    "DeepRule",
+    "DeepViolation",
+    "deep_rule",
+    "get_deep_rule",
+    "registered_deep_rules",
+]
+
+#: what a deep check yields: the module the finding belongs to, an AST
+#: node or 1-based line locating it, and the message
+DeepViolation = Tuple[ModuleGraph, Union[ast.AST, int], str]
+DeepCheckFn = Callable[[ProgramGraph], Iterator[DeepViolation]]
+
+
+@dataclass(frozen=True)
+class DeepRule:
+    """A registered whole-program rule."""
+
+    id: str
+    title: str
+    severity: str
+    check: DeepCheckFn
+    scope: str = "program"
+
+    def run(self, program: ProgramGraph) -> Iterator[Finding]:
+        for module, node_or_line, message in self.check(program):
+            if isinstance(node_or_line, int):
+                line, col = node_or_line, 0
+            else:
+                line = getattr(node_or_line, "lineno", 1)
+                col = getattr(node_or_line, "col_offset", 0)
+            info = module.info
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=info.display,
+                line=line,
+                col=col,
+                message=message,
+                suppressed=self.id in info.allowed_rules(line),
+            )
+
+
+_DEEP_RULES: Dict[str, DeepRule] = {}
+
+
+def register_deep_rule(r: DeepRule) -> DeepRule:
+    if r.id in _DEEP_RULES:
+        raise ValueError(f"deep lint rule {r.id!r} already registered")
+    if r.severity not in SEVERITIES:
+        raise ValueError(
+            f"deep lint rule {r.id!r}: severity {r.severity!r} "
+            f"not in {SEVERITIES}"
+        )
+    _DEEP_RULES[r.id] = r
+    return r
+
+
+def deep_rule(id: str, title: str, severity: str = "error"):
+    """Decorator form of `register_deep_rule`."""
+
+    def deco(fn: DeepCheckFn) -> DeepCheckFn:
+        register_deep_rule(
+            DeepRule(id=id, title=title, severity=severity, check=fn)
+        )
+        return fn
+
+    return deco
+
+
+def registered_deep_rules() -> Tuple[DeepRule, ...]:
+    """Every registered deep rule, sorted by id."""
+    import repro.analysis.flow.rules  # noqa: F401  (registers on import)
+
+    return tuple(_DEEP_RULES[k] for k in sorted(_DEEP_RULES))
+
+
+def get_deep_rule(rule_id: str) -> DeepRule:
+    import repro.analysis.flow.rules  # noqa: F401
+
+    try:
+        return _DEEP_RULES[rule_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown deep lint rule {rule_id!r}; registered: "
+            f"{', '.join(sorted(_DEEP_RULES))}"
+        ) from None

@@ -1,0 +1,151 @@
+"""Conservative constant folding over the program graph.
+
+SIM003 needs to prove, statically, that a cross-shard post's delay is
+below the smallest registered link floor.  "Prove" means folding the
+delay expression down to a *lower bound*: every construct folds either
+to a number that the runtime value can never go below, or to None
+("don't know"), in which case no finding fires.  A random jitter term
+``uniform(a, b)`` folds to ``fold(a)`` — the smallest value the draw
+can produce — which is exactly the bound the Chandy–Misra–Bryant
+window check in `Engine.post` enforces at runtime.
+
+Name lookups resolve through the module graph: a bare ``NAME`` through
+the module's own constants and its imports, a dotted
+``mod.CONST`` across modules, and ``self.attr`` through the class's
+``self.attr = ...`` bindings (folded in the binding method's own
+module context).  Anything else — calls, subscripts, attribute chains
+on unknown objects — is None.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.analysis.lint.core import dotted_name
+
+from .graph import ClassInfo, ModuleGraph, ProgramGraph
+
+__all__ = ["fold_lower_bound"]
+
+#: functions whose result's lower bound is their first argument's
+_LOWER_BOUND_OF_FIRST_ARG = frozenset({"uniform", "triangular"})
+
+_MAX_DEPTH = 16
+
+
+def fold_lower_bound(
+    program: ProgramGraph,
+    mod: ModuleGraph,
+    expr: ast.AST,
+    cls: Optional[ClassInfo] = None,
+    env: Optional[Dict[str, ast.AST]] = None,
+    _depth: int = 0,
+) -> Optional[float]:
+    """Fold ``expr`` (as seen from ``mod``, optionally inside ``cls``)
+    to a numeric lower bound, or None when no bound is provable.
+
+    ``env`` maps bare names to substitute expressions — callers use it
+    to fold a method body against ``__init__`` parameter defaults."""
+    if _depth > _MAX_DEPTH:
+        return None
+
+    def rec(e: ast.AST, m: ModuleGraph = mod,
+            c: Optional[ClassInfo] = cls,
+            v: Optional[Dict[str, ast.AST]] = env) -> Optional[float]:
+        return fold_lower_bound(program, m, e, c, v, _depth + 1)
+
+    if isinstance(expr, ast.Name) and env is not None and expr.id in env:
+        return rec(env[expr.id])
+
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool) or not isinstance(
+            expr.value, (int, float)
+        ):
+            return None
+        return float(expr.value)
+
+    if isinstance(expr, ast.UnaryOp):
+        if isinstance(expr.op, ast.USub):
+            # a lower bound of -x needs an *upper* bound of x; only a
+            # constant gives both
+            inner = expr.operand
+            if isinstance(inner, ast.Constant) and isinstance(
+                inner.value, (int, float)
+            ) and not isinstance(inner.value, bool):
+                return -float(inner.value)
+            return None
+        if isinstance(expr.op, ast.UAdd):
+            return rec(expr.operand)
+        return None
+
+    if isinstance(expr, ast.BinOp):
+        left, right = rec(expr.left), rec(expr.right)
+        if left is None or right is None:
+            return None
+        if isinstance(expr.op, ast.Add):
+            return left + right
+        if isinstance(expr.op, ast.Sub):
+            # lower(l - r) = lower(l) - upper(r); sound only when both
+            # sides folded to exact constants, which is what folding to
+            # a number means for every leaf we accept
+            return left - right
+        if isinstance(expr.op, ast.Mult):
+            if left < 0 or right < 0:
+                return None  # sign flips break the bound direction
+            return left * right
+        if isinstance(expr.op, ast.Div):
+            if left < 0 or right <= 0:
+                return None
+            return left / right
+        return None
+
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name is not None:
+            # `self._uniform` (the bound-method alias idiom) folds the
+            # same as `uniform`
+            tail = name.rsplit(".", 1)[-1].lstrip("_")
+            if tail in _LOWER_BOUND_OF_FIRST_ARG and expr.args:
+                return rec(expr.args[0])
+            if tail in ("max",) and expr.args:
+                bounds = [rec(a) for a in expr.args]
+                known = [b for b in bounds if b is not None]
+                # max() is at least its largest *provable* lower bound
+                return max(known) if known else None
+            if tail in ("min",) and expr.args:
+                bounds = [rec(a) for a in expr.args]
+                if any(b is None for b in bounds):
+                    return None
+                return min(bounds)  # type: ignore[type-var]
+            if tail in ("float", "abs") and len(expr.args) == 1:
+                inner = rec(expr.args[0])
+                if tail == "abs":
+                    return None if inner is None else max(inner, 0.0)
+                return inner
+        return None
+
+    # self.attr through the class's binding table
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and cls is not None
+    ):
+        bound = cls.self_bindings.get(expr.attr)
+        if bound is not None:
+            return rec(bound, cls.module, cls)
+        attr = program.class_attr(cls, expr.attr)
+        if attr is not None:
+            return rec(attr, cls.module, cls)
+        return None
+
+    name = dotted_name(expr)
+    if name is not None:
+        resolved = program.resolve(mod, name)
+        if resolved is not None and resolved[0] == "const":
+            _, owner, value = resolved
+            return rec(value, owner, None)
+        return None
+
+    return None

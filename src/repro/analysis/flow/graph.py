@@ -1,0 +1,538 @@
+"""The whole-program graph: modules, symbols, and a conservative call graph.
+
+`build_program` parses nothing itself — it takes the same `ModuleInfo`
+objects the per-file lint pass already produced and links them into a
+`ProgramGraph`:
+
+* **module graph** — every file under ``src/repro`` keyed by its dotted
+  name (``repro.sim.engine``); ad-hoc files (fixtures, scripts) keyed
+  by their stem so deep rules run on them too;
+* **symbol table** — per module: imports (aliases, ``from`` symbols,
+  relative forms), top-level functions, classes with their methods and
+  ``self.x = ...`` bindings, module-level constants, and module-level
+  names bound to mutable containers;
+* **call graph** — for every function, the calls whose targets resolve
+  statically (direct names, imported names, ``self.method``, methods
+  on locally constructed instances) plus *reference edges*: function
+  objects passed as call arguments (``defer(d, self._serve, ...)``) —
+  the dominant control-flow idiom of an event-driven codebase.
+
+Resolution is deliberately conservative: an edge exists only when the
+target is certain, and anything dynamic (``fn(*args)``, dict dispatch,
+``getattr``) resolves to nothing.  Deep rules are therefore biased
+toward precision — a finding names a chain that really exists — at the
+price of recall, which is the right trade for a CI gate.
+
+Import resolution follows re-export chains (``from repro.net import
+hub_connect`` where ``repro.net.__init__`` itself imported it from
+``repro.net.hub``) with a cycle guard, so import cycles terminate.
+Nested ``def``s are folded into their enclosing function: a closure
+handed to a scheduler is part of the parent's behaviour, and walking
+it with the parent is what makes reachability see it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.core import ModuleInfo, dotted_name
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleGraph",
+    "ProgramGraph",
+    "build_program",
+]
+
+#: AST nodes that bind a module-level name to a mutable container
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+#: constructor names that build a mutable container
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "deque", "defaultdict", "OrderedDict",
+    "Counter", "bytearray",
+})
+
+
+def _is_mutable_expr(expr: ast.AST) -> bool:
+    if isinstance(expr, _MUTABLE_LITERALS):
+        return True
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved outgoing edges."""
+
+    name: str
+    qualname: str  # "<module>.<Class>.<name>" / "<module>.<name>"
+    module: ModuleGraph
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional["ClassInfo"] = None
+    is_async: bool = False
+    #: resolved per call node (id(node) -> target), filled by _link
+    call_targets: Dict[int, "FunctionInfo"] = field(default_factory=dict)
+    #: function references passed as arguments, per call node
+    ref_targets: Dict[int, List["FunctionInfo"]] = field(default_factory=dict)
+    edges: List["CallEdge"] = field(default_factory=list)
+
+    def callees(self) -> List["FunctionInfo"]:
+        """Every function this one calls or passes as a callback, in
+        source order, deduplicated."""
+        seen: Set[str] = set()
+        out: List[FunctionInfo] = []
+        for edge in self.edges:
+            for t in edge.targets():
+                if t.qualname not in seen:
+                    seen.add(t.qualname)
+                    out.append(t)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FunctionInfo {self.qualname}>"
+
+
+@dataclass
+class CallEdge:
+    """One call site: the resolved callee (if any) and any function
+    references among its arguments."""
+
+    node: ast.Call
+    target: Optional[FunctionInfo]
+    arg_refs: List[FunctionInfo] = field(default_factory=list)
+
+    def targets(self) -> List[FunctionInfo]:
+        out = list(self.arg_refs)
+        if self.target is not None:
+            out.insert(0, self.target)
+        return out
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, base names, and ``self.x = ...`` bindings."""
+
+    name: str
+    module: "ModuleGraph"
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-level attribute assignments (name -> value expression)
+    class_attrs: Dict[str, ast.AST] = field(default_factory=dict)
+    #: class-level names bound to mutable containers
+    class_mutables: Set[str] = field(default_factory=set)
+    #: ``self.NAME = <expr>`` seen in any method (last one wins)
+    self_bindings: Dict[str, ast.AST] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClassInfo {self.module.name}.{self.name}>"
+
+
+@dataclass
+class _Import:
+    kind: str  # "module" | "symbol"
+    module: str
+    symbol: Optional[str] = None
+
+
+@dataclass
+class ModuleGraph:
+    """One module's symbol table inside the program."""
+
+    name: str
+    info: ModuleInfo
+    is_package: bool
+    imports: Dict[str, _Import] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level simple constant assignments (name -> value expr)
+    constants: Dict[str, ast.AST] = field(default_factory=dict)
+    #: module-level names bound to mutable containers (name -> expr)
+    mutables: Dict[str, ast.AST] = field(default_factory=dict)
+    #: calls made from ``if __name__ == "__main__":`` blocks
+    main_calls: List[ast.Call] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModuleGraph {self.name}>"
+
+
+def module_dotted_name(info: ModuleInfo) -> str:
+    """``repro.sim.engine`` for files under ``src/repro``; the file
+    stem for ad-hoc paths (fixtures keep their full rule coverage)."""
+    if info.package is not None:
+        return ".".join(("repro",) + info.package)
+    return info.path.stem
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    t = node.test
+    return (
+        isinstance(t, ast.Compare)
+        and isinstance(t.left, ast.Name)
+        and t.left.id == "__name__"
+        and len(t.ops) == 1
+        and isinstance(t.ops[0], ast.Eq)
+        and len(t.comparators) == 1
+        and isinstance(t.comparators[0], ast.Constant)
+        and t.comparators[0].value == "__main__"
+    )
+
+
+class ProgramGraph:
+    """The linked whole-program view deep rules run on."""
+
+    def __init__(self, modules: Sequence[ModuleGraph]) -> None:
+        self.modules: Dict[str, ModuleGraph] = {m.name: m for m in modules}
+        self._blocks_cache: Dict[str, object] = {}
+
+    # -- iteration -----------------------------------------------------
+    def iter_modules(self) -> List[ModuleGraph]:
+        return [self.modules[k] for k in sorted(self.modules)]
+
+    def iter_functions(self) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for mod in self.iter_modules():
+            out.extend(mod.functions[k] for k in mod.functions)
+            for cname in mod.classes:
+                cls = mod.classes[cname]
+                out.extend(cls.methods[k] for k in cls.methods)
+        return out
+
+    # -- symbol resolution ---------------------------------------------
+    def resolve(self, mod: ModuleGraph, dotted: str):
+        """Resolve a dotted name as seen from ``mod``.  Returns one of
+        ``("func", FunctionInfo)``, ``("class", ClassInfo)``,
+        ``("classattr", ClassInfo, name)``, ``("const", ModuleGraph,
+        expr)``, ``("mutable", ModuleGraph, name)``, ``("module",
+        ModuleGraph)`` or None."""
+        return self._resolve_parts(mod, dotted.split("."), set())
+
+    def _resolve_parts(self, mod: ModuleGraph, parts: List[str], seen: set):
+        if not parts:
+            return ("module", mod)
+        head, rest = parts[0], parts[1:]
+        if head in mod.classes:
+            cls = mod.classes[head]
+            if not rest:
+                return ("class", cls)
+            if len(rest) == 1:
+                meth = self.class_method(cls, rest[0])
+                if meth is not None:
+                    return ("func", meth)
+                attr = self.class_attr(cls, rest[0])
+                if attr is not None:
+                    return ("classattr", cls, rest[0])
+            return None
+        if head in mod.functions:
+            return ("func", mod.functions[head]) if not rest else None
+        if head in mod.mutables:
+            return ("mutable", mod, head) if not rest else None
+        if head in mod.constants:
+            return ("const", mod, mod.constants[head]) if not rest else None
+        imp = mod.imports.get(head)
+        if imp is not None:
+            if imp.kind == "module":
+                return self._resolve_module_path(imp.module, rest, seen)
+            # a `from M import x` symbol: x may itself be a submodule
+            sub = f"{imp.module}.{imp.symbol}"
+            if sub in self.modules:
+                return self._resolve_module_path(sub, rest, seen)
+            target = self.modules.get(imp.module)
+            if target is None:
+                return None
+            key = (target.name, imp.symbol)
+            if key in seen:  # re-export cycle: give up, don't loop
+                return None
+            seen.add(key)
+            return self._resolve_parts(target, [imp.symbol] + rest, seen)
+        return None
+
+    def _resolve_module_path(self, dotted: str, rest: List[str], seen: set):
+        parts = dotted.split(".") + rest
+        for i in range(len(parts), 0, -1):
+            name = ".".join(parts[:i])
+            if name in self.modules:
+                remaining = parts[i:]
+                if not remaining:
+                    return ("module", self.modules[name])
+                return self._resolve_parts(self.modules[name], remaining, seen)
+        return None
+
+    def class_method(self, cls: ClassInfo, name: str,
+                     _seen: Optional[set] = None) -> Optional[FunctionInfo]:
+        """Look ``name`` up on ``cls`` and its resolvable bases."""
+        if name in cls.methods:
+            return cls.methods[name]
+        _seen = _seen if _seen is not None else set()
+        key = (cls.module.name, cls.name)
+        if key in _seen:
+            return None
+        _seen.add(key)
+        for base in cls.bases:
+            resolved = self._resolve_parts(cls.module, base.split("."), set())
+            if resolved is not None and resolved[0] == "class":
+                meth = self.class_method(resolved[1], name, _seen)
+                if meth is not None:
+                    return meth
+        return None
+
+    def class_attr(self, cls: ClassInfo, name: str,
+                   _seen: Optional[set] = None) -> Optional[ast.AST]:
+        if name in cls.class_attrs:
+            return cls.class_attrs[name]
+        _seen = _seen if _seen is not None else set()
+        key = (cls.module.name, cls.name)
+        if key in _seen:
+            return None
+        _seen.add(key)
+        for base in cls.bases:
+            resolved = self._resolve_parts(cls.module, base.split("."), set())
+            if resolved is not None and resolved[0] == "class":
+                attr = self.class_attr(resolved[1], name, _seen)
+                if attr is not None:
+                    return attr
+        return None
+
+    # -- reachability --------------------------------------------------
+    def reachable(self, roots: Iterable[FunctionInfo]) -> List[FunctionInfo]:
+        """Transitive closure over call + reference edges, in a stable
+        (qualname-sorted BFS) order."""
+        seen: Dict[str, FunctionInfo] = {}
+        frontier = sorted(
+            {r.qualname: r for r in roots}.values(),
+            key=lambda f: f.qualname,
+        )
+        for f in frontier:
+            seen[f.qualname] = f
+        while frontier:
+            nxt: Dict[str, FunctionInfo] = {}
+            for f in frontier:
+                for callee in f.callees():
+                    if callee.qualname not in seen:
+                        seen[callee.qualname] = callee
+                        nxt[callee.qualname] = callee
+            frontier = [nxt[k] for k in sorted(nxt)]
+        return [seen[k] for k in sorted(seen)]
+
+
+# ----------------------------------------------------------------------
+# building: per-module symbol tables, then a linking pass
+# ----------------------------------------------------------------------
+def _collect_imports(mod: ModuleGraph) -> None:
+    for node in ast.walk(mod.info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mod.imports[alias.asname] = _Import("module", alias.name)
+                else:
+                    head = alias.name.split(".")[0]
+                    mod.imports.setdefault(head, _Import("module", head))
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = mod.name.split(".")
+                if not mod.is_package:
+                    parts = parts[:-1]
+                parts = parts[: max(len(parts) - (node.level - 1), 0)]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue  # star imports resolve to nothing (precision)
+                bound = alias.asname or alias.name
+                mod.imports[bound] = _Import("symbol", base, alias.name)
+
+
+def _collect_class(mod: ModuleGraph, node: ast.ClassDef) -> ClassInfo:
+    cls = ClassInfo(name=node.name, module=mod, node=node)
+    for base in node.bases:
+        name = dotted_name(base)
+        if name is not None:
+            cls.bases.append(name)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fi = FunctionInfo(
+                name=stmt.name,
+                qualname=f"{mod.name}.{node.name}.{stmt.name}",
+                module=mod,
+                node=stmt,
+                cls=cls,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            )
+            cls.methods[stmt.name] = fi
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            for t in targets:
+                if isinstance(t, ast.Name) and value is not None:
+                    cls.class_attrs[t.id] = value
+                    if _is_mutable_expr(value):
+                        cls.class_mutables.add(t.id)
+    # self.NAME = <expr> bindings, from every method
+    for meth in cls.methods.values():
+        for sub in ast.walk(meth.node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            for t in sub.targets:
+                if (
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                ):
+                    cls.self_bindings[t.attr] = sub.value
+    return cls
+
+
+def _collect_module(info: ModuleInfo) -> ModuleGraph:
+    mod = ModuleGraph(
+        name=module_dotted_name(info),
+        info=info,
+        is_package=info.path.name == "__init__.py",
+    )
+    _collect_imports(mod)
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[node.name] = FunctionInfo(
+                name=node.name,
+                qualname=f"{mod.name}.{node.name}",
+                module=mod,
+                node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+            )
+        elif isinstance(node, ast.ClassDef):
+            mod.classes[node.name] = _collect_class(mod, node)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            value = node.value
+            if value is None:
+                continue
+            for t in targets:
+                if not isinstance(t, ast.Name):
+                    continue
+                if _is_mutable_expr(value):
+                    mod.mutables[t.id] = value
+                else:
+                    mod.constants[t.id] = value
+        elif isinstance(node, ast.If) and _is_main_guard(node):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    mod.main_calls.append(sub)
+    return mod
+
+
+class _Linker(ast.NodeVisitor):
+    """Resolve one function's call sites and argument references.
+
+    Walks the function body in source order, tracking locally
+    constructed instances (``x = SomeClass(...)``) so ``x.method()``
+    resolves.  Nested ``def``s are walked as part of the parent.
+    """
+
+    def __init__(self, program: ProgramGraph, func: FunctionInfo) -> None:
+        self.program = program
+        self.func = func
+        self.mod = func.module
+        #: local name -> ClassInfo for locally constructed instances
+        self.local_types: Dict[str, ClassInfo] = {}
+
+    def run(self) -> None:
+        node = self.func.node
+        for stmt in node.body:
+            self.visit(stmt)
+
+    # -- resolution helpers --------------------------------------------
+    def _resolve_callable(self, expr: ast.AST):
+        """Resolve an expression to a FunctionInfo, or None."""
+        cls = self.func.cls
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and cls is not None:
+                    meth = self.program.class_method(cls, expr.attr)
+                    if meth is not None:
+                        return meth
+                    # `self.x(...)` where __init__ bound x to a method:
+                    bound = cls.self_bindings.get(expr.attr)
+                    if bound is not None:
+                        return self._resolve_callable(bound)
+                    return None
+                local = self.local_types.get(base.id)
+                if local is not None:
+                    return self.program.class_method(local, expr.attr)
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        resolved = self.program.resolve(self.mod, name)
+        if resolved is None:
+            return None
+        if resolved[0] == "func":
+            return resolved[1]
+        if resolved[0] == "class":
+            return self.program.class_method(resolved[1], "__init__")
+        return None
+
+    def _resolve_class(self, expr: ast.AST) -> Optional[ClassInfo]:
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        resolved = self.program.resolve(self.mod, name)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    # -- visitors ------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # track `x = SomeClass(...)` for later `x.method()` resolution
+        if isinstance(node.value, ast.Call):
+            built = self._resolve_class(node.value.func)
+            if built is not None:
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        self.local_types[t.id] = built
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self._resolve_callable(node.func)
+        refs: List[FunctionInfo] = []
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                ref = self._resolve_callable(arg)
+                if ref is not None:
+                    refs.append(ref)
+        if target is not None:
+            self.func.call_targets[id(node)] = target
+        if refs:
+            self.func.ref_targets[id(node)] = refs
+        if target is not None or refs:
+            self.func.edges.append(
+                CallEdge(node=node, target=target, arg_refs=refs)
+            )
+        self.generic_visit(node)
+
+
+def build_program(modules: Iterable[ModuleInfo]) -> ProgramGraph:
+    """Link parsed modules into a `ProgramGraph` (one pass to collect
+    symbols, one to resolve call sites)."""
+    graphs: List[ModuleGraph] = []
+    names: Set[str] = set()
+    for info in modules:
+        mg = _collect_module(info)
+        if mg.name in names:  # two ad-hoc files with one stem: keep first
+            continue
+        names.add(mg.name)
+        graphs.append(mg)
+    program = ProgramGraph(graphs)
+    for func in program.iter_functions():
+        _Linker(program, func).run()
+    return program

@@ -1,0 +1,18 @@
+"""The shipped whole-program (deep) rules.
+
+Importing this package registers every deep rule:
+
+| id         | guards                                                    |
+|------------|-----------------------------------------------------------|
+| `SHARD001` | no shared module/class state written from forked workers  |
+| `SIM003`   | no post delay provably below the CMB lookahead floor      |
+| `NET001`   | no blocking calls reachable from repro.net coroutines     |
+| `API002`   | RecoveryExhausted surviving broad handlers down the chain |
+"""
+
+from repro.analysis.flow.rules import (  # noqa: F401  (register on import)
+    apiflow,
+    netflow,
+    shard,
+    simflow,
+)

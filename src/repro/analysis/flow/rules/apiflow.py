@@ -1,0 +1,239 @@
+"""API002 — interprocedural API001: the exhausted-recovery signal must
+survive broad handlers anywhere on the call chain.
+
+API001 (per-file) catches ``except RecoveryExhausted:`` blocks that
+swallow the signal.  It cannot catch the interprocedural version: a
+helper three calls down raises `RecoveryExhausted`, and a caller wraps
+the whole chain in ``except Exception: pass``.  The hint the paper's
+§4.1 stance exists to surface — *the network misbehaved and recovery
+gave up* — dies just as silently, only further from the raise.
+
+The rule propagates "can raise RecoveryExhausted" over the resolved
+call graph (a call inside a ``try`` whose handlers catch the signal
+does not propagate it upward), then flags every broad handler (bare
+``except``, ``Exception``, ``BaseException``, or the repo's
+`LynxError` root) that wraps a propagating call and neither re-raises
+nor records a ``recovery.*`` metric — the same keeps-the-signal test
+API001 applies to explicit handlers.  Handlers that *name*
+`RecoveryExhausted` are API001's jurisdiction and are skipped here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.lint.rules.semantics import (
+    EXHAUSTED,
+    _handler_keeps_signal,
+    _names_exhausted,
+)
+
+from ..core import DeepViolation, deep_rule
+from ..graph import FunctionInfo, ProgramGraph
+
+#: exception names that catch RecoveryExhausted without naming it
+_BROAD_CATCHES = frozenset({"Exception", "BaseException", "LynxError"})
+
+
+def _handler_names(expr: Optional[ast.AST]) -> List[str]:
+    """The type names one except clause catches ([] for bare except)."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Tuple):
+        out: List[str] = []
+        for e in expr.elts:
+            out.extend(_handler_names(e))
+        return out
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Attribute):
+        return [expr.attr]
+    return []
+
+
+def _handler_catches_signal(handler: ast.ExceptHandler) -> bool:
+    """Would this handler intercept a RecoveryExhausted in flight?"""
+    if handler.type is None:
+        return True
+    names = _handler_names(handler.type)
+    return EXHAUSTED in names or any(n in _BROAD_CATCHES for n in names)
+
+
+def _raises_directly(func: FunctionInfo) -> bool:
+    """Does the body contain ``raise RecoveryExhausted`` — directly
+    (bare name, attribute, call form) or via a local first assigned a
+    ``RecoveryExhausted(...)`` construction?"""
+    constructed: set = set()
+    for sub in ast.walk(func.node):
+        if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+            ctor = sub.value.func
+            if (isinstance(ctor, ast.Name) and ctor.id == EXHAUSTED) or (
+                isinstance(ctor, ast.Attribute) and ctor.attr == EXHAUSTED
+            ):
+                constructed.update(
+                    t.id for t in sub.targets if isinstance(t, ast.Name)
+                )
+    for sub in ast.walk(func.node):
+        if not isinstance(sub, ast.Raise) or sub.exc is None:
+            continue
+        exc = sub.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if (isinstance(exc, ast.Name) and exc.id == EXHAUSTED) or (
+            isinstance(exc, ast.Attribute) and exc.attr == EXHAUSTED
+        ):
+            return True
+        if isinstance(exc, ast.Name) and exc.id in constructed:
+            return True
+    return False
+
+
+def _enclosing_tries(
+    func: FunctionInfo,
+) -> Dict[int, List[ast.Try]]:
+    """``id(call node) -> [Try nodes whose body encloses it]``, inner
+    first — scoping calls to the handlers that would catch them."""
+    out: Dict[int, List[ast.Try]] = {}
+
+    def walk(node: ast.AST, stack: Tuple[ast.Try, ...]) -> None:
+        if isinstance(node, ast.Call):
+            if stack:
+                out[id(node)] = list(reversed(stack))
+        if isinstance(node, ast.Try):
+            for child in node.body + node.orelse + node.finalbody:
+                walk(child, stack + (node,))
+            for handler in node.handlers:
+                for child in handler.body:
+                    walk(child, stack)  # handler bodies escape this try
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, stack)
+
+    walk(func.node, ())
+    return out
+
+
+def _call_escapes(tries: List[ast.Try]) -> bool:
+    """Can a RecoveryExhausted raised by this call leave the function?"""
+    for t in tries:
+        if any(_handler_catches_signal(h) for h in t.handlers):
+            return False
+    return True
+
+
+def _can_raise(
+    program: ProgramGraph,
+) -> Dict[str, FunctionInfo]:
+    """Fixpoint: every function from which RecoveryExhausted can
+    escape to the caller."""
+    raisers: Dict[str, FunctionInfo] = {}
+    funcs = program.iter_functions()
+    for f in funcs:
+        if _raises_directly(f):
+            # a direct raise inside a catching try still doesn't
+            # escape; keep it simple — the raise sites in this repo are
+            # terminal (`raise RecoveryExhausted(...)` at give-up)
+            raisers[f.qualname] = f
+    changed = True
+    enclosing_cache: Dict[str, Dict[int, List[ast.Try]]] = {}
+    while changed:
+        changed = False
+        for f in funcs:
+            if f.qualname in raisers:
+                continue
+            tries = enclosing_cache.get(f.qualname)
+            if tries is None:
+                tries = _enclosing_tries(f)
+                enclosing_cache[f.qualname] = tries
+            for edge in f.edges:
+                target = edge.target
+                if target is None or target.qualname not in raisers:
+                    continue
+                if _call_escapes(tries.get(id(edge.node), [])):
+                    raisers[f.qualname] = f
+                    changed = True
+                    break
+    return raisers
+
+
+@deep_rule(
+    "API002",
+    "RecoveryExhausted swallowed by a broad handler down the call chain",
+)
+def check_exhausted_escapes(
+    program: ProgramGraph,
+) -> Iterator[DeepViolation]:
+    raisers = _can_raise(program)
+    if not raisers:
+        return
+    seen: Set[Tuple[str, int]] = set()
+    for func in program.iter_functions():
+        mod = func.module
+        enclosing = _enclosing_tries(func)
+        for sub in ast.walk(func.node):
+            if not isinstance(sub, ast.Try):
+                continue
+            # API001 owns handlers that name the signal explicitly
+            if any(
+                h.type is not None and _names_exhausted(h.type)
+                for h in sub.handlers
+            ):
+                continue
+            broad = [
+                h
+                for h in sub.handlers
+                if _handler_catches_signal(h)
+                and not _handler_keeps_signal(h)
+            ]
+            if not broad:
+                continue
+            # does the try body contain a call that can deliver the
+            # signal here?  (calls nested under an inner catching try
+            # are that try's problem)
+            culprit: Optional[FunctionInfo] = None
+            for inner in sub.body + sub.orelse:
+                for call in ast.walk(inner):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    chain = enclosing.get(id(call), [])
+                    if sub in chain:
+                        inner_tries = chain[: chain.index(sub)]
+                        if any(
+                            any(
+                                _handler_catches_signal(h)
+                                for h in t.handlers
+                            )
+                            for t in inner_tries
+                        ):
+                            continue  # an inner try already intercepts
+                    target = func.call_targets.get(id(call))
+                    if target is None or target.qualname not in raisers:
+                        refs = func.ref_targets.get(id(call), [])
+                        target = next(
+                            (r for r in refs if r.qualname in raisers),
+                            None,
+                        )
+                        if target is None:
+                            continue
+                    culprit = target
+                    break
+                if culprit is not None:
+                    break
+            if culprit is None:
+                continue
+            for handler in broad:
+                key = (mod.info.display, handler.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                caught = ", ".join(_handler_names(handler.type)) or "bare"
+                yield (
+                    mod,
+                    handler,
+                    f"broad handler ({caught}) swallows RecoveryExhausted "
+                    f"raised down the chain through "
+                    f"{culprit.qualname}; re-raise it or record a "
+                    f"recovery.* metric so the give-up stays observable "
+                    f"(interprocedural API001)",
+                )

@@ -1,0 +1,228 @@
+"""SHARD001 — static race detector for forked shard workers.
+
+``sharded-parallel`` with ``workers=`` forks one OS process per shard
+(`multiprocessing` ``Process(target=...)``), and every shard-tagged
+callback handed to the engine (``schedule_on`` / ``defer_on`` /
+``bind_receiver`` / ``bind_harvest``) may execute inside any of those
+forks.  A fork copies module state at spawn time: a write to a
+module-level or class-level (shared across instances) name from worker
+code is a write to a *per-process copy* — the paper's determinism
+contract silently degrades into N diverging universes, with no
+exception to point at.
+
+The rule computes the set of functions reachable from worker entry
+points over the conservative call graph (including callbacks passed as
+arguments — the dominant idiom in an event-driven codebase) and flags:
+
+* ``global NAME`` rebinding of a module-level name;
+* mutation of a module-level mutable container (``REGISTRY[k] = v``,
+  ``CACHE.append(x)``, ``STATS.update(...)`` and friends);
+* class-attribute writes (``cls.attr = ...``, ``Type.attr = ...``,
+  ``type(self).attr = ...``, ``self.__class__.attr = ...``) and
+  mutation of class-level mutable containers reached through ``self``
+  when the name was never rebound per-instance.
+
+Instance state (``self.x`` where ``x`` is instance-bound) is fine:
+each fork owns its shards' objects outright — that ownership split is
+the whole point of the design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.lint.core import dotted_name
+
+from ..core import DeepViolation, deep_rule
+from ..graph import FunctionInfo, ProgramGraph
+
+#: engine methods whose function-valued arguments run on shard workers
+_SHARD_TAGGED = frozenset(
+    {"schedule_on", "defer_on", "bind_receiver", "bind_harvest"}
+)
+
+#: methods that mutate the container they're called on
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+    "popleft", "sort", "reverse",
+})
+
+
+def worker_roots(program: ProgramGraph) -> List[FunctionInfo]:
+    """Functions that enter execution on a forked shard worker: the
+    ``target=`` of a ``Process(...)`` spawn, and every callback handed
+    to a shard-tagged engine method."""
+    roots: List[FunctionInfo] = []
+    for func in program.iter_functions():
+        for edge in func.edges:
+            call = edge.node
+            name = dotted_name(call.func)
+            is_spawn = name is not None and name.rsplit(".", 1)[-1].endswith(
+                "Process"
+            )
+            attr = (
+                call.func.attr
+                if isinstance(call.func, ast.Attribute)
+                else None
+            )
+            if is_spawn or attr in _SHARD_TAGGED:
+                roots.extend(edge.arg_refs)
+    return roots
+
+
+def _local_names(node: ast.AST) -> Set[str]:
+    """Names bound locally inside a function (params, assignments,
+    comprehension/loop targets, with-as) — these shadow module names."""
+    names: Set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        a = node.args
+        for arg in list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs):
+            names.add(arg.arg)
+        if a.vararg:
+            names.add(a.vararg.arg)
+        if a.kwarg:
+            names.add(a.kwarg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+        elif isinstance(sub, (ast.Global, ast.Nonlocal)):
+            names.difference_update(sub.names)
+    return names
+
+
+def _class_attr_target(
+    program: ProgramGraph, func: FunctionInfo, expr: ast.AST
+) -> Optional[str]:
+    """If ``expr`` names a class-level attribute holder shared across
+    instances — ``cls``, ``type(self)``, ``self.__class__``, or a
+    resolvable class name — return a printable description of it."""
+    if isinstance(expr, ast.Name) and expr.id == "cls":
+        return "cls"
+    if isinstance(expr, ast.Attribute) and expr.attr == "__class__":
+        return "self.__class__"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "type"
+        and len(expr.args) == 1
+    ):
+        return "type(...)"
+    name = dotted_name(expr)
+    if name is not None:
+        resolved = program.resolve(func.module, name)
+        if resolved is not None and resolved[0] == "class":
+            cls = resolved[1]
+            return f"{cls.module.name}.{cls.name}"
+    return None
+
+
+def _shared_writes(
+    program: ProgramGraph, func: FunctionInfo
+) -> Iterator[DeepViolation]:
+    node = func.node
+    locals_ = _local_names(node)
+    mod = func.module
+    globals_declared: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            globals_declared.update(sub.names)
+
+    for sub in ast.walk(node):
+        # -- rebinding and attribute/subscript writes ------------------
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id in globals_declared:
+                    yield (
+                        mod,
+                        sub,
+                        f"worker-reachable code rebinds module global "
+                        f"{t.id!r} via `global`; forked shard workers each "
+                        f"mutate a private copy — shared state diverges "
+                        f"silently across processes",
+                    )
+                elif isinstance(t, ast.Attribute):
+                    desc = _class_attr_target(program, func, t.value)
+                    if desc is not None:
+                        yield (
+                            mod,
+                            sub,
+                            f"worker-reachable code writes class attribute "
+                            f"{desc}.{t.attr}; class state is copied into "
+                            f"each forked shard worker and the writes "
+                            f"never reconcile",
+                        )
+                elif isinstance(t, ast.Subscript):
+                    base = t.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id not in locals_
+                        and base.id in mod.mutables
+                    ):
+                        yield (
+                            mod,
+                            sub,
+                            f"worker-reachable code mutates module-level "
+                            f"container {base.id!r} by subscript "
+                            f"assignment; each forked shard worker mutates "
+                            f"its own fork-copied instance",
+                        )
+        # -- mutator method calls on shared containers -----------------
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _MUTATOR_METHODS
+        ):
+            base = sub.func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id not in locals_
+                and base.id in mod.mutables
+            ):
+                yield (
+                    mod,
+                    sub,
+                    f"worker-reachable code calls "
+                    f"{base.id}.{sub.func.attr}(...) on a module-level "
+                    f"mutable; forked shard workers each mutate a "
+                    f"fork-copied instance, so the containers diverge",
+                )
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+                and func.cls is not None
+                and base.attr in func.cls.class_mutables
+                and base.attr not in func.cls.self_bindings
+            ):
+                yield (
+                    mod,
+                    sub,
+                    f"worker-reachable code mutates class-level container "
+                    f"{func.cls.name}.{base.attr} through self; the "
+                    f"container is shared by every instance in the parent "
+                    f"but fork-copied per worker",
+                )
+
+
+@deep_rule(
+    "SHARD001",
+    "no shared module/class state written from forked shard workers",
+)
+def check_shard_worker_state(
+    program: ProgramGraph,
+) -> Iterator[DeepViolation]:
+    roots = worker_roots(program)
+    if not roots:
+        return
+    seen: Set[int] = set()
+    for func in program.reachable(roots):
+        key = id(func.node)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield from _shared_writes(program, func)

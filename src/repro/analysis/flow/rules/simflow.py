@@ -1,0 +1,216 @@
+"""SIM003 — static lookahead-violation check for cross-shard posts.
+
+The sharded-parallel backend is only deterministic because of the
+Chandy–Misra–Bryant contract: no cross-shard event may be scheduled
+closer than the conservative lookahead window, and the window is fed
+by `Engine.note_link_floor` from every network model's
+``min_latency_ms``.  The runtime enforces it (``Engine.post`` raises),
+but only on the code paths a given seed happens to execute.  This rule
+proves violations *statically*: it folds each post site's delay
+expression to a lower bound and compares it against the smallest link
+floor any registered network model can configure.
+
+Floor discovery is itself static: a *floor class* is any class whose
+``__init__`` calls ``_register_floor`` (the `NetworkModel` protocol)
+and that defines ``min_latency_ms``; its floor is the property's
+return expression folded against the ``__init__`` parameter defaults.
+The engine's own ``DEFAULT_LOOKAHEAD_MS`` joins the candidate set, and
+the *minimum* over all candidates is the bar — a delay below even the
+smallest configurable floor can never be legal, whatever topology the
+workload picks.  Unfoldable delays (runtime-computed, no provable
+bound) never fire: precision over recall, as everywhere in this layer.
+
+Post sites are ``<anything>.post(shard, delay, ...)`` calls plus the
+self-bound alias idiom (``self._post = eng.post`` in ``__init__``,
+``self._post(target, delay, ...)`` on the hot path) that the scale
+workload uses to skip attribute lookups.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core import DeepViolation, deep_rule
+from ..fold import fold_lower_bound
+from ..graph import ClassInfo, FunctionInfo, ModuleGraph, ProgramGraph
+
+#: where the engine's fallback lookahead constant lives
+_BACKENDS_MODULE = "repro.sim.backends"
+_DEFAULT_LOOKAHEAD = "DEFAULT_LOOKAHEAD_MS"
+
+
+def _init_defaults(cls: ClassInfo) -> Dict[str, ast.AST]:
+    """``param name -> default expression`` for the class ``__init__``."""
+    init = cls.methods.get("__init__")
+    if init is None:
+        return {}
+    args = init.node.args
+    env: Dict[str, ast.AST] = {}
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        env[arg.arg] = default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            env[arg.arg] = default
+    return env
+
+
+def _floor_return(cls: ClassInfo) -> Optional[ast.AST]:
+    meth = cls.methods.get("min_latency_ms")
+    if meth is None:
+        return None
+    for sub in ast.walk(meth.node):
+        if isinstance(sub, ast.Return) and sub.value is not None:
+            return sub.value
+    return None
+
+
+def _registers_floor(cls: ClassInfo) -> bool:
+    init = cls.methods.get("__init__")
+    if init is None:
+        return False
+    for sub in ast.walk(init.node):
+        if isinstance(sub, ast.Call):
+            fn = sub.func
+            if (
+                isinstance(fn, ast.Attribute) and fn.attr == "_register_floor"
+            ) or (isinstance(fn, ast.Name) and fn.id == "_register_floor"):
+                return True
+    return False
+
+
+def link_floors(
+    program: ProgramGraph,
+) -> List[Tuple[ClassInfo, float]]:
+    """Every statically discoverable (floor class, default floor ms)."""
+    floors: List[Tuple[ClassInfo, float]] = []
+    for mod in program.iter_modules():
+        for cname in sorted(mod.classes):
+            cls = mod.classes[cname]
+            if not _registers_floor(cls):
+                continue
+            ret = _floor_return(cls)
+            if ret is None:
+                continue
+            value = fold_lower_bound(
+                program, mod, ret, cls, env=_init_defaults(cls)
+            )
+            if value is not None and value > 0:
+                floors.append((cls, value))
+    return floors
+
+
+def smallest_floor(program: ProgramGraph) -> Optional[Tuple[str, float]]:
+    """The smallest candidate lookahead floor and where it came from:
+    the min over every floor class default and the engine fallback."""
+    candidates: List[Tuple[str, float]] = []
+    for cls, value in link_floors(program):
+        candidates.append((f"{cls.module.name}.{cls.name}", value))
+    backends = program.modules.get(_BACKENDS_MODULE)
+    if backends is not None and _DEFAULT_LOOKAHEAD in backends.constants:
+        value = fold_lower_bound(
+            program, backends, backends.constants[_DEFAULT_LOOKAHEAD]
+        )
+        if value is not None and value > 0:
+            candidates.append(
+                (f"{_BACKENDS_MODULE}.{_DEFAULT_LOOKAHEAD}", value)
+            )
+    if not candidates:
+        return None
+    return min(candidates, key=lambda c: (c[1], c[0]))
+
+
+def _is_post_alias(cls: Optional[ClassInfo], name: str) -> bool:
+    """``self.NAME`` where ``__init__`` bound NAME to ``<x>.post``."""
+    if cls is None:
+        return False
+    bound = cls.self_bindings.get(name)
+    return isinstance(bound, ast.Attribute) and bound.attr == "post"
+
+
+def _delay_expr(call: ast.Call) -> Optional[ast.AST]:
+    """The delay argument of ``post(shard, delay, ...)``."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for kw in call.keywords:
+        if kw.arg in ("delay", "delay_ms"):
+            return kw.value
+    return None
+
+
+def _local_env(func: FunctionInfo) -> Dict[str, ast.AST]:
+    """Single-assignment locals: ``name -> value expression`` for
+    names assigned exactly once (plain ``x = expr``).  This is what
+    folds the hot-path idiom ``delay = BASE_MS + jitter;
+    post(t, delay, ...)`` — a name assigned twice is ambiguous and
+    stays unfoldable."""
+    counts: Dict[str, int] = {}
+    values: Dict[str, ast.AST] = {}
+    for sub in ast.walk(func.node):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            t = sub.targets[0]
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 1
+                values[t.id] = sub.value
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            t = sub.target
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 2  # disqualify
+        elif isinstance(sub, (ast.For, ast.comprehension)):
+            t = sub.target
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 2  # loop-carried
+    return {n: v for n, v in values.items() if counts.get(n) == 1}
+
+
+def _post_sites(func: FunctionInfo) -> Iterator[ast.Call]:
+    for sub in ast.walk(func.node):
+        if not isinstance(sub, ast.Call):
+            continue
+        fn = sub.func
+        if isinstance(fn, ast.Attribute):
+            if fn.attr == "post":
+                yield sub
+            elif (
+                isinstance(fn.value, ast.Name)
+                and fn.value.id == "self"
+                and _is_post_alias(func.cls, fn.attr)
+            ):
+                yield sub
+        # a bare name bound to a post alias is out of reach statically
+
+
+@deep_rule(
+    "SIM003",
+    "no cross-shard post with a delay provably below the lookahead floor",
+)
+def check_post_below_floor(
+    program: ProgramGraph,
+) -> Iterator[DeepViolation]:
+    floor = smallest_floor(program)
+    if floor is None:
+        return
+    floor_name, floor_ms = floor
+    for func in program.iter_functions():
+        mod: ModuleGraph = func.module
+        env = _local_env(func)
+        for call in _post_sites(func):
+            delay = _delay_expr(call)
+            if delay is None:
+                continue
+            bound = fold_lower_bound(program, mod, delay, func.cls, env=env)
+            if bound is None:
+                continue  # no provable bound — the runtime check owns it
+            if bound < floor_ms:
+                yield (
+                    mod,
+                    call,
+                    f"cross-shard post delay folds to {bound:g}ms, below "
+                    f"the smallest registrable lookahead floor "
+                    f"{floor_ms:g}ms ({floor_name}); Engine.post will "
+                    f"raise under the Chandy-Misra-Bryant window — "
+                    f"schedule at or above the link floor",
+                )

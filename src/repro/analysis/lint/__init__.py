@@ -14,11 +14,12 @@ findings.
 
 Entry points::
 
-    python -m repro lint [--json OUT|-] [--baseline FILE]
+    python -m repro lint [--deep] [--json OUT|-] [--baseline FILE]
                          [--fix-baseline] [paths...]
 
     from repro.analysis.lint import run_lint
     result = run_lint()            # defaults to <repo>/src/repro
+    result = run_lint(deep=True)   # + whole-program rules (repro.analysis.flow)
     result.exit_code               # 1 iff active findings exist
 
 The rule catalog, suppression workflow and JSON report schema are
@@ -46,7 +47,9 @@ from repro.analysis.lint.core import (
 from repro.analysis.lint.report import (
     LINT_SCHEMA,
     LINT_SCHEMA_VERSION,
+    LintReportError,
     lint_json_doc,
+    load_lint_report,
     render_text,
 )
 from repro.analysis.lint.runner import (
@@ -68,6 +71,7 @@ __all__ = [
     "LINT_SCHEMA",
     "LINT_SCHEMA_VERSION",
     "LintPathError",
+    "LintReportError",
     "LintResult",
     "ModuleInfo",
     "Rule",
@@ -76,6 +80,7 @@ __all__ = [
     "lint_json_doc",
     "lint_repo_root",
     "load_baseline",
+    "load_lint_report",
     "register_rule",
     "registered_rules",
     "render_text",

@@ -39,8 +39,9 @@ from typing import (
 #: the severities a rule may declare, strongest first
 SEVERITIES: Tuple[str, ...] = ("error", "warning")
 
-#: ``# repro: allow[DET001]`` / ``# repro: allow[DET001,LAY002]``;
-#: prose may follow the closing bracket (justify the suppression!)
+#: the inline suppression marker: ``repro: allow[DET001,LAY002]``
+#: inside a comment; prose may follow the closing bracket (justify
+#: the suppression!)
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
 
@@ -135,12 +136,17 @@ CheckFn = Callable[[ModuleInfo], Iterator[Violation]]
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered rule: stable id, severity, title, check function."""
+    """A registered rule: stable id, severity, title, check function.
+
+    ``scope`` is ``"module"`` for per-file rules; the whole-program
+    registry (`repro.analysis.flow.core.DeepRule`) uses ``"program"``.
+    """
 
     id: str
     title: str
     severity: str
     check: CheckFn
+    scope: str = "module"
 
     def run(self, module: ModuleInfo) -> Iterator[Finding]:
         for node_or_line, message in self.check(module):
@@ -203,11 +209,17 @@ def get_rule(rule_id: str) -> Rule:
 
 @dataclass
 class LintResult:
-    """Everything one lint run produced, in deterministic order."""
+    """Everything one lint run produced, in deterministic order.
+
+    ``rules`` holds the per-module rules that ran; ``deep_rules`` the
+    whole-program rules when this was a ``--deep`` run (``deep`` is
+    True then, and the JSON report says so)."""
 
     findings: List[Finding]
     files_scanned: int
     rules: Tuple[Rule, ...]
+    deep_rules: Tuple = ()
+    deep: bool = False
 
     @property
     def active(self) -> List[Finding]:
@@ -231,30 +243,136 @@ class LintResult:
         return {f.rule for f in self.findings}
 
 
+#: rule id of the unused-suppression post-pass (see rules/hygiene.py)
+ALLOW_RULE_ID = "ALLOW001"
+
+
+def _comment_allow_tags(module: ModuleInfo) -> Dict[int, List[str]]:
+    """``line -> allow tags`` for allows in *actual comments*.  The
+    suppression regex is line-based, so prose in a docstring that
+    quotes the allow syntax matches it too; convicting documentation
+    of being a stale suppression would be absurd, so ALLOW001 judges
+    only COMMENT tokens."""
+    import io
+    import tokenize
+
+    out: Dict[int, List[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _ALLOW_RE.search(tok.string)
+            if m:
+                out[tok.start[0]] = [
+                    t.strip() for t in m.group(1).split(",") if t.strip()
+                ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable token stream (the file itself parsed, so this is
+        # rare): fall back to the same line regex suppression uses
+        for lineno, text in enumerate(module.lines, start=1):
+            m = _ALLOW_RE.search(text)
+            if m:
+                out[lineno] = [
+                    t.strip() for t in m.group(1).split(",") if t.strip()
+                ]
+    return out
+
+
+def _unused_allow_findings(
+    modules: Sequence[ModuleInfo],
+    findings: Sequence[Finding],
+    ran_ids: set,
+    allow_rule: Rule,
+) -> Iterator[Finding]:
+    """The ALLOW001 post-pass: every ``# repro: allow[RULE]`` tag must
+    have silenced an actual finding this run, else the escape hatch has
+    rotted.  Only tags naming rules that *ran this invocation* are
+    judged — a shallow run never convicts an allow for a deep rule."""
+    suppressed_lines: Dict[Tuple[str, str], set] = {}
+    for f in findings:
+        if f.suppressed:
+            suppressed_lines.setdefault((f.path, f.rule), set()).add(f.line)
+    for module in modules:
+        for lineno, tags in sorted(_comment_allow_tags(module).items()):
+            for tag in tags:
+                if tag == ALLOW_RULE_ID or tag not in ran_ids:
+                    continue
+                covered = suppressed_lines.get((module.display, tag), set())
+                # an allow on line N silences findings on N and N+1
+                if covered & {lineno, lineno + 1}:
+                    continue
+                yield Finding(
+                    rule=ALLOW_RULE_ID,
+                    severity=allow_rule.severity,
+                    path=module.display,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"unused suppression: no {tag} finding fires "
+                        f"here any more — the code this allow covered "
+                        f"has changed; delete the stale "
+                        f"`# repro: allow[{tag}]`"
+                    ),
+                    suppressed=ALLOW_RULE_ID
+                    in module.allowed_rules(lineno),
+                )
+
+
 def lint_modules(
     modules: Iterable[ModuleInfo],
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Sequence] = None,
+    program=None,
+    deep_rules: Optional[Sequence] = None,
 ) -> LintResult:
     """Run ``rules`` (default: all registered) over parsed modules.
 
     ``baseline`` entries (see `repro.analysis.lint.baseline`) match
     findings by ``(rule, path)``; matched findings are marked
     ``baselined`` and stop gating the exit code.
+
+    When ``program`` (a `repro.analysis.flow.ProgramGraph` built from
+    the same modules) and ``deep_rules`` are given, the whole-program
+    rules run too and the result is marked ``deep``.
     """
+    module_list = list(modules)
     active_rules = tuple(rules) if rules is not None else registered_rules()
+    deep_active = tuple(deep_rules) if deep_rules is not None else ()
     grandfathered = {(e.rule, e.path) for e in (baseline or ())}
+
+    def grandfather(f: Finding) -> Finding:
+        if not f.suppressed and (f.rule, f.path) in grandfathered:
+            return replace(f, baselined=True)
+        return f
+
     findings: List[Finding] = []
-    count = 0
-    for module in modules:
-        count += 1
+    for module in module_list:
         for r in active_rules:
-            for f in r.run(module):
-                if not f.suppressed and (f.rule, f.path) in grandfathered:
-                    f = replace(f, baselined=True)
-                findings.append(f)
+            findings.extend(grandfather(f) for f in r.run(module))
+    if program is not None:
+        for dr in deep_active:
+            findings.extend(grandfather(f) for f in dr.run(program))
+    allow_rule = next(
+        (r for r in active_rules if r.id == ALLOW_RULE_ID), None
+    )
+    if allow_rule is not None:
+        ran_ids = {r.id for r in active_rules}
+        ran_ids.update(r.id for r in deep_active)
+        findings.extend(
+            grandfather(f)
+            for f in _unused_allow_findings(
+                module_list, findings, ran_ids, allow_rule
+            )
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return LintResult(findings=findings, files_scanned=count, rules=active_rules)
+    return LintResult(
+        findings=findings,
+        files_scanned=len(module_list),
+        rules=active_rules,
+        deep_rules=deep_active,
+        deep=program is not None and bool(deep_active),
+    )
 
 
 # ----------------------------------------------------------------------

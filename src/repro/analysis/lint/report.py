@@ -6,6 +6,12 @@ The JSON document is deliberately timestamp- and path-free of
 anything machine-specific: findings are repo-relative and sorted, so
 two clean checkouts produce byte-identical reports — the lint pass
 holds itself to the determinism bar it enforces.
+
+Schema v2 (this version) adds a top-level ``deep`` flag and a
+``scope`` per rule entry (``module`` for per-file rules, ``program``
+for whole-program ones).  `load_lint_report` still accepts v1
+documents and normalizes them to the v2 shape, so every consumer sees
+one format and old artifacts keep loading.
 """
 
 from __future__ import annotations
@@ -15,18 +21,27 @@ from typing import List
 from repro.analysis.lint.core import LintResult
 
 LINT_SCHEMA = "repro.lint"
-LINT_SCHEMA_VERSION = 1
+LINT_SCHEMA_VERSION = 2
+
+
+class LintReportError(ValueError):
+    """A lint report document is not one this version can load."""
 
 
 def lint_json_doc(result: LintResult) -> dict:
     """The versioned machine-readable report for one lint run."""
+    rules = {}
+    for r in tuple(result.rules) + tuple(result.deep_rules):
+        rules[r.id] = {
+            "severity": r.severity,
+            "title": r.title,
+            "scope": getattr(r, "scope", "module"),
+        }
     return {
         "schema": LINT_SCHEMA,
         "schema_version": LINT_SCHEMA_VERSION,
-        "rules": {
-            r.id: {"severity": r.severity, "title": r.title}
-            for r in result.rules
-        },
+        "deep": result.deep,
+        "rules": rules,
         "files_scanned": result.files_scanned,
         "counts": {
             "total": len(result.findings),
@@ -51,6 +66,45 @@ def lint_json_doc(result: LintResult) -> dict:
     }
 
 
+def load_lint_report(doc: dict) -> dict:
+    """Validate a ``repro.lint`` report (v1 or v2) and return it in the
+    v2 shape: v1 documents gain ``deep: False`` and per-rule
+    ``scope: "module"``; v2 documents must already carry both."""
+    if not isinstance(doc, dict) or doc.get("schema") != LINT_SCHEMA:
+        raise LintReportError(
+            f"not a {LINT_SCHEMA} document: schema="
+            f"{doc.get('schema') if isinstance(doc, dict) else type(doc)!r}"
+        )
+    version = doc.get("schema_version")
+    if version not in (1, LINT_SCHEMA_VERSION):
+        raise LintReportError(
+            f"unsupported {LINT_SCHEMA} schema_version {version!r} "
+            f"(this build loads 1 and {LINT_SCHEMA_VERSION})"
+        )
+    for key in ("rules", "files_scanned", "counts", "findings", "exit_code"):
+        if key not in doc:
+            raise LintReportError(f"lint report missing {key!r}")
+    out = dict(doc)
+    out["schema_version"] = LINT_SCHEMA_VERSION
+    if version == 1:
+        if "deep" in doc:
+            raise LintReportError("v1 lint report must not carry 'deep'")
+        out["deep"] = False
+        out["rules"] = {
+            rid: {**entry, "scope": "module"}
+            for rid, entry in doc["rules"].items()
+        }
+    else:
+        if "deep" not in doc:
+            raise LintReportError("v2 lint report missing 'deep'")
+        for rid, entry in doc["rules"].items():
+            if "scope" not in entry:
+                raise LintReportError(
+                    f"v2 lint report rule {rid!r} missing 'scope'"
+                )
+    return out
+
+
 def render_text(result: LintResult) -> str:
     """The terminal listing: one line per active finding, then a
     summary that accounts for every disposition."""
@@ -59,9 +113,12 @@ def render_text(result: LintResult) -> str:
         lines.append(f"{f.location()}: {f.rule} [{f.severity}] {f.message}")
     n_active = len(result.active)
     summary = (
-        f"repro lint: {'ok' if not n_active else f'{n_active} finding(s)'}"
+        f"repro lint{' --deep' if result.deep else ''}: "
+        f"{'ok' if not n_active else f'{n_active} finding(s)'}"
         f" ({result.files_scanned} files"
     )
+    if result.deep:
+        summary += f", {len(result.deep_rules)} deep rules"
     if result.suppressed:
         summary += f", {len(result.suppressed)} suppressed"
     if result.baselined:

@@ -11,10 +11,15 @@ rationale lives in docs/LINT.md.
 ``SIM001``  float equality on simulated timestamps
 ``SIM002``  direct engine construction bypassing `repro.sim.backends`
 ``OBS001``  unbounded raw-sample accumulation in the telemetry plane
+``ALLOW001``  stale `# repro: allow[...]` suppressions
 =========  ==========================================================
+
+The whole-program rules (SHARD001, SIM003, NET001, API002) live in
+`repro.analysis.flow.rules` and run under ``lint --deep``.
 """
 
 import repro.analysis.lint.rules.determinism  # noqa: F401
+import repro.analysis.lint.rules.hygiene  # noqa: F401
 import repro.analysis.lint.rules.layering  # noqa: F401
 import repro.analysis.lint.rules.obs  # noqa: F401
 import repro.analysis.lint.rules.semantics  # noqa: F401

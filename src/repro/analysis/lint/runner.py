@@ -65,11 +65,16 @@ def run_lint(
     root: Optional[Path] = None,
     baseline_path: Optional[str] = None,
     rules: Optional[Sequence] = None,
+    deep: bool = False,
 ) -> LintResult:
     """Lint ``paths`` (default: ``<repo>/src/repro``) with the full
     registered rule set (or ``rules``), honouring the baseline at
     ``baseline_path`` (default: ``<repo>/LINT_BASELINE.json``; a
-    missing baseline file simply grandfathers nothing)."""
+    missing baseline file simply grandfathers nothing).
+
+    ``deep=True`` additionally links the parsed modules into a
+    `repro.analysis.flow.ProgramGraph` and runs every registered
+    whole-program rule over it — one parse, both passes."""
     # the rules package registers on import; pulling it here keeps
     # `from repro.analysis.lint.runner import run_lint` self-contained
     import repro.analysis.lint.rules  # noqa: F401
@@ -81,4 +86,17 @@ def run_lint(
         baseline_path = str(root / DEFAULT_BASELINE_NAME)
     baseline = load_baseline(baseline_path)
     modules = [ModuleInfo.parse(f, root=root) for f in files]
-    return lint_modules(modules, rules=rules, baseline=baseline)
+    program = None
+    deep_rules = None
+    if deep:
+        from repro.analysis.flow import build_program, registered_deep_rules
+
+        program = build_program(modules)
+        deep_rules = registered_deep_rules()
+    return lint_modules(
+        modules,
+        rules=rules,
+        baseline=baseline,
+        program=program,
+        deep_rules=deep_rules,
+    )

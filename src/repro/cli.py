@@ -579,7 +579,8 @@ def _cmd_lint(args) -> int:
 
     try:
         result = run_lint(paths=args.paths or None,
-                          baseline_path=args.baseline)
+                          baseline_path=args.baseline,
+                          deep=args.deep)
     except (LintPathError, BaselineError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -594,7 +595,16 @@ def _cmd_lint(args) -> int:
         doc = write_baseline(path, result.findings, keep=keep)
         print(f"wrote {path} "
               f"({len(doc['entries'])} grandfathered finding(s))")
-        return 0
+        # the baseline may only shrink: entries whose finding no longer
+        # fires are pruned from the file above, and their presence is an
+        # error — a fixed finding must take its grandfather clause with
+        # it, not leave a rule-shaped hole for regressions to hide in
+        current = {(e["rule"], e["path"]) for e in doc["entries"]}
+        orphaned = sorted(k for k in keep if k not in current)
+        for rule_id, rel_path in orphaned:
+            print(f"pruned orphaned baseline entry: {rule_id} at "
+                  f"{rel_path} (finding no longer fires)")
+        return 1 if orphaned else 0
     if args.json is not None:
         payload = _json.dumps(lint_json_doc(result), indent=2,
                               sort_keys=True)
@@ -787,6 +797,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*", metavar="PATH",
                    help="files or directories to lint (default: "
                         "src/repro; nonexistent paths exit 2)")
+    p.add_argument("--deep", action="store_true",
+                   help="also link the tree into a whole-program graph "
+                        "and run the interprocedural rules "
+                        "(repro.analysis.flow: SHARD001/SIM003/NET001/"
+                        "API002)")
     p.add_argument("--json", default=None, metavar="OUT",
                    help="write the repro.lint JSON report "
                         "('-' for stdout)")
@@ -794,8 +809,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline file (default: LINT_BASELINE.json "
                         "at the repo root)")
     p.add_argument("--fix-baseline", action="store_true",
-                   help="rewrite the baseline from current findings "
-                        "instead of reporting them")
+                   help="rewrite the baseline from current findings; "
+                        "prunes entries whose finding no longer fires "
+                        "and exits non-zero when any were orphaned")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(

@@ -1,0 +1,7 @@
+"""Seeded ALLOW001 violation: a suppression that outlived its finding.
+
+The allow below names SIM001, but nothing on the covered lines
+compares simulated timestamps any more — the escape hatch has rotted
+and must be deleted, not left to re-arm silently."""
+
+PI_MS = 3.14  # repro: allow[SIM001] stale: the equality this covered is gone

@@ -1,0 +1,22 @@
+"""Seeded API002 violation: the exhausted-recovery signal dies in a
+broad handler two calls from the raise.  API001 (per-file) cannot see
+this — no handler names the exception."""
+
+
+class RecoveryExhausted(Exception):
+    pass
+
+
+def _give_up():
+    raise RecoveryExhausted("no reply after retries")
+
+
+def _connect_once():
+    return _give_up()
+
+
+def run_workload():
+    try:
+        return _connect_once()
+    except Exception:  # swallows RecoveryExhausted from _give_up
+        return None

@@ -1,0 +1,42 @@
+"""API002-clean twin: the same chain, but every broad handler keeps
+the signal observable — one records a ``recovery.*`` metric, one
+re-raises — and one call site is guarded by an inner handler that
+catches the exception by name (API001's jurisdiction, not ours)."""
+
+
+class RecoveryExhausted(Exception):
+    pass
+
+
+def _give_up():
+    raise RecoveryExhausted("no reply after retries")
+
+
+def _connect_once():
+    return _give_up()
+
+
+def run_counted(metrics):
+    try:
+        return _connect_once()
+    except Exception:
+        metrics.count("recovery.exhausted_swallowed")
+        return None
+
+
+def run_reraising():
+    try:
+        return _connect_once()
+    except Exception:
+        raise
+
+
+def run_inner_guarded(metrics):
+    try:
+        try:
+            return _connect_once()
+        except RecoveryExhausted:
+            metrics.count("recovery.exhausted")
+            return None
+    except Exception:  # can no longer see the signal: inner took it
+        return -1

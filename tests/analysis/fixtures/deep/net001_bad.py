@@ -1,0 +1,24 @@
+"""Seeded NET001 violations: blocking calls inside coroutines.
+
+`handler` blocks three ways: a direct socket ``sendall``, a direct
+``time.sleep``, and — the case only a call graph can see — a helper
+(`_flush_all`) that blocks two frames down."""
+
+import asyncio
+import time
+
+
+def _drain(sock):
+    sock.sendall(b"flushed")  # blocking socket IO
+
+
+def _flush_all(socks):
+    for s in socks:
+        _drain(s)
+
+
+async def handler(sock, socks):
+    time.sleep(0.01)  # direct block
+    sock.sendall(b"header")  # direct block
+    _flush_all(socks)  # transitive block through _drain
+    await asyncio.sleep(0)

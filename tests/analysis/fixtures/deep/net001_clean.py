@@ -1,0 +1,17 @@
+"""NET001-clean twin: the same work done legally — awaited async IO,
+and the genuinely blocking helper handed to an executor, which is the
+sanctioned escape."""
+
+import asyncio
+
+
+def _drain(sock):
+    sock.sendall(b"flushed")
+
+
+async def handler(reader, writer, loop, sock):
+    data = await reader.read(64)
+    writer.write(data)
+    await writer.drain()
+    await loop.run_in_executor(None, _drain, sock)  # sanctioned escape
+    await asyncio.sleep(0)

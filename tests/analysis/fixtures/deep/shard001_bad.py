@@ -1,0 +1,43 @@
+"""Seeded SHARD001 violations: forked workers writing shared state.
+
+`spawn` forks `_worker_main` as a `Process` target, and `_worker_main`
+reaches `_record` and `_bump`; between them they hit every write class
+the rule knows: a subscript write and a mutator call on a module-level
+container, a `global` rebind, and a class-attribute write."""
+
+import multiprocessing
+
+SHARED_COUNTS = {}
+SHARED_LOG = []
+TOTAL = 0
+
+
+class Worker:
+    generation = 0
+
+    def run_once(self):
+        Worker.generation = Worker.generation + 1  # class-attr write
+
+
+def _record(kind):
+    SHARED_COUNTS[kind] = SHARED_COUNTS.get(kind, 0) + 1  # subscript write
+    SHARED_LOG.append(kind)  # mutator call on module-level list
+
+
+def _bump():
+    global TOTAL
+    TOTAL += 1  # global rebind
+
+
+def _worker_main(conn):
+    _record("event")
+    _bump()
+    w = Worker()
+    w.run_once()
+
+
+def spawn():
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_worker_main, args=(None,), daemon=True)
+    proc.start()
+    return proc

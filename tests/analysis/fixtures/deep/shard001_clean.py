@@ -1,0 +1,30 @@
+"""SHARD001-clean twin: the same fork shape, but every write lands on
+state the worker owns — locals and instance attributes — so no
+finding may fire."""
+
+import multiprocessing
+
+
+class Worker:
+    def __init__(self):
+        self.generation = 0
+        self.counts = {}
+
+    def run_once(self):
+        self.generation += 1  # instance state: each fork owns its own
+        self.counts["event"] = self.counts.get("event", 0) + 1
+
+
+def _worker_main(conn):
+    log = []
+    log.append("start")  # local container: not shared
+    w = Worker()
+    w.run_once()
+    conn.send(("done", len(log)))
+
+
+def spawn(conn):
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_worker_main, args=(conn,), daemon=True)
+    proc.start()
+    return proc

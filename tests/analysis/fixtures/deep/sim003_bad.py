@@ -1,0 +1,39 @@
+"""Seeded SIM003 violations: post delays provably below the floor.
+
+`FixtureLink` registers a 0.5ms link floor the way `NetworkModel`
+subclasses do (``_register_floor`` in ``__init__``, folded from the
+parameter default), and both post sites below schedule cross-shard
+events with constant-foldable delays under it — one through a direct
+``.post`` call, one through the scale workload's self-bound alias
+idiom."""
+
+FAST_MS = 0.01
+JITTER_MS = 0.05
+
+
+class FixtureLink:
+    def __init__(self, engine, access_ms=0.5):
+        self.engine = engine
+        self.access_ms = access_ms
+        self._register_floor()
+
+    def _register_floor(self):
+        self.engine.note_link_floor(self.min_latency_ms)
+
+    @property
+    def min_latency_ms(self):
+        return self.access_ms
+
+
+class ShardClient:
+    def __init__(self, eng, rng):
+        self._post = eng.post  # the hot-path alias idiom
+        self._uniform = rng.uniform
+
+    def send_direct(self, eng, target):
+        eng.post(target, FAST_MS, "req")  # 0.01 < 0.5: provably early
+
+    def send_aliased(self, target):
+        # lower bound folds to 0.1 + 0.0 = 0.1 < 0.5
+        delay = 0.1 + self._uniform(0.0, JITTER_MS)
+        self._post(target, delay, "req")

@@ -1,0 +1,36 @@
+"""SIM003-clean twin: identical post shapes, but every constant-
+foldable delay is at or above the registered floor, and one delay is
+runtime-computed (no provable bound), which must never fire."""
+
+BASE_MS = 0.5
+JITTER_MS = 0.05
+
+
+class FixtureLink:
+    def __init__(self, engine, access_ms=0.5):
+        self.engine = engine
+        self.access_ms = access_ms
+        self._register_floor()
+
+    def _register_floor(self):
+        self.engine.note_link_floor(self.min_latency_ms)
+
+    @property
+    def min_latency_ms(self):
+        return self.access_ms
+
+
+class ShardClient:
+    def __init__(self, eng, rng):
+        self._post = eng.post
+        self._uniform = rng.uniform
+
+    def send_direct(self, eng, target):
+        eng.post(target, BASE_MS, "req")  # exactly the floor: legal
+
+    def send_aliased(self, target):
+        delay = BASE_MS + self._uniform(0.0, JITTER_MS)  # bound 0.5
+        self._post(target, delay, "req")
+
+    def send_measured(self, eng, target, measured_ms):
+        eng.post(target, measured_ms, "req")  # unfoldable: never fires

@@ -1,0 +1,209 @@
+"""Unit tests for the whole-program graph (`repro.analysis.flow.graph`):
+import resolution through re-export chains and cycles, the conservative
+call graph (self-methods, cross-module calls, callbacks passed as
+arguments, locally constructed instances, nested defs), reachability,
+and ``__main__`` entry-point detection."""
+
+from pathlib import Path
+
+from repro.analysis.flow import build_program
+from repro.analysis.flow.fold import fold_lower_bound
+from repro.analysis.lint import ModuleInfo
+
+
+def _program(tmp_path, files):
+    """Write ``files`` ({relpath under src/repro: source}) and link
+    them; dotted names come out as ``repro.<path>``."""
+    mods = []
+    for rel, src in files.items():
+        target = tmp_path / "src" / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+        mods.append(ModuleInfo.parse(target, root=tmp_path))
+    return build_program(mods)
+
+
+def test_module_dotted_names_and_packages(tmp_path):
+    prog = _program(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/impl.py": "def thing():\n    return 1\n",
+    })
+    assert set(prog.modules) == {"repro.pkg", "repro.pkg.impl"}
+    assert prog.modules["repro.pkg"].is_package
+    assert not prog.modules["repro.pkg.impl"].is_package
+
+
+def test_resolution_follows_reexport_chain(tmp_path):
+    prog = _program(tmp_path, {
+        "pkg/__init__.py": "from repro.pkg.impl import thing\n",
+        "pkg/impl.py": "def thing():\n    return 1\n",
+        "user.py": (
+            "from repro.pkg import thing\n"
+            "def caller():\n"
+            "    return thing()\n"
+        ),
+    })
+    user = prog.modules["repro.user"]
+    resolved = prog.resolve(user, "thing")
+    assert resolved[0] == "func"
+    assert resolved[1].qualname == "repro.pkg.impl.thing"
+    caller = user.functions["caller"]
+    assert [t.qualname for t in caller.callees()] == [
+        "repro.pkg.impl.thing"
+    ]
+
+
+def test_import_cycle_terminates(tmp_path):
+    """a re-exports from b, b re-exports from a: resolution of the
+    never-defined symbol gives up instead of looping."""
+    prog = _program(tmp_path, {
+        "a.py": "from repro.b import ghost\n",
+        "b.py": "from repro.a import ghost\n",
+    })
+    a = prog.modules["repro.a"]
+    assert prog.resolve(a, "ghost") is None
+
+
+def test_self_method_and_base_class_resolution(tmp_path):
+    prog = _program(tmp_path, {
+        "base.py": (
+            "class Base:\n"
+            "    def helper(self):\n"
+            "        return 0\n"
+        ),
+        "impl.py": (
+            "from repro.base import Base\n"
+            "class Impl(Base):\n"
+            "    def run(self):\n"
+            "        return self.helper()\n"
+        ),
+    })
+    run = prog.modules["repro.impl"].classes["Impl"].methods["run"]
+    assert [t.qualname for t in run.callees()] == [
+        "repro.base.Base.helper"
+    ]
+
+
+def test_callback_arguments_create_reference_edges(tmp_path):
+    """`defer(10, self._cb)` must make _cb reachable — the scheduler
+    idiom is how almost all control flow moves in this codebase."""
+    prog = _program(tmp_path, {
+        "sim.py": (
+            "class Node:\n"
+            "    def __init__(self, eng):\n"
+            "        self._defer = eng.defer\n"
+            "    def start(self):\n"
+            "        self._defer(10, self._cb)\n"
+            "    def _cb(self):\n"
+            "        return 1\n"
+        ),
+    })
+    node = prog.modules["repro.sim"].classes["Node"]
+    start = node.methods["start"]
+    names = {t.qualname for t in start.callees()}
+    assert "repro.sim.Node._cb" in names
+    reach = prog.reachable([start])
+    assert any(f.qualname.endswith("._cb") for f in reach)
+
+
+def test_locally_constructed_instance_resolves_methods(tmp_path):
+    prog = _program(tmp_path, {
+        "w.py": (
+            "class Worker:\n"
+            "    def run(self):\n"
+            "        return 1\n"
+            "def spawn():\n"
+            "    w = Worker()\n"
+            "    return w.run()\n"
+        ),
+    })
+    spawn = prog.modules["repro.w"].functions["spawn"]
+    names = {t.qualname for t in spawn.callees()}
+    assert "repro.w.Worker.run" in names
+
+
+def test_nested_defs_fold_into_parent(tmp_path):
+    """A closure defined inside a function is part of that function's
+    behaviour: its calls appear on the parent's edges."""
+    prog = _program(tmp_path, {
+        "n.py": (
+            "def leaf():\n"
+            "    return 1\n"
+            "def parent():\n"
+            "    def inner():\n"
+            "        return leaf()\n"
+            "    return inner\n"
+        ),
+    })
+    parent = prog.modules["repro.n"].functions["parent"]
+    assert {t.qualname for t in parent.callees()} == {"repro.n.leaf"}
+
+
+def test_reachability_handles_recursion(tmp_path):
+    prog = _program(tmp_path, {
+        "r.py": (
+            "def a():\n    return b()\n"
+            "def b():\n    return a()\n"
+        ),
+    })
+    mod = prog.modules["repro.r"]
+    reach = prog.reachable([mod.functions["a"]])
+    assert {f.name for f in reach} == {"a", "b"}
+
+
+def test_main_guard_entry_points_detected(tmp_path):
+    prog = _program(tmp_path, {
+        "cli.py": (
+            "def main():\n"
+            "    return 0\n"
+            "if __name__ == \"__main__\":\n"
+            "    main()\n"
+        ),
+        "lib.py": "def main():\n    return 0\n",
+    })
+    assert len(prog.modules["repro.cli"].main_calls) == 1
+    assert prog.modules["repro.lib"].main_calls == []
+
+
+def test_constants_and_mutables_classified(tmp_path):
+    prog = _program(tmp_path, {
+        "c.py": (
+            "LIMIT = 10\n"
+            "REGISTRY = {}\n"
+            "NAMES = list()\n"
+        ),
+    })
+    mod = prog.modules["repro.c"]
+    assert "LIMIT" in mod.constants
+    assert set(mod.mutables) == {"REGISTRY", "NAMES"}
+
+
+def test_fold_lower_bound_cross_module_and_uniform(tmp_path):
+    prog = _program(tmp_path, {
+        "consts.py": "BASE_MS = 0.3\nSCALE = 2.0\n",
+        "use.py": "import repro.consts\nfrom repro.consts import BASE_MS\n",
+    })
+    use = prog.modules["repro.use"]
+    import ast as _ast
+
+    def fold(src):
+        return fold_lower_bound(
+            prog, use, _ast.parse(src, mode="eval").body
+        )
+
+    assert fold("0.5") == 0.5
+    assert fold("BASE_MS") == 0.3
+    assert fold("repro.consts.SCALE") == 2.0
+    assert fold("BASE_MS + 0.1") == 0.4
+    assert fold("BASE_MS / 2") == 0.15
+    assert fold("rng.uniform(0.25, 0.75)") == 0.25
+    assert fold("max(0.1, unknown)") == 0.1
+    assert fold("unknown") is None
+    assert fold("measured * 2") is None
+
+
+def test_adhoc_files_get_stem_names(tmp_path):
+    f = tmp_path / "scratch.py"
+    f.write_text("def g():\n    return 1\n")
+    prog = build_program([ModuleInfo.parse(f)])
+    assert set(prog.modules) == {"scratch"}

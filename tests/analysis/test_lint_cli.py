@@ -106,3 +106,84 @@ def test_lint_suppressions_visible_in_text_summary(capsys):
     assert main(["lint"]) == 0
     out = capsys.readouterr().out
     assert "suppressed" in out
+
+
+def test_lint_deep_shipped_tree_exits_zero(capsys):
+    """The acceptance bar: the whole-program pass over src/ is clean
+    with the shipped (empty) baseline."""
+    assert main(["lint", "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "repro lint --deep: ok" in out
+    assert "deep rules" in out
+
+
+def test_lint_deep_json_report_carries_scope(capsys):
+    assert main(["lint", "--deep", "--json", "-", str(FIXTURES)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    golden = json.loads(GOLDEN.read_text())
+    assert doc["deep"] is True
+    deep_ids = [r for r, e in doc["rules"].items()
+                if e["scope"] == "program"]
+    assert sorted(deep_ids) == golden["deep_rule_ids"]
+    shallow_ids = [r for r, e in doc["rules"].items()
+                   if e["scope"] == "module"]
+    assert sorted(shallow_ids) == golden["rule_ids"]
+    # the deep fixture pairs seed at least one finding per deep rule
+    fired = {f["rule"] for f in doc["findings"]}
+    assert set(golden["deep_rule_ids"]) <= fired
+
+
+def test_lint_report_v1_round_trip(capsys):
+    """`load_lint_report` still accepts version-1 documents (no `deep`
+    flag, no per-rule `scope`) and normalizes them to the v2 shape."""
+    from repro.analysis.lint import LintReportError, load_lint_report
+
+    assert main(["lint", "--json", "-", str(FIXTURES)]) == 1
+    v2 = json.loads(capsys.readouterr().out)
+
+    v1 = {k: v for k, v in v2.items() if k != "deep"}
+    v1["schema_version"] = 1
+    v1["rules"] = {
+        rid: {k: v for k, v in entry.items() if k != "scope"}
+        for rid, entry in v2["rules"].items()
+    }
+    loaded = load_lint_report(v1)
+    assert loaded["schema_version"] == 2
+    assert loaded["deep"] is False
+    assert all(
+        e["scope"] == "module" for e in loaded["rules"].values()
+    )
+    # a modern doc loads unchanged
+    assert load_lint_report(v2)["deep"] is False
+
+    import pytest
+
+    with pytest.raises(LintReportError):
+        load_lint_report({**v2, "schema": "wrong"})
+    with pytest.raises(LintReportError):
+        load_lint_report({**v1, "deep": True})  # v1 cannot carry deep
+    missing = {k: v for k, v in v2.items() if k != "findings"}
+    with pytest.raises(LintReportError):
+        load_lint_report(missing)
+
+
+def test_lint_fix_baseline_prunes_orphans(tmp_path, capsys):
+    """A baseline entry whose finding no longer fires is pruned and
+    the refresh exits non-zero — the baseline can only shrink."""
+    baseline = tmp_path / "base.json"
+    assert main(["lint", "--baseline", str(baseline), "--fix-baseline",
+                 str(FIXTURES / "sim001_bad.py")]) == 0
+    capsys.readouterr()
+
+    assert main(["lint", "--baseline", str(baseline), "--fix-baseline",
+                 str(FIXTURES / "clean.py")]) == 1
+    out = capsys.readouterr().out
+    assert "pruned orphaned baseline entry" in out
+    assert "SIM001" in out
+    doc = json.loads(baseline.read_text())
+    assert doc["entries"] == []
+
+    # and the pruned baseline is stable: a second refresh is a no-op
+    assert main(["lint", "--baseline", str(baseline), "--fix-baseline",
+                 str(FIXTURES / "clean.py")]) == 0
+    capsys.readouterr()
